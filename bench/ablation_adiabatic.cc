@@ -1,0 +1,62 @@
+// Ablation: the adiabatic theorem in action (Sec. 3.5, Eq. 24). Evolves
+// the paper's MQO example under the Trotterized interpolating Hamiltonian
+// H(t) = (1 - t/T) H_B + (t/T) H_P for increasing annealing times T and
+// reports the ground-state probability, alongside the minimum spectral
+// gap of a small instance (the quantity that dictates the required T).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "mqo/mqo_generator.h"
+#include "mqo/mqo_qubo_encoder.h"
+#include "qubo/brute_force_solver.h"
+#include "qubo/conversions.h"
+#include "variational/adiabatic.h"
+
+int main() {
+  using namespace qopt;
+  qopt_bench::PrintHeader("Ablation",
+                          "adiabatic evolution: annealing time vs success");
+
+  const MqoProblem problem = MakePaperExampleMqo();
+  const MqoQuboEncoding encoding = EncodeMqoAsQubo(problem);
+  const double ground = SolveQuboBruteForce(encoding.qubo).best_energy;
+  std::printf("Problem: paper MQO example (8 qubits); ground energy %.1f\n\n",
+              ground);
+
+  TablePrinter table({"annealing time T", "P(ground state)",
+                      "best sampled cost"});
+  for (double total_time : {0.5, 2.0, 8.0, 32.0, 128.0}) {
+    AdiabaticOptions options;
+    options.total_time = total_time;
+    options.steps = 600;
+    options.shots = 2048;
+    options.seed = 3;
+    const AdiabaticResult result =
+        SolveQuboAdiabatically(encoding.qubo, options);
+    std::vector<int> selection;
+    const bool valid = problem.DecodeBits(result.best_bits, &selection);
+    table.AddRow({StrFormat("%.1f", total_time),
+                  StrFormat("%.3f", result.ground_state_probability),
+                  valid ? StrFormat("%.0f", problem.SelectionCost(selection))
+                        : "invalid"});
+  }
+  table.Print();
+
+  // Minimum spectral gap of a small instance: the denominator of Eq. 24.
+  MqoProblem small;
+  small.AddQuery({3.0, 1.0});
+  small.AddQuery({2.0, 4.0});
+  small.AddSaving(0, 3, 1.5);
+  const MqoQuboEncoding small_encoding = EncodeMqoAsQubo(small);
+  const SpectralGap gap =
+      MinimumSpectralGap(QuboToIsing(small_encoding.qubo), 41);
+  std::printf("\n4-qubit MQO instance: minimum spectral gap %.3f at "
+              "s = %.2f\n",
+              gap.min_gap, gap.at_s);
+  std::printf("The adiabatic theorem requires T >> 1/g_min^2 ~ %.1f — the\n"
+              "success column above shows exactly that crossover.\n",
+              1.0 / (gap.min_gap * gap.min_gap));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: chain strength in the annealer emulation. Solves an MQO QUBO
+// through a Chimera minor embedding with the ferromagnetic chain coupling
+// scaled relative to the auto-derived value, and reports chain-break
+// fractions and solution quality. Expected: weak chains break and decode
+// garbage; excessive chains freeze the dynamics (the energy-spectrum
+// compression the paper discusses in Sec. 6.1.4); a moderate multiple of
+// the problem scale is best.
+
+#include <cstdio>
+
+#include "anneal/chimera.h"
+#include "anneal/embedding_composite.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "mqo/mqo_baselines.h"
+#include "mqo/mqo_generator.h"
+#include "mqo/mqo_qubo_encoder.h"
+#include "qubo/conversions.h"
+
+int main() {
+  using namespace qopt;
+  qopt_bench::PrintHeader("Ablation", "chain strength in embedded solves");
+
+  MqoGeneratorOptions gen;
+  gen.num_queries = 4;
+  gen.plans_per_query = 3;
+  gen.saving_density = 0.3;
+  gen.seed = 5;
+  const MqoProblem problem = GenerateMqoProblem(gen);
+  const MqoSolution exact = SolveMqoExhaustive(problem);
+  const MqoQuboEncoding encoding = EncodeMqoAsQubo(problem);
+  const SimpleGraph chimera = MakeChimera(6, 6, 4);
+
+  // Auto chain strength = 1.5x the largest Ising coefficient.
+  const IsingModel ising = QuboToIsing(encoding.qubo);
+  double scale = 0.0;
+  for (int i = 0; i < ising.NumSpins(); ++i) {
+    scale = std::max(scale, std::abs(ising.Field(i)));
+  }
+  for (const auto& [edge, j] : ising.Couplings()) {
+    (void)edge;
+    scale = std::max(scale, std::abs(j));
+  }
+
+  TablePrinter table({"chain strength / scale", "chain breaks", "valid",
+                      "decoded cost", "optimal cost"});
+  for (double multiplier : {0.05, 0.2, 0.5, 1.0, 1.5, 5.0, 25.0}) {
+    EmbeddedSolveOptions options;
+    options.chain_strength = multiplier * scale;
+    options.embed.seed = 4;
+    options.anneal.num_reads = 40;
+    options.anneal.num_sweeps = 2000;
+    options.anneal.seed = 9;
+    const auto result = SolveQuboOnTopology(encoding.qubo, chimera, options);
+    if (!result.has_value()) {
+      table.AddRow({StrFormat("%.2f", multiplier), "-", "no embedding", "-",
+                    StrFormat("%.2f", exact.cost)});
+      continue;
+    }
+    std::vector<int> selection;
+    const bool valid = problem.DecodeBits(result->bits, &selection);
+    table.AddRow({StrFormat("%.2f", multiplier),
+                  StrFormat("%.0f%%", 100.0 * result->chain_break_fraction),
+                  valid ? "yes" : "no",
+                  valid ? StrFormat("%.2f", problem.SelectionCost(selection))
+                        : "-",
+                  StrFormat("%.2f", exact.cost)});
+  }
+  table.Print();
+  std::printf("\nD-Wave practice tunes this constant per problem; the\n"
+              "library's default (1.5x the problem scale) sits in the\n"
+              "stable region.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#ifndef QQO_BENCH_BENCH_UTIL_H_
+#define QQO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace qopt_bench {
+
+/// Reads an integer environment knob with a default, so the paper-scale
+/// settings (e.g. 20 instances per point) can be dialled down:
+///   QQO_BENCH_SAMPLES  - instances / transpilations / embeddings per point
+///   QQO_BENCH_FAST     - set to 1 to shrink sweeps for smoke runs
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+inline bool FastMode() { return EnvInt("QQO_BENCH_FAST", 0) != 0; }
+
+/// Samples per data point (paper default: 20).
+inline int Samples(int fallback) { return EnvInt("QQO_BENCH_SAMPLES", fallback); }
+
+inline void PrintHeader(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace qopt_bench
+
+#endif  // QQO_BENCH_BENCH_UTIL_H_

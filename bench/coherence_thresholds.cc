@@ -1,0 +1,40 @@
+// Reproduces the coherence-depth threshold calculations (Eq. 37 and
+// Eq. 55): the maximum circuit depth executable within the coherence time
+// of IBM-Q Mumbai (paper: 248) and IBM-Q Brooklyn (paper: 178), plus the
+// decoherence-error curve of Eq. 36.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/device_model.h"
+
+int main() {
+  using namespace qopt;
+  qopt_bench::PrintHeader("Eq. 37 / Eq. 55", "coherence-depth thresholds");
+
+  TablePrinter table({"device", "qubits", "T1 (us)", "T2 (us)",
+                      "avg gate (ns)", "max reliable depth", "paper"});
+  const DeviceModel mumbai = MumbaiDevice();
+  const DeviceModel brooklyn = BrooklynDevice();
+  table.AddRow({mumbai.name, "27", StrFormat("%.2f", mumbai.t1_us),
+                StrFormat("%.2f", mumbai.t2_us),
+                StrFormat("%.3f", mumbai.avg_gate_time_ns),
+                StrFormat("%d", mumbai.MaxReliableDepth()), "248"});
+  table.AddRow({brooklyn.name, "65", StrFormat("%.2f", brooklyn.t1_us),
+                StrFormat("%.2f", brooklyn.t2_us),
+                StrFormat("%.3f", brooklyn.avg_gate_time_ns),
+                StrFormat("%d", brooklyn.MaxReliableDepth()), "178"});
+  table.Print();
+
+  std::printf("\nDecoherence error probability vs depth (Mumbai, Eq. 36):\n");
+  TablePrinter curve({"depth", "P(decoherence error)"});
+  for (int depth : {50, 100, 150, 200, 248, 300, 400}) {
+    curve.AddRow({static_cast<double>(depth),
+                  mumbai.DecoherenceErrorProbability(depth)});
+  }
+  curve.Print();
+  std::printf("\nAt the threshold depth the error probability is "
+              "1 - 1/e ~ 0.63, as the paper notes.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Fig. 11: logical qubits required by the join-ordering BILP
+// encoding as a function of the number of relations T, for predicate
+// counts P = J, 2J and 3J (J = T - 1 joins). 1 threshold, omega = 1,
+// uniform cardinality 10, no cto pruning — exactly the paper's setting.
+//
+// Expected shape: superlinear growth; ~10,000 qubits at T = 42 with P = J;
+// doubling P adds roughly 50% more qubits at T = 42.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "joinorder/join_order_bilp_encoder.h"
+
+int main() {
+  using namespace qopt;
+  qopt_bench::PrintHeader("Figure 11",
+                          "logical qubit scaling vs relations and predicates");
+
+  TablePrinter table({"relations T", "P=J", "P=2J", "P=3J"});
+  for (int t = 4; t <= 42; t += 2) {
+    const int j = t - 1;
+    std::vector<double> row = {static_cast<double>(t)};
+    for (int factor = 1; factor <= 3; ++factor) {
+      row.push_back(static_cast<double>(
+          CountJoinOrderQubits(t, factor * j, 1, 1.0).total));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  const auto at42 = CountJoinOrderQubits(42, 41, 1, 1.0);
+  const auto at42_2j = CountJoinOrderQubits(42, 82, 1, 1.0);
+  std::printf("\nT = 42, P = J: %lld qubits (paper: ~10,000)\n", at42.total);
+  std::printf("Doubling P at T = 42 adds %.0f%% more qubits (paper: ~50%%)\n",
+              100.0 * (static_cast<double>(at42_2j.total) / at42.total - 1.0));
+  return 0;
+}

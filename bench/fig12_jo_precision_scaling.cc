@@ -1,0 +1,47 @@
+// Reproduces Fig. 12: logical qubits for a 20-relation join ordering
+// problem (P = J = 19 predicates) as the number of threshold values grows
+// from 2 to 20, for precision factors omega = 1, 0.01 and 0.0001.
+//
+// Expected shape: linear growth in thresholds, much steeper for smaller
+// omega; ~4,000 qubits at 20 thresholds and omega = 1, more than double
+// that at omega = 0.0001 (paper: > 8,000).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "joinorder/join_order_bilp_encoder.h"
+
+int main() {
+  using namespace qopt;
+  qopt_bench::PrintHeader("Figure 12",
+                          "qubit scaling vs thresholds and precision omega");
+
+  constexpr int kRelations = 20;
+  constexpr int kPredicates = 19;
+  const double omegas[] = {1.0, 0.01, 0.0001};
+
+  TablePrinter table(
+      {"thresholds R", "omega=1", "omega=0.01", "omega=0.0001"});
+  for (int r = 2; r <= 20; r += 2) {
+    std::vector<double> row = {static_cast<double>(r)};
+    for (double omega : omegas) {
+      row.push_back(static_cast<double>(
+          CountJoinOrderQubits(kRelations, kPredicates, r, omega).total));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  const auto w1_2 = CountJoinOrderQubits(kRelations, kPredicates, 2, 0.01);
+  const auto w1_14 = CountJoinOrderQubits(kRelations, kPredicates, 14, 0.01);
+  std::printf("\nomega = 0.01, thresholds 2 -> 14: +%.0f%% qubits "
+              "(paper: ~94%%)\n",
+              100.0 * (static_cast<double>(w1_14.total) / w1_2.total - 1.0));
+  const auto coarse = CountJoinOrderQubits(kRelations, kPredicates, 20, 1.0);
+  const auto fine = CountJoinOrderQubits(kRelations, kPredicates, 20, 0.0001);
+  std::printf("20 thresholds, omega 1 vs 0.0001: %lld vs %lld qubits "
+              "(paper: ~4,000 vs > 8,000)\n",
+              coarse.total, fine.total);
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Runtime microbenchmarks (google-benchmark) for the library's hot paths:
+// encoders, solvers, statevector simulation, transpilation and embedding.
+
+#include <benchmark/benchmark.h>
+
+#include "anneal/chimera.h"
+#include "anneal/minor_embedder.h"
+#include "anneal/pegasus.h"
+#include "anneal/simulated_annealer.h"
+#include "circuit/statevector.h"
+#include "bilp/bilp_to_qubo.h"
+#include "joinorder/join_order_baselines.h"
+#include "joinorder/join_order_bilp_encoder.h"
+#include "joinorder/query_graph.h"
+#include "mqo/mqo_generator.h"
+#include "mqo/mqo_qubo_encoder.h"
+#include "qubo/brute_force_solver.h"
+#include "qubo/conversions.h"
+#include "transpile/ibm_topologies.h"
+#include "transpile/transpiler.h"
+#include "variational/qaoa.h"
+
+namespace {
+
+using namespace qopt;
+
+void BM_EncodeMqoAsQubo(benchmark::State& state) {
+  MqoGeneratorOptions gen;
+  gen.num_queries = static_cast<int>(state.range(0));
+  gen.plans_per_query = 8;
+  gen.seed = 1;
+  const MqoProblem problem = GenerateMqoProblem(gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeMqoAsQubo(problem));
+  }
+}
+BENCHMARK(BM_EncodeMqoAsQubo)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EncodeJoinOrderBilp(benchmark::State& state) {
+  QueryGeneratorOptions gen;
+  gen.num_relations = static_cast<int>(state.range(0));
+  gen.num_predicates = gen.num_relations - 1;
+  gen.seed = 1;
+  const QueryGraph graph = GenerateRandomQuery(gen);
+  JoinOrderEncoderOptions options;
+  options.thresholds = {10.0, 100.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeJoinOrderAsBilp(graph, options));
+  }
+}
+BENCHMARK(BM_EncodeJoinOrderBilp)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_BilpToQubo(benchmark::State& state) {
+  QueryGeneratorOptions gen;
+  gen.num_relations = static_cast<int>(state.range(0));
+  gen.num_predicates = gen.num_relations - 1;
+  gen.seed = 1;
+  const QueryGraph graph = GenerateRandomQuery(gen);
+  JoinOrderEncoderOptions options;
+  options.thresholds = {10.0, 100.0};
+  const JoinOrderEncoding encoding = EncodeJoinOrderAsBilp(graph, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeBilpAsQubo(encoding.bilp));
+  }
+}
+BENCHMARK(BM_BilpToQubo)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_SimulatedAnnealing(benchmark::State& state) {
+  MqoGeneratorOptions gen;
+  gen.num_queries = static_cast<int>(state.range(0));
+  gen.plans_per_query = 4;
+  gen.seed = 1;
+  const MqoQuboEncoding encoding = EncodeMqoAsQubo(GenerateMqoProblem(gen));
+  AnnealOptions options;
+  options.num_reads = 5;
+  options.num_sweeps = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveQuboWithAnnealing(encoding.qubo, options));
+  }
+}
+BENCHMARK(BM_SimulatedAnnealing)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BruteForceQubo(benchmark::State& state) {
+  MqoGeneratorOptions gen;
+  gen.num_queries = static_cast<int>(state.range(0));
+  gen.plans_per_query = 4;
+  gen.seed = 1;
+  const MqoQuboEncoding encoding = EncodeMqoAsQubo(GenerateMqoProblem(gen));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveQuboBruteForce(encoding.qubo));
+  }
+}
+BENCHMARK(BM_BruteForceQubo)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_StatevectorQaoa(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MqoGeneratorOptions gen;
+  gen.num_queries = n / 4;
+  gen.plans_per_query = 4;
+  gen.seed = 1;
+  const MqoQuboEncoding encoding = EncodeMqoAsQubo(GenerateMqoProblem(gen));
+  const IsingModel ising = QuboToIsing(encoding.qubo);
+  const QuantumCircuit circuit = BuildQaoaCircuit(ising, {0.4}, {0.3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateCircuit(circuit));
+  }
+}
+BENCHMARK(BM_StatevectorQaoa)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_TranspileToMumbai(benchmark::State& state) {
+  MqoGeneratorOptions gen;
+  gen.num_queries = static_cast<int>(state.range(0));
+  gen.plans_per_query = 4;
+  gen.seed = 1;
+  const MqoQuboEncoding encoding = EncodeMqoAsQubo(GenerateMqoProblem(gen));
+  const QuantumCircuit qaoa = BuildQaoaTemplate(QuboToIsing(encoding.qubo));
+  const CouplingMap mumbai = MakeMumbai27();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    TranspileOptions options;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(Transpile(qaoa, mumbai, options));
+  }
+}
+BENCHMARK(BM_TranspileToMumbai)->Arg(3)->Arg(5)->Arg(6);
+
+void BM_MakePegasus(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakePegasus(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_MakePegasus)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MinorEmbedIntoChimera(benchmark::State& state) {
+  QueryGeneratorOptions gen;
+  gen.num_relations = 3;
+  gen.num_predicates = 2;
+  gen.seed = 1;
+  const QueryGraph graph = GenerateRandomQuery(gen);
+  JoinOrderEncoderOptions options;
+  options.thresholds = {10.0};
+  const BilpQuboEncoding qubo =
+      EncodeBilpAsQubo(EncodeJoinOrderAsBilp(graph, options).bilp);
+  const SimpleGraph source = qubo.qubo.InteractionGraph();
+  const SimpleGraph target = MakeChimera(8, 8, 4);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    EmbedOptions embed;
+    embed.seed = seed++;
+    benchmark::DoNotOptimize(FindMinorEmbedding(source, target, embed));
+  }
+}
+BENCHMARK(BM_MinorEmbedIntoChimera);
+
+void BM_JoinOrderDp(benchmark::State& state) {
+  QueryGeneratorOptions gen;
+  gen.num_relations = static_cast<int>(state.range(0));
+  gen.num_predicates = gen.num_relations + 2;
+  gen.cardinality_min = 10;
+  gen.cardinality_max = 100000;
+  gen.selectivity_min = 0.001;
+  gen.seed = 1;
+  const QueryGraph graph = GenerateRandomQuery(gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveJoinOrderDp(graph));
+  }
+}
+BENCHMARK(BM_JoinOrderDp)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

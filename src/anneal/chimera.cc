@@ -1,0 +1,45 @@
+#include "anneal/chimera.h"
+
+#include "common/check.h"
+
+namespace qopt {
+
+int ChimeraNodeId(int rows, int cols, int shore, int row, int col, int u,
+                  int k) {
+  QOPT_CHECK(row >= 0 && row < rows);
+  QOPT_CHECK(col >= 0 && col < cols);
+  QOPT_CHECK(u == 0 || u == 1);
+  QOPT_CHECK(k >= 0 && k < shore);
+  return ((row * cols + col) * 2 + u) * shore + k;
+}
+
+SimpleGraph MakeChimera(int rows, int cols, int shore) {
+  QOPT_CHECK(rows >= 1 && cols >= 1 && shore >= 1);
+  SimpleGraph graph(rows * cols * 2 * shore);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Internal couplers: complete bipartite between the two shores.
+      for (int a = 0; a < shore; ++a) {
+        for (int b = 0; b < shore; ++b) {
+          graph.AddEdge(ChimeraNodeId(rows, cols, shore, r, c, 0, a),
+                        ChimeraNodeId(rows, cols, shore, r, c, 1, b));
+        }
+      }
+      // External couplers: vertical shore (u=0) to the cell below,
+      // horizontal shore (u=1) to the cell on the right.
+      for (int k = 0; k < shore; ++k) {
+        if (r + 1 < rows) {
+          graph.AddEdge(ChimeraNodeId(rows, cols, shore, r, c, 0, k),
+                        ChimeraNodeId(rows, cols, shore, r + 1, c, 0, k));
+        }
+        if (c + 1 < cols) {
+          graph.AddEdge(ChimeraNodeId(rows, cols, shore, r, c, 1, k),
+                        ChimeraNodeId(rows, cols, shore, r, c + 1, 1, k));
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace qopt

@@ -1,0 +1,24 @@
+#ifndef QQO_ANNEAL_CHIMERA_H_
+#define QQO_ANNEAL_CHIMERA_H_
+
+#include "graph/simple_graph.h"
+
+namespace qopt {
+
+/// Builds the Chimera topology C(rows, cols, shore): a rows x cols grid of
+/// unit cells, each a complete bipartite K_{shore,shore} (Fig. 5 of the
+/// paper shows C(2,2,4)). Vertical-shore qubits couple to the cell below,
+/// horizontal-shore qubits to the cell on the right, so interior qubits
+/// have degree shore + 2. The D-Wave 2X used in [9] is C(12,12,4).
+///
+/// Node (row, col, shore_side u in {0,1}, index k) has the linear id
+/// ((row * cols + col) * 2 + u) * shore + k.
+SimpleGraph MakeChimera(int rows, int cols, int shore = 4);
+
+/// Linear id of Chimera node (row, col, u, k); see MakeChimera.
+int ChimeraNodeId(int rows, int cols, int shore, int row, int col, int u,
+                  int k);
+
+}  // namespace qopt
+
+#endif  // QQO_ANNEAL_CHIMERA_H_

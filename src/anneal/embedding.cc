@@ -1,0 +1,79 @@
+#include "anneal/embedding.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace qopt {
+
+int Embedding::NumPhysicalQubits() const {
+  int total = 0;
+  for (const auto& chain : chains) total += static_cast<int>(chain.size());
+  return total;
+}
+
+int Embedding::MaxChainLength() const {
+  int longest = 0;
+  for (const auto& chain : chains) {
+    longest = std::max(longest, static_cast<int>(chain.size()));
+  }
+  return longest;
+}
+
+double Embedding::MeanChainLength() const {
+  if (chains.empty()) return 0.0;
+  return static_cast<double>(NumPhysicalQubits()) /
+         static_cast<double>(chains.size());
+}
+
+bool ValidateEmbedding(const SimpleGraph& source, const SimpleGraph& target,
+                       const Embedding& embedding, std::string* error) {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  if (static_cast<int>(embedding.chains.size()) != source.NumVertices()) {
+    return fail("chain count does not match source vertex count");
+  }
+  std::vector<int> owner(static_cast<std::size_t>(target.NumVertices()), -1);
+  for (int u = 0; u < source.NumVertices(); ++u) {
+    const auto& chain = embedding.chains[static_cast<std::size_t>(u)];
+    if (chain.empty()) return fail(StrFormat("chain %d is empty", u));
+    for (int p : chain) {
+      if (p < 0 || p >= target.NumVertices()) {
+        return fail(StrFormat("chain %d uses invalid qubit %d", u, p));
+      }
+      if (owner[static_cast<std::size_t>(p)] == u) {
+        return fail(StrFormat("chain %d repeats qubit %d", u, p));
+      }
+      if (owner[static_cast<std::size_t>(p)] != -1) {
+        return fail(StrFormat("qubit %d used by chains %d and %d", p,
+                              owner[static_cast<std::size_t>(p)], u));
+      }
+      owner[static_cast<std::size_t>(p)] = u;
+    }
+    if (!target.IsConnectedSubset(chain)) {
+      return fail(StrFormat("chain %d is not connected", u));
+    }
+  }
+  for (const auto& [u, v] : source.Edges()) {
+    bool coupled = false;
+    for (int p : embedding.chains[static_cast<std::size_t>(u)]) {
+      for (int q : target.Neighbors(p)) {
+        if (owner[static_cast<std::size_t>(q)] == v) {
+          coupled = true;
+          break;
+        }
+      }
+      if (coupled) break;
+    }
+    if (!coupled) {
+      return fail(
+          StrFormat("source edge (%d,%d) has no physical coupler", u, v));
+    }
+  }
+  return true;
+}
+
+}  // namespace qopt

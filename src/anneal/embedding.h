@@ -1,0 +1,36 @@
+#ifndef QQO_ANNEAL_EMBEDDING_H_
+#define QQO_ANNEAL_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/simple_graph.h"
+
+namespace qopt {
+
+/// A minor embedding: chains[logical] is the set of physical qubits
+/// representing logical variable `logical`.
+struct Embedding {
+  std::vector<std::vector<int>> chains;
+
+  /// Total number of physical qubits used (the Fig. 14 metric).
+  int NumPhysicalQubits() const;
+
+  /// Longest chain.
+  int MaxChainLength() const;
+
+  /// Mean chain length.
+  double MeanChainLength() const;
+};
+
+/// Checks that `embedding` is a valid minor embedding of `source` into
+/// `target`: every chain is non-empty, chains are pairwise disjoint, every
+/// chain induces a connected subgraph of `target`, and for every source
+/// edge there is at least one target edge between the two chains. On
+/// failure returns false and, if `error` is non-null, a description.
+bool ValidateEmbedding(const SimpleGraph& source, const SimpleGraph& target,
+                       const Embedding& embedding, std::string* error);
+
+}  // namespace qopt
+
+#endif  // QQO_ANNEAL_EMBEDDING_H_

@@ -1,0 +1,138 @@
+#include "anneal/embedding_composite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "qubo/conversions.h"
+#include "qubo/ising_model.h"
+
+namespace qopt {
+
+std::optional<EmbeddedSolveResult> SolveQuboOnTopology(
+    const QuboModel& qubo, const SimpleGraph& topology,
+    const EmbeddedSolveOptions& options) {
+  QOPT_CHECK(qubo.NumVariables() >= 1);
+  const SimpleGraph source = qubo.InteractionGraph();
+  std::optional<Embedding> embedding =
+      FindMinorEmbedding(source, topology, options.embed);
+  if (!embedding.has_value()) return std::nullopt;
+
+  const IsingModel logical = QuboToIsing(qubo);
+
+  double chain_strength = options.chain_strength;
+  if (chain_strength <= 0.0) {
+    double scale = 0.0;
+    for (int i = 0; i < logical.NumSpins(); ++i) {
+      scale = std::max(scale, std::abs(logical.Field(i)));
+    }
+    for (const auto& [edge, j] : logical.Couplings()) {
+      (void)edge;
+      scale = std::max(scale, std::abs(j));
+    }
+    chain_strength = std::max(1.0, 1.5 * scale);
+  }
+
+  // Dense renumbering of the physical qubits actually used.
+  std::vector<int> phys_to_dense(
+      static_cast<std::size_t>(topology.NumVertices()), -1);
+  std::vector<int> owner(static_cast<std::size_t>(topology.NumVertices()), -1);
+  int num_dense = 0;
+  for (int u = 0; u < source.NumVertices(); ++u) {
+    for (int p : embedding->chains[static_cast<std::size_t>(u)]) {
+      phys_to_dense[static_cast<std::size_t>(p)] = num_dense++;
+      owner[static_cast<std::size_t>(p)] = u;
+    }
+  }
+
+  IsingModel physical(num_dense);
+  // Linear biases: split evenly over the chain.
+  for (int u = 0; u < source.NumVertices(); ++u) {
+    const auto& chain = embedding->chains[static_cast<std::size_t>(u)];
+    const double share =
+        logical.Field(u) / static_cast<double>(chain.size());
+    if (share != 0.0) {
+      for (int p : chain) {
+        physical.AddField(phys_to_dense[static_cast<std::size_t>(p)], share);
+      }
+    }
+  }
+  // Logical couplings: split evenly over the available physical couplers;
+  // chain couplers get the ferromagnetic chain strength.
+  for (int u = 0; u < source.NumVertices(); ++u) {
+    for (int p : embedding->chains[static_cast<std::size_t>(u)]) {
+      for (int q : topology.Neighbors(p)) {
+        if (q < p) continue;  // visit each physical edge once
+        const int v = owner[static_cast<std::size_t>(q)];
+        if (v == -1) continue;
+        if (v == u) {
+          physical.AddCoupling(phys_to_dense[static_cast<std::size_t>(p)],
+                               phys_to_dense[static_cast<std::size_t>(q)],
+                               -chain_strength);
+        }
+      }
+    }
+  }
+  for (const auto& [edge, j] : logical.Couplings()) {
+    if (j == 0.0) continue;
+    const auto& chain_u = embedding->chains[static_cast<std::size_t>(edge.first)];
+    // Collect the physical couplers between the two chains.
+    std::vector<std::pair<int, int>> couplers;
+    for (int p : chain_u) {
+      for (int q : topology.Neighbors(p)) {
+        if (owner[static_cast<std::size_t>(q)] == edge.second) {
+          couplers.emplace_back(p, q);
+        }
+      }
+    }
+    QOPT_CHECK_MSG(!couplers.empty(), "embedding lost a logical coupling");
+    const double share = j / static_cast<double>(couplers.size());
+    for (const auto& [p, q] : couplers) {
+      physical.AddCoupling(phys_to_dense[static_cast<std::size_t>(p)],
+                           phys_to_dense[static_cast<std::size_t>(q)], share);
+    }
+  }
+
+  const QuboModel physical_qubo = IsingToQubo(physical);
+  AnnealOptions anneal_options = options.anneal;
+  // Whole-chain cluster moves keep logical flips possible even when the
+  // ferromagnetic chain couplings freeze individual qubits.
+  anneal_options.flip_groups.reserve(
+      static_cast<std::size_t>(source.NumVertices()));
+  for (int u = 0; u < source.NumVertices(); ++u) {
+    std::vector<int> group;
+    group.reserve(embedding->chains[static_cast<std::size_t>(u)].size());
+    for (int p : embedding->chains[static_cast<std::size_t>(u)]) {
+      group.push_back(phys_to_dense[static_cast<std::size_t>(p)]);
+    }
+    anneal_options.flip_groups.push_back(std::move(group));
+  }
+  const AnnealResult anneal = SolveQuboWithAnnealing(physical_qubo,
+                                                     anneal_options);
+
+  // Unembed by majority vote per chain.
+  EmbeddedSolveResult result;
+  result.bits.assign(static_cast<std::size_t>(qubo.NumVariables()), 0);
+  int broken_chains = 0;
+  for (int u = 0; u < source.NumVertices(); ++u) {
+    const auto& chain = embedding->chains[static_cast<std::size_t>(u)];
+    int ones = 0;
+    for (int p : chain) {
+      ones += anneal.best_bits[static_cast<std::size_t>(
+          phys_to_dense[static_cast<std::size_t>(p)])];
+    }
+    const int size = static_cast<int>(chain.size());
+    if (ones != 0 && ones != size) ++broken_chains;
+    result.bits[static_cast<std::size_t>(u)] = 2 * ones >= size ? 1 : 0;
+  }
+  result.energy = qubo.Energy(result.bits);
+  result.chain_break_fraction =
+      source.NumVertices() > 0
+          ? static_cast<double>(broken_chains) /
+                static_cast<double>(source.NumVertices())
+          : 0.0;
+  result.embedding = std::move(*embedding);
+  return result;
+}
+
+}  // namespace qopt

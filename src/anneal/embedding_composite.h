@@ -1,0 +1,45 @@
+#ifndef QQO_ANNEAL_EMBEDDING_COMPOSITE_H_
+#define QQO_ANNEAL_EMBEDDING_COMPOSITE_H_
+
+#include <optional>
+#include <vector>
+
+#include "anneal/embedding.h"
+#include "anneal/minor_embedder.h"
+#include "anneal/simulated_annealer.h"
+#include "graph/simple_graph.h"
+#include "qubo/qubo_model.h"
+
+namespace qopt {
+
+/// Options for solving a QUBO through a minor embedding (the OCEAN
+/// StructureComposite + EmbeddingComposite emulation: the solver only sees
+/// couplers that exist in the annealer topology).
+struct EmbeddedSolveOptions {
+  EmbedOptions embed;
+  AnnealOptions anneal;
+  /// Ferromagnetic chain coupling strength. <= 0 derives it from the
+  /// problem scale (1.5x the largest absolute Ising coefficient).
+  double chain_strength = 0.0;
+};
+
+/// Result of an embedded solve.
+struct EmbeddedSolveResult {
+  std::vector<std::uint8_t> bits;  ///< Logical solution after unembedding.
+  double energy = 0.0;             ///< Logical QUBO energy of `bits`.
+  Embedding embedding;
+  /// Fraction of chains whose physical qubits disagreed in the best
+  /// sample (resolved by majority vote).
+  double chain_break_fraction = 0.0;
+};
+
+/// Embeds `qubo`'s interaction graph into `topology`, anneals the chained
+/// physical Ising problem, and unembeds by per-chain majority vote.
+/// Returns std::nullopt when no embedding could be found.
+std::optional<EmbeddedSolveResult> SolveQuboOnTopology(
+    const QuboModel& qubo, const SimpleGraph& topology,
+    const EmbeddedSolveOptions& options = {});
+
+}  // namespace qopt
+
+#endif  // QQO_ANNEAL_EMBEDDING_COMPOSITE_H_

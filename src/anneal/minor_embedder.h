@@ -1,0 +1,52 @@
+#ifndef QQO_ANNEAL_MINOR_EMBEDDER_H_
+#define QQO_ANNEAL_MINOR_EMBEDDER_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "anneal/embedding.h"
+#include "graph/simple_graph.h"
+
+namespace qopt {
+
+/// Options for the heuristic minor embedder.
+struct EmbedOptions {
+  /// Independent restarts with fresh random vertex orders.
+  int tries = 3;
+  /// Improvement passes per try. Most passes are cheap conflict-driven
+  /// re-embeddings; every eighth pass re-embeds all nodes.
+  int max_passes = 100;
+  /// Passes without overfill improvement before the try is abandoned.
+  int patience = 20;
+  /// Base of the exponential congestion penalty: a physical qubit already
+  /// used by c chains costs penalty_base^c to route through.
+  double penalty_base = 8.0;
+  /// Congestion exponent cap (keeps weights finite).
+  int max_penalty_exponent = 10;
+  /// At most this many anchored neighbours get a full-graph Dijkstra when
+  /// selecting a chain root; the rest are connected by early-exit searches.
+  int root_sample = 4;
+  /// Root-selection Dijkstras stop after settling this many target
+  /// vertices (0 = unbounded). Chains are local after the first pass, so a
+  /// bounded search almost always contains the best root; if the bounded
+  /// searches do not overlap, the embedder falls back to unbounded ones.
+  int settle_cap = 2500;
+  /// Run the chain-trimming post-pass on success.
+  bool minimize_chains = true;
+  std::uint64_t seed = 0;
+};
+
+/// Heuristic minor embedding in the style of minorminer (Cai, Macready &
+/// Roy 2014): vertex models are grown along congestion-weighted shortest
+/// paths, overused qubits are penalized exponentially, and nodes are
+/// re-embedded in random order until no physical qubit is shared.
+/// Returns std::nullopt when no embedding was found within the budget —
+/// the paper's Fig. 14 counts exactly these failures ("embedding can be
+/// reliably found" = success rate >= 50%).
+std::optional<Embedding> FindMinorEmbedding(const SimpleGraph& source,
+                                            const SimpleGraph& target,
+                                            const EmbedOptions& options = {});
+
+}  // namespace qopt
+
+#endif  // QQO_ANNEAL_MINOR_EMBEDDER_H_

@@ -1,0 +1,95 @@
+#include "anneal/pegasus.h"
+
+#include "common/check.h"
+
+namespace qopt {
+namespace {
+
+constexpr int kOffsetsVertical[12] = {2, 2, 2, 2, 6, 6, 6, 6, 10, 10, 10, 10};
+constexpr int kOffsetsHorizontal[12] = {6, 6, 6, 6, 10, 10, 10, 10, 2, 2, 2, 2};
+
+}  // namespace
+
+int PegasusNodeId(int m, int u, int w, int k, int z) {
+  QOPT_CHECK(u == 0 || u == 1);
+  QOPT_CHECK(w >= 0 && w < m);
+  QOPT_CHECK(k >= 0 && k < 12);
+  QOPT_CHECK(z >= 0 && z < m - 1);
+  return ((u * m + w) * 12 + k) * (m - 1) + z;
+}
+
+SimpleGraph MakePegasus(int m, bool fabric_only) {
+  QOPT_CHECK(m >= 2);
+  const int num_nodes = 2 * m * 12 * (m - 1);
+  SimpleGraph graph(num_nodes);
+
+  // External couplers: consecutive collinear segments.
+  for (int u = 0; u < 2; ++u) {
+    for (int w = 0; w < m; ++w) {
+      for (int k = 0; k < 12; ++k) {
+        for (int z = 0; z + 1 < m - 1; ++z) {
+          graph.AddEdge(PegasusNodeId(m, u, w, k, z),
+                        PegasusNodeId(m, u, w, k, z + 1));
+        }
+      }
+    }
+  }
+  // Odd couplers: parallel neighbours k = 2j, 2j+1 at the same position.
+  for (int u = 0; u < 2; ++u) {
+    for (int w = 0; w < m; ++w) {
+      for (int k = 0; k < 12; k += 2) {
+        for (int z = 0; z < m - 1; ++z) {
+          graph.AddEdge(PegasusNodeId(m, u, w, k, z),
+                        PegasusNodeId(m, u, w, k + 1, z));
+        }
+      }
+    }
+  }
+  // Internal couplers: crossing vertical/horizontal segment pairs.
+  // For vertical qubit (0, w, k, z): x = 12w + k, rows
+  // [12z + sV[k], 12z + sV[k] + 12). Each integer row y in that span is a
+  // horizontal wire y = 12*wh + kh; the horizontal qubit on that wire whose
+  // column span covers x has zh = (x - sH[kh]) / 12.
+  int internal_count = 0;
+  for (int w = 0; w < m; ++w) {
+    for (int k = 0; k < 12; ++k) {
+      const int x = 12 * w + k;
+      for (int z = 0; z < m - 1; ++z) {
+        const int y_begin = 12 * z + kOffsetsVertical[k];
+        for (int y = y_begin; y < y_begin + 12; ++y) {
+          const int wh = y / 12;
+          const int kh = y % 12;
+          if (wh < 0 || wh >= m) continue;
+          const int x_rel = x - kOffsetsHorizontal[kh];
+          if (x_rel < 0) continue;
+          const int zh = x_rel / 12;
+          if (zh >= m - 1) continue;
+          graph.AddEdge(PegasusNodeId(m, 0, w, k, z),
+                        PegasusNodeId(m, 1, wh, kh, zh));
+          ++internal_count;
+        }
+      }
+    }
+  }
+  QOPT_CHECK(internal_count > 0);
+
+  if (!fabric_only) return graph;
+
+  // Fabric trim: drop qubits with no internal coupler. Internal couplers
+  // always join a vertical (u=0) and a horizontal (u=1) qubit, so a qubit
+  // is in the fabric iff it has at least one neighbour of the other
+  // orientation.
+  auto orientation = [m](int id) { return id / (m * 12 * (m - 1)); };
+  std::vector<bool> removed(static_cast<std::size_t>(num_nodes), true);
+  for (int v = 0; v < num_nodes; ++v) {
+    for (int nb : graph.Neighbors(v)) {
+      if (orientation(nb) != orientation(v)) {
+        removed[static_cast<std::size_t>(v)] = false;
+        break;
+      }
+    }
+  }
+  return graph.InducedSubgraph(removed);
+}
+
+}  // namespace qopt

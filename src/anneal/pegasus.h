@@ -1,0 +1,35 @@
+#ifndef QQO_ANNEAL_PEGASUS_H_
+#define QQO_ANNEAL_PEGASUS_H_
+
+#include "graph/simple_graph.h"
+
+namespace qopt {
+
+/// Builds the Pegasus topology P(M) — the qubit connectivity of the D-Wave
+/// Advantage system (P16, ~5600 qubits, degree <= 15).
+///
+/// Construction follows the geometric definition (Boothby et al., "Next-
+/// Generation Topology of D-Wave Quantum Processors"): each qubit is a
+/// length-12 line segment on a grid. Vertical qubit (u=0, w, k, z) sits at
+/// column x = 12w + k spanning rows [12z + sV[k], 12z + sV[k] + 12);
+/// horizontal qubit (u=1, w, k, z) sits at row y = 12w + k spanning
+/// columns [12z + sH[k], 12z + sH[k] + 12), with the standard offset lists
+/// sV = (2,2,2,2,6,6,6,6,10,10,10,10) and sH = (6,6,6,6,10,10,10,10,2,2,2,2).
+///
+///  * internal couplers join each crossing vertical/horizontal pair
+///    (12 per interior qubit),
+///  * external couplers join collinear consecutive segments (z, z+1),
+///  * odd couplers join parallel neighbours (k = 2j, 2j+1),
+///
+/// for a maximum degree of 15. When `fabric_only` is true (the default,
+/// matching D-Wave's usable fabric), qubits without internal couplers are
+/// dropped and the survivors are relabelled consecutively.
+SimpleGraph MakePegasus(int m, bool fabric_only = true);
+
+/// Linear id of Pegasus node (u, w, k, z) before the fabric trim:
+/// ((u * M + w) * 12 + k) * (M - 1) + z.
+int PegasusNodeId(int m, int u, int w, int k, int z);
+
+}  // namespace qopt
+
+#endif  // QQO_ANNEAL_PEGASUS_H_

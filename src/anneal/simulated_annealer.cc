@@ -1,0 +1,144 @@
+#include "anneal/simulated_annealer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace qopt {
+namespace {
+
+/// Derives a default inverse-temperature range from the problem's energy
+/// scale, mirroring dwave-neal: hot enough that the largest single-flip
+/// barrier is accepted with probability ~1/2, cold enough that the
+/// smallest non-zero barrier is frozen out.
+std::pair<double, double> DefaultBetaRange(
+    const QuboModel& qubo,
+    const std::vector<std::vector<std::pair<int, double>>>& adjacency) {
+  // Hot end: the largest single-flip barrier must be crossable with
+  // probability ~1/2. Cold end: the smallest non-zero coefficient — the
+  // finest energy scale in the problem — must be frozen out, so that
+  // penalty-dominated problems (where every variable also carries huge
+  // constraint terms) still resolve their small objective differences.
+  double max_delta = 0.0;
+  double min_coeff = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < qubo.NumVariables(); ++i) {
+    const double linear = std::abs(qubo.Linear(i));
+    double scale = linear;
+    if (linear > 0.0) min_coeff = std::min(min_coeff, linear);
+    for (const auto& [j, coeff] : adjacency[static_cast<std::size_t>(i)]) {
+      (void)j;
+      scale += std::abs(coeff);
+      if (coeff != 0.0) min_coeff = std::min(min_coeff, std::abs(coeff));
+    }
+    max_delta = std::max(max_delta, scale);
+  }
+  if (max_delta == 0.0) return {0.1, 1.0};  // constant objective
+  const double beta_min = std::log(2.0) / max_delta;
+  const double beta_max = std::log(100.0) / std::max(min_coeff, 1e-9);
+  return {beta_min, std::max(beta_max, beta_min * 2.0)};
+}
+
+}  // namespace
+
+AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
+                                    const AnnealOptions& options) {
+  QOPT_CHECK(qubo.NumVariables() >= 1);
+  QOPT_CHECK(options.num_reads >= 1);
+  QOPT_CHECK(options.num_sweeps >= 1);
+  const int n = qubo.NumVariables();
+  const auto adjacency = qubo.BuildAdjacency();
+
+  double beta_min = options.beta_min;
+  double beta_max = options.beta_max;
+  if (beta_max <= 0.0) {
+    std::tie(beta_min, beta_max) = DefaultBetaRange(qubo, adjacency);
+  }
+  QOPT_CHECK(beta_min > 0.0 && beta_max >= beta_min);
+  const double beta_ratio =
+      options.num_sweeps > 1
+          ? std::pow(beta_max / beta_min,
+                     1.0 / static_cast<double>(options.num_sweeps - 1))
+          : 1.0;
+
+  Rng rng(options.seed);
+  AnnealResult result;
+  result.read_energies.reserve(static_cast<std::size_t>(options.num_reads));
+
+  for (const auto& group : options.flip_groups) {
+    for (int i : group) QOPT_CHECK(i >= 0 && i < n);
+  }
+  // Proposes flipping all of `group` jointly; FlipDelta is evaluated
+  // incrementally while flipping, and the move is undone when rejected.
+  auto propose_group_flip = [&](std::vector<std::uint8_t>& bits,
+                                const std::vector<int>& group, double beta,
+                                Rng* rng_ptr) -> double {
+    double delta = 0.0;
+    for (int i : group) {
+      delta += qubo.FlipDelta(bits, i, adjacency);
+      bits[static_cast<std::size_t>(i)] ^= 1;
+    }
+    if (delta <= 0.0 || rng_ptr->NextDouble() < std::exp(-beta * delta)) {
+      return delta;
+    }
+    for (int i : group) bits[static_cast<std::size_t>(i)] ^= 1;
+    return 0.0;
+  };
+
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
+  for (int read = 0; read < options.num_reads; ++read) {
+    for (auto& b : bits) b = rng.NextBool() ? 1 : 0;
+    double energy = qubo.Energy(bits);
+    double beta = beta_min;
+    for (int sweep = 0; sweep < options.num_sweeps; ++sweep) {
+      for (int i = 0; i < n; ++i) {
+        const double delta = qubo.FlipDelta(bits, i, adjacency);
+        if (delta <= 0.0 || rng.NextDouble() < std::exp(-beta * delta)) {
+          bits[static_cast<std::size_t>(i)] ^= 1;
+          energy += delta;
+        }
+      }
+      for (const auto& group : options.flip_groups) {
+        energy += propose_group_flip(bits, group, beta, &rng);
+      }
+      beta *= beta_ratio;
+    }
+    // Greedy descent to the local minimum removes residual thermal noise.
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (int i = 0; i < n; ++i) {
+        const double delta = qubo.FlipDelta(bits, i, adjacency);
+        if (delta < -1e-12) {
+          bits[static_cast<std::size_t>(i)] ^= 1;
+          energy += delta;
+          improved = true;
+        }
+      }
+      for (const auto& group : options.flip_groups) {
+        double delta = 0.0;
+        for (int i : group) {
+          delta += qubo.FlipDelta(bits, i, adjacency);
+          bits[static_cast<std::size_t>(i)] ^= 1;
+        }
+        if (delta < -1e-12) {
+          energy += delta;
+          improved = true;
+        } else {
+          for (int i : group) bits[static_cast<std::size_t>(i)] ^= 1;
+        }
+      }
+    }
+    result.read_energies.push_back(energy);
+    if (read == 0 || energy < result.best_energy) {
+      result.best_energy = energy;
+      result.best_bits = bits;
+    }
+  }
+  // Recompute exactly to clear accumulated floating-point drift.
+  result.best_energy = qubo.Energy(result.best_bits);
+  return result;
+}
+
+}  // namespace qopt

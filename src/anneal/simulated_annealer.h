@@ -1,0 +1,43 @@
+#ifndef QQO_ANNEAL_SIMULATED_ANNEALER_H_
+#define QQO_ANNEAL_SIMULATED_ANNEALER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/qubo_model.h"
+
+namespace qopt {
+
+/// Options for the classical simulated-annealing QUBO sampler (the
+/// dwave-neal equivalent the paper uses as its annealing solver).
+struct AnnealOptions {
+  int num_reads = 10;     ///< Independent restarts; best sample is kept.
+  int num_sweeps = 1000;  ///< Metropolis sweeps per read.
+  /// Inverse-temperature schedule endpoints. If beta_max <= 0, both are
+  /// derived from the problem's energy scale (like neal's default).
+  double beta_min = 0.0;
+  double beta_max = 0.0;
+  std::uint64_t seed = 0;
+  /// Optional cluster moves: after every single-flip sweep, each group is
+  /// proposed as a joint flip of all its variables. The embedding
+  /// composite passes the chains here so that logical flips remain
+  /// possible once strong chain couplings freeze individual qubits.
+  std::vector<std::vector<int>> flip_groups;
+};
+
+/// Result of a simulated-annealing run.
+struct AnnealResult {
+  std::vector<std::uint8_t> best_bits;
+  double best_energy = 0.0;
+  /// Energy of every read's final state (for distribution studies).
+  std::vector<double> read_energies;
+};
+
+/// Samples low-energy states of `qubo` with Metropolis simulated annealing
+/// on a geometric inverse-temperature schedule.
+AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
+                                    const AnnealOptions& options = {});
+
+}  // namespace qopt
+
+#endif  // QQO_ANNEAL_SIMULATED_ANNEALER_H_

@@ -1,0 +1,52 @@
+#include "bilp/bilp_to_qubo.h"
+
+#include "common/check.h"
+
+namespace qopt {
+
+BilpQuboEncoding EncodeBilpAsQubo(const BilpProblem& bilp, double penalty_a,
+                                  double penalty_b) {
+  QOPT_CHECK(penalty_b > 0.0);
+  BilpQuboEncoding encoding;
+  encoding.penalty_b = penalty_b;
+  if (penalty_a > 0.0) {
+    encoding.penalty_a = penalty_a;
+  } else {
+    // Eq. 44: A > B * C / omega^2. The +1 keeps A strictly dominant even
+    // for an all-zero objective.
+    const double omega = bilp.Granularity();
+    encoding.penalty_a =
+        penalty_b * (bilp.ObjectiveUpperBound() + 1.0) / (omega * omega);
+  }
+
+  QuboModel qubo(bilp.NumVariables());
+  // H_B = B * sum c_i x_i.
+  for (int i = 0; i < bilp.NumVariables(); ++i) {
+    const double c = bilp.ObjectiveCoefficient(i);
+    if (c != 0.0) qubo.AddLinear(i, penalty_b * c);
+  }
+  // H_A = A * sum_j (b_j - sum_i S_ji x_i)^2. Expanding (x_i^2 = x_i):
+  //   b^2  - 2 b S_i x_i + S_i^2 x_i  (diagonal)  + 2 S_i S_k x_i x_k (i<k).
+  for (const auto& constraint : bilp.Constraints()) {
+    const double b = constraint.rhs;
+    qubo.AddOffset(encoding.penalty_a * b * b);
+    const auto& terms = constraint.terms;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      const auto& [var_i, s_i] = terms[i];
+      qubo.AddLinear(var_i, encoding.penalty_a * (s_i * s_i - 2.0 * b * s_i));
+      for (std::size_t k = i + 1; k < terms.size(); ++k) {
+        const auto& [var_k, s_k] = terms[k];
+        QOPT_CHECK_MSG(var_i != var_k,
+                       "constraint mentions a variable twice");
+        qubo.AddQuadratic(var_i, var_k, 2.0 * encoding.penalty_a * s_i * s_k);
+      }
+    }
+  }
+  // Coefficients that cancelled exactly would otherwise inflate the
+  // quadratic-term count the paper reports.
+  qubo.Compress(0.0);
+  encoding.qubo = std::move(qubo);
+  return encoding;
+}
+
+}  // namespace qopt

@@ -1,0 +1,30 @@
+#ifndef QQO_BILP_BILP_TO_QUBO_H_
+#define QQO_BILP_BILP_TO_QUBO_H_
+
+#include "bilp/bilp_problem.h"
+#include "qubo/qubo_model.h"
+
+namespace qopt {
+
+/// QUBO form of a BILP problem after Lucas [20] (Sec. 6.1.4):
+///
+///   H = A * sum_j (b_j - sum_i S_ji x_i)^2  +  B * sum_i c_i x_i.
+///
+/// The ground state of H encodes the optimal feasible BILP assignment
+/// provided A > B * C / omega^2 (Eq. 44), where C = sum_i c_i and omega is
+/// the coefficient granularity.
+struct BilpQuboEncoding {
+  QuboModel qubo;
+  double penalty_a = 0.0;
+  double penalty_b = 1.0;
+};
+
+/// Encodes `bilp` as a QUBO. `penalty_a <= 0` derives A automatically from
+/// Eq. 44 with a safety margin; `penalty_b` is the objective scale B.
+BilpQuboEncoding EncodeBilpAsQubo(const BilpProblem& bilp,
+                                  double penalty_a = 0.0,
+                                  double penalty_b = 1.0);
+
+}  // namespace qopt
+
+#endif  // QQO_BILP_BILP_TO_QUBO_H_

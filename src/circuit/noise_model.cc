@@ -1,0 +1,84 @@
+#include "circuit/noise_model.h"
+
+#include <complex>
+
+#include "circuit/statevector.h"
+#include "common/check.h"
+
+namespace qopt {
+namespace {
+
+void MaybeInjectPauli(QuantumCircuit* out, int qubit, double error_prob,
+                      Rng* rng, int* num_errors) {
+  if (!rng->NextBool(error_prob)) return;
+  switch (rng->NextInt(0, 2)) {
+    case 0:
+      out->X(qubit);
+      break;
+    case 1:
+      out->Y(qubit);
+      break;
+    default:
+      out->Z(qubit);
+      break;
+  }
+  if (num_errors != nullptr) ++*num_errors;
+}
+
+}  // namespace
+
+QuantumCircuit InjectPauliNoise(const QuantumCircuit& circuit,
+                                const NoiseModel& noise, Rng* rng,
+                                int* num_errors) {
+  QOPT_CHECK(noise.single_qubit_error >= 0.0 &&
+             noise.single_qubit_error < 1.0);
+  QOPT_CHECK(noise.two_qubit_error >= 0.0 && noise.two_qubit_error < 1.0);
+  if (num_errors != nullptr) *num_errors = 0;
+  QuantumCircuit noisy(circuit.NumQubits());
+  for (const Gate& g : circuit.Gates()) {
+    noisy.Append(g);
+    if (g.NumQubits() == 1) {
+      MaybeInjectPauli(&noisy, g.qubit0, noise.single_qubit_error, rng,
+                       num_errors);
+    } else {
+      MaybeInjectPauli(&noisy, g.qubit0, noise.two_qubit_error, rng,
+                       num_errors);
+      MaybeInjectPauli(&noisy, g.qubit1, noise.two_qubit_error, rng,
+                       num_errors);
+    }
+  }
+  return noisy;
+}
+
+NoisySamplingResult SampleNoisyCircuit(const QuantumCircuit& circuit,
+                                       const NoiseModel& noise,
+                                       int trajectories, std::uint64_t seed) {
+  QOPT_CHECK(trajectories >= 1);
+  const Statevector ideal = SimulateCircuit(circuit);
+  Rng rng(seed);
+  NoisySamplingResult result;
+  result.trajectories = trajectories;
+  int clean = 0;
+  double fidelity_sum = 0.0;
+  for (int t = 0; t < trajectories; ++t) {
+    int errors = 0;
+    const QuantumCircuit noisy = InjectPauliNoise(circuit, noise, &rng,
+                                                  &errors);
+    if (errors == 0) {
+      ++clean;
+      fidelity_sum += 1.0;
+      continue;
+    }
+    const Statevector state = SimulateCircuit(noisy);
+    std::complex<double> inner = 0.0;
+    for (std::size_t i = 0; i < state.Amplitudes().size(); ++i) {
+      inner += std::conj(ideal.Amplitudes()[i]) * state.Amplitudes()[i];
+    }
+    fidelity_sum += std::norm(inner);
+  }
+  result.clean_fraction = static_cast<double>(clean) / trajectories;
+  result.mean_fidelity = fidelity_sum / trajectories;
+  return result;
+}
+
+}  // namespace qopt

@@ -1,0 +1,53 @@
+#ifndef QQO_CIRCUIT_NOISE_MODEL_H_
+#define QQO_CIRCUIT_NOISE_MODEL_H_
+
+#include <cstdint>
+
+#include "circuit/quantum_circuit.h"
+#include "common/random.h"
+
+namespace qopt {
+
+/// Depolarizing noise model: after every gate, each involved qubit
+/// suffers a uniformly random Pauli error with the corresponding
+/// probability. This is the standard Monte-Carlo (quantum trajectory)
+/// treatment of the NISQ gate errors of Sec. 3.6.1 and lets the library
+/// demonstrate *why* the paper's coherence-depth thresholds matter: the
+/// probability of a clean shot decays exponentially with gate count.
+struct NoiseModel {
+  double single_qubit_error = 0.0;  ///< Pauli error prob per 1q gate.
+  double two_qubit_error = 0.0;     ///< Pauli error prob per 2q gate qubit.
+
+  /// Builds a noise model from a device's calibration data.
+  static NoiseModel FromDevice(double sx_error, double cx_error) {
+    return {sx_error, cx_error};
+  }
+};
+
+/// One noisy execution: a copy of `circuit` with random Pauli errors
+/// inserted according to `noise`. `num_errors` (optional) receives the
+/// number of injected errors, so callers can post-select clean shots.
+QuantumCircuit InjectPauliNoise(const QuantumCircuit& circuit,
+                                const NoiseModel& noise, Rng* rng,
+                                int* num_errors = nullptr);
+
+/// Result of running many noisy trajectories of a circuit.
+struct NoisySamplingResult {
+  /// Fraction of trajectories with no injected error.
+  double clean_fraction = 0.0;
+  /// Mean fidelity |<ideal|noisy>|^2 over trajectories.
+  double mean_fidelity = 0.0;
+  int trajectories = 0;
+};
+
+/// Simulates `trajectories` noisy executions and compares each final
+/// state against the ideal one. Exponential in qubits — intended for the
+/// small circuits the statevector backend handles anyway.
+NoisySamplingResult SampleNoisyCircuit(const QuantumCircuit& circuit,
+                                       const NoiseModel& noise,
+                                       int trajectories,
+                                       std::uint64_t seed = 0);
+
+}  // namespace qopt
+
+#endif  // QQO_CIRCUIT_NOISE_MODEL_H_

@@ -1,0 +1,64 @@
+#include "circuit/qasm_exporter.h"
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace qopt {
+
+std::string ToQasm2(const QuantumCircuit& circuit, bool measure_all) {
+  const int n = circuit.NumQubits();
+  std::string out = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  out += StrFormat("qreg q[%d];\n", n);
+  if (measure_all) out += StrFormat("creg c[%d];\n", n);
+  for (const Gate& g : circuit.Gates()) {
+    switch (g.kind) {
+      case GateKind::kH:
+        out += StrFormat("h q[%d];\n", g.qubit0);
+        break;
+      case GateKind::kX:
+        out += StrFormat("x q[%d];\n", g.qubit0);
+        break;
+      case GateKind::kY:
+        out += StrFormat("y q[%d];\n", g.qubit0);
+        break;
+      case GateKind::kZ:
+        out += StrFormat("z q[%d];\n", g.qubit0);
+        break;
+      case GateKind::kSx:
+        out += StrFormat("sx q[%d];\n", g.qubit0);
+        break;
+      case GateKind::kRx:
+        out += StrFormat("rx(%.12g) q[%d];\n", g.param, g.qubit0);
+        break;
+      case GateKind::kRy:
+        out += StrFormat("ry(%.12g) q[%d];\n", g.param, g.qubit0);
+        break;
+      case GateKind::kRz:
+        out += StrFormat("rz(%.12g) q[%d];\n", g.param, g.qubit0);
+        break;
+      case GateKind::kCx:
+        out += StrFormat("cx q[%d],q[%d];\n", g.qubit0, g.qubit1);
+        break;
+      case GateKind::kCz:
+        out += StrFormat("cz q[%d],q[%d];\n", g.qubit0, g.qubit1);
+        break;
+      case GateKind::kRzz:
+        // qelib1 has no rzz; emit the exact CX-RZ-CX decomposition.
+        out += StrFormat("cx q[%d],q[%d];\n", g.qubit0, g.qubit1);
+        out += StrFormat("rz(%.12g) q[%d];\n", g.param, g.qubit1);
+        out += StrFormat("cx q[%d],q[%d];\n", g.qubit0, g.qubit1);
+        break;
+      case GateKind::kSwap:
+        out += StrFormat("swap q[%d],q[%d];\n", g.qubit0, g.qubit1);
+        break;
+    }
+  }
+  if (measure_all) {
+    for (int q = 0; q < n; ++q) {
+      out += StrFormat("measure q[%d] -> c[%d];\n", q, q);
+    }
+  }
+  return out;
+}
+
+}  // namespace qopt

@@ -1,0 +1,20 @@
+#ifndef QQO_CIRCUIT_QASM_EXPORTER_H_
+#define QQO_CIRCUIT_QASM_EXPORTER_H_
+
+#include <string>
+
+#include "circuit/quantum_circuit.h"
+
+namespace qopt {
+
+/// Serializes a circuit as OpenQASM 2.0 (qelib1 gate set), so circuits
+/// produced by this library can be inspected or executed with external
+/// toolchains such as Qiskit. RZZ gates are emitted as their CX-RZ-CX
+/// decomposition because qelib1 has no native rzz. A trailing measurement
+/// of all qubits into a classical register is appended when
+/// `measure_all` is set.
+std::string ToQasm2(const QuantumCircuit& circuit, bool measure_all = false);
+
+}  // namespace qopt
+
+#endif  // QQO_CIRCUIT_QASM_EXPORTER_H_

@@ -1,0 +1,150 @@
+#include "circuit/quantum_circuit.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace qopt {
+
+QuantumCircuit::QuantumCircuit(int num_qubits) : num_qubits_(num_qubits) {
+  QOPT_CHECK(num_qubits >= 0);
+}
+
+void QuantumCircuit::Append(const Gate& gate) {
+  QOPT_CHECK(gate.qubit0 >= 0 && gate.qubit0 < num_qubits_);
+  if (IsTwoQubitKind(gate.kind)) {
+    QOPT_CHECK(gate.qubit1 >= 0 && gate.qubit1 < num_qubits_);
+    QOPT_CHECK_MSG(gate.qubit0 != gate.qubit1,
+                   "two-qubit gate on identical qubits");
+  } else {
+    QOPT_CHECK(gate.qubit1 == -1);
+  }
+  gates_.push_back(gate);
+}
+
+void QuantumCircuit::H(int q) { Append({GateKind::kH, q, -1, 0.0}); }
+void QuantumCircuit::X(int q) { Append({GateKind::kX, q, -1, 0.0}); }
+void QuantumCircuit::Y(int q) { Append({GateKind::kY, q, -1, 0.0}); }
+void QuantumCircuit::Z(int q) { Append({GateKind::kZ, q, -1, 0.0}); }
+void QuantumCircuit::Sx(int q) { Append({GateKind::kSx, q, -1, 0.0}); }
+void QuantumCircuit::Rx(int q, double theta) {
+  Append({GateKind::kRx, q, -1, theta});
+}
+void QuantumCircuit::Ry(int q, double theta) {
+  Append({GateKind::kRy, q, -1, theta});
+}
+void QuantumCircuit::Rz(int q, double theta) {
+  Append({GateKind::kRz, q, -1, theta});
+}
+void QuantumCircuit::Cx(int control, int target) {
+  Append({GateKind::kCx, control, target, 0.0});
+}
+void QuantumCircuit::Cz(int a, int b) { Append({GateKind::kCz, a, b, 0.0}); }
+void QuantumCircuit::Rzz(int a, int b, double theta) {
+  Append({GateKind::kRzz, a, b, theta});
+}
+void QuantumCircuit::Swap(int a, int b) {
+  Append({GateKind::kSwap, a, b, 0.0});
+}
+
+void QuantumCircuit::Extend(const QuantumCircuit& other) {
+  QOPT_CHECK(other.NumQubits() <= NumQubits());
+  for (const Gate& g : other.gates_) Append(g);
+}
+
+int QuantumCircuit::Depth() const {
+  std::vector<int> level(static_cast<std::size_t>(num_qubits_), 0);
+  int depth = 0;
+  for (const Gate& g : gates_) {
+    int layer = level[static_cast<std::size_t>(g.qubit0)];
+    if (g.NumQubits() == 2) {
+      layer = std::max(layer, level[static_cast<std::size_t>(g.qubit1)]);
+    }
+    ++layer;
+    level[static_cast<std::size_t>(g.qubit0)] = layer;
+    if (g.NumQubits() == 2) {
+      level[static_cast<std::size_t>(g.qubit1)] = layer;
+    }
+    depth = std::max(depth, layer);
+  }
+  return depth;
+}
+
+int QuantumCircuit::TwoQubitGateCount() const {
+  int count = 0;
+  for (const Gate& g : gates_) {
+    if (g.NumQubits() == 2) ++count;
+  }
+  return count;
+}
+
+std::map<std::string, int> QuantumCircuit::CountOps() const {
+  std::map<std::string, int> counts;
+  for (const Gate& g : gates_) ++counts[GateKindName(g.kind)];
+  return counts;
+}
+
+int QuantumCircuit::NumParameters() const {
+  int count = 0;
+  for (const Gate& g : gates_) {
+    switch (g.kind) {
+      case GateKind::kRx:
+      case GateKind::kRy:
+      case GateKind::kRz:
+      case GateKind::kRzz:
+        ++count;
+        break;
+      default:
+        break;
+    }
+  }
+  return count;
+}
+
+QuantumCircuit QuantumCircuit::Bind(const std::vector<double>& params) const {
+  QOPT_CHECK(static_cast<int>(params.size()) == NumParameters());
+  QuantumCircuit bound(num_qubits_);
+  std::size_t next = 0;
+  for (Gate g : gates_) {
+    switch (g.kind) {
+      case GateKind::kRx:
+      case GateKind::kRy:
+      case GateKind::kRz:
+      case GateKind::kRzz:
+        g.param = params[next++];
+        break;
+      default:
+        break;
+    }
+    bound.Append(g);
+  }
+  return bound;
+}
+
+std::string QuantumCircuit::ToString() const {
+  std::string out = StrFormat("circuit(%d qubits, %d gates, depth %d)\n",
+                              num_qubits_, NumGates(), Depth());
+  for (const Gate& g : gates_) {
+    if (g.NumQubits() == 1) {
+      out += StrFormat("  %-4s q%d", GateKindName(g.kind).c_str(), g.qubit0);
+    } else {
+      out += StrFormat("  %-4s q%d,q%d", GateKindName(g.kind).c_str(),
+                       g.qubit0, g.qubit1);
+    }
+    switch (g.kind) {
+      case GateKind::kRx:
+      case GateKind::kRy:
+      case GateKind::kRz:
+      case GateKind::kRzz:
+        out += StrFormat("  (%.6f)", g.param);
+        break;
+      default:
+        break;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace qopt

@@ -1,0 +1,72 @@
+#ifndef QQO_CIRCUIT_QUANTUM_CIRCUIT_H_
+#define QQO_CIRCUIT_QUANTUM_CIRCUIT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace qopt {
+
+/// An ordered list of gates over `num_qubits` qubits. Qubits are indices
+/// 0..num_qubits-1; for transpiled circuits they denote *physical* device
+/// qubits.
+class QuantumCircuit {
+ public:
+  QuantumCircuit() = default;
+  explicit QuantumCircuit(int num_qubits);
+
+  int NumQubits() const { return num_qubits_; }
+  int NumGates() const { return static_cast<int>(gates_.size()); }
+  const std::vector<Gate>& Gates() const { return gates_; }
+
+  // -- Gate emitters ------------------------------------------------------
+  void H(int q);
+  void X(int q);
+  void Y(int q);
+  void Z(int q);
+  void Sx(int q);
+  void Rx(int q, double theta);
+  void Ry(int q, double theta);
+  void Rz(int q, double theta);
+  void Cx(int control, int target);
+  void Cz(int a, int b);
+  void Rzz(int a, int b, double theta);
+  void Swap(int a, int b);
+
+  /// Appends an arbitrary gate (validated).
+  void Append(const Gate& gate);
+
+  /// Appends every gate of `other` (must have <= NumQubits() qubits).
+  void Extend(const QuantumCircuit& other);
+
+  /// Circuit depth: length of the longest chain of gates that act on
+  /// overlapping qubits — i.e. the number of parallel execution layers,
+  /// the metric the paper reports for every gate-based experiment.
+  int Depth() const;
+
+  /// Number of two-qubit gates.
+  int TwoQubitGateCount() const;
+
+  /// Gate counts by mnemonic (like Qiskit's count_ops).
+  std::map<std::string, int> CountOps() const;
+
+  /// Total number of rotation parameters (Rx/Ry/Rz/Rzz gates).
+  int NumParameters() const;
+
+  /// Returns a copy with every rotation angle replaced from `params` in
+  /// emission order. `params.size()` must equal NumParameters().
+  QuantumCircuit Bind(const std::vector<double>& params) const;
+
+  /// Multi-line text rendering for debugging ("h q0 / cx q0,q1 / ...").
+  std::string ToString() const;
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qopt
+
+#endif  // QQO_CIRCUIT_QUANTUM_CIRCUIT_H_

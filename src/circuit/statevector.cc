@@ -1,0 +1,247 @@
+#include "circuit/statevector.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qopt {
+
+namespace {
+using Complex = std::complex<double>;
+constexpr Complex kI{0.0, 1.0};
+}  // namespace
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
+  QOPT_CHECK(num_qubits >= 0);
+  QOPT_CHECK_MSG(num_qubits <= 26, "statevector too large to simulate");
+  amplitudes_.assign(std::size_t{1} << num_qubits, Complex{0.0, 0.0});
+  amplitudes_[0] = Complex{1.0, 0.0};
+}
+
+void Statevector::ApplySingleQubit(int q, const Complex m[2][2]) {
+  const std::size_t stride = std::size_t{1} << q;
+  const std::size_t size = amplitudes_.size();
+  for (std::size_t base = 0; base < size; base += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      const std::size_t i0 = base + offset;
+      const std::size_t i1 = i0 + stride;
+      const Complex a0 = amplitudes_[i0];
+      const Complex a1 = amplitudes_[i1];
+      amplitudes_[i0] = m[0][0] * a0 + m[0][1] * a1;
+      amplitudes_[i1] = m[1][0] * a0 + m[1][1] * a1;
+    }
+  }
+}
+
+void Statevector::ApplyGate(const Gate& gate) {
+  QOPT_CHECK(gate.qubit0 >= 0 && gate.qubit0 < num_qubits_);
+  const double half = gate.param / 2.0;
+  switch (gate.kind) {
+    case GateKind::kH: {
+      const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+      const Complex m[2][2] = {{inv_sqrt2, inv_sqrt2},
+                               {inv_sqrt2, -inv_sqrt2}};
+      ApplySingleQubit(gate.qubit0, m);
+      return;
+    }
+    case GateKind::kX: {
+      const Complex m[2][2] = {{0.0, 1.0}, {1.0, 0.0}};
+      ApplySingleQubit(gate.qubit0, m);
+      return;
+    }
+    case GateKind::kY: {
+      const Complex m[2][2] = {{0.0, -kI}, {kI, 0.0}};
+      ApplySingleQubit(gate.qubit0, m);
+      return;
+    }
+    case GateKind::kZ: {
+      const Complex m[2][2] = {{1.0, 0.0}, {0.0, -1.0}};
+      ApplySingleQubit(gate.qubit0, m);
+      return;
+    }
+    case GateKind::kSx: {
+      const Complex a = (1.0 + kI) / 2.0;
+      const Complex b = (1.0 - kI) / 2.0;
+      const Complex m[2][2] = {{a, b}, {b, a}};
+      ApplySingleQubit(gate.qubit0, m);
+      return;
+    }
+    case GateKind::kRx: {
+      const Complex c = std::cos(half);
+      const Complex s = -kI * std::sin(half);
+      const Complex m[2][2] = {{c, s}, {s, c}};
+      ApplySingleQubit(gate.qubit0, m);
+      return;
+    }
+    case GateKind::kRy: {
+      const double c = std::cos(half);
+      const double s = std::sin(half);
+      const Complex m[2][2] = {{c, -s}, {s, c}};
+      ApplySingleQubit(gate.qubit0, m);
+      return;
+    }
+    case GateKind::kRz: {
+      const Complex m[2][2] = {{std::exp(-kI * half), 0.0},
+                               {0.0, std::exp(kI * half)}};
+      ApplySingleQubit(gate.qubit0, m);
+      return;
+    }
+    case GateKind::kCx: {
+      QOPT_CHECK(gate.qubit1 >= 0 && gate.qubit1 < num_qubits_);
+      const std::size_t control = std::size_t{1} << gate.qubit0;
+      const std::size_t target = std::size_t{1} << gate.qubit1;
+      for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+        if ((i & control) != 0 && (i & target) == 0) {
+          std::swap(amplitudes_[i], amplitudes_[i | target]);
+        }
+      }
+      return;
+    }
+    case GateKind::kCz: {
+      QOPT_CHECK(gate.qubit1 >= 0 && gate.qubit1 < num_qubits_);
+      const std::size_t mask = (std::size_t{1} << gate.qubit0) |
+                               (std::size_t{1} << gate.qubit1);
+      for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+        if ((i & mask) == mask) amplitudes_[i] = -amplitudes_[i];
+      }
+      return;
+    }
+    case GateKind::kRzz: {
+      QOPT_CHECK(gate.qubit1 >= 0 && gate.qubit1 < num_qubits_);
+      // exp(-i theta/2 Z(x)Z): phase e^{-i theta/2} when the two bits are
+      // equal (Z(x)Z eigenvalue +1), e^{+i theta/2} otherwise.
+      const Complex equal_phase = std::exp(-kI * half);
+      const Complex diff_phase = std::exp(kI * half);
+      const std::size_t b0 = std::size_t{1} << gate.qubit0;
+      const std::size_t b1 = std::size_t{1} << gate.qubit1;
+      for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+        const bool v0 = (i & b0) != 0;
+        const bool v1 = (i & b1) != 0;
+        amplitudes_[i] *= (v0 == v1) ? equal_phase : diff_phase;
+      }
+      return;
+    }
+    case GateKind::kSwap: {
+      QOPT_CHECK(gate.qubit1 >= 0 && gate.qubit1 < num_qubits_);
+      const std::size_t b0 = std::size_t{1} << gate.qubit0;
+      const std::size_t b1 = std::size_t{1} << gate.qubit1;
+      for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+        const bool v0 = (i & b0) != 0;
+        const bool v1 = (i & b1) != 0;
+        if (v0 && !v1) std::swap(amplitudes_[i], amplitudes_[(i ^ b0) | b1]);
+      }
+      return;
+    }
+  }
+  QOPT_CHECK_MSG(false, "unknown gate kind");
+}
+
+void Statevector::ApplyCircuit(const QuantumCircuit& circuit) {
+  QOPT_CHECK(circuit.NumQubits() == num_qubits_);
+  for (const Gate& g : circuit.Gates()) ApplyGate(g);
+}
+
+std::vector<double> Statevector::Probabilities() const {
+  std::vector<double> probs(amplitudes_.size());
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    probs[i] = std::norm(amplitudes_[i]);
+  }
+  return probs;
+}
+
+double Statevector::NormSquared() const {
+  double norm = 0.0;
+  for (const Complex& a : amplitudes_) norm += std::norm(a);
+  return norm;
+}
+
+double Statevector::IsingExpectation(const IsingModel& ising) const {
+  QOPT_CHECK(ising.NumSpins() == num_qubits_);
+  const std::vector<double> energies = IsingEnergyTable(ising);
+  double expectation = 0.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    expectation += std::norm(amplitudes_[i]) * energies[i];
+  }
+  return expectation;
+}
+
+std::vector<std::uint8_t> Statevector::Sample(Rng* rng) const {
+  const double r = rng->NextDouble();
+  double cumulative = 0.0;
+  std::size_t chosen = amplitudes_.size() - 1;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    cumulative += std::norm(amplitudes_[i]);
+    if (r < cumulative) {
+      chosen = i;
+      break;
+    }
+  }
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(num_qubits_));
+  for (int q = 0; q < num_qubits_; ++q) {
+    bits[static_cast<std::size_t>(q)] =
+        static_cast<std::uint8_t>((chosen >> q) & 1u);
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> Statevector::MostProbableBits() const {
+  std::size_t best = 0;
+  double best_prob = -1.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    const double p = std::norm(amplitudes_[i]);
+    if (p > best_prob) {
+      best_prob = p;
+      best = i;
+    }
+  }
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(num_qubits_));
+  for (int q = 0; q < num_qubits_; ++q) {
+    bits[static_cast<std::size_t>(q)] =
+        static_cast<std::uint8_t>((best >> q) & 1u);
+  }
+  return bits;
+}
+
+std::vector<double> IsingEnergyTable(const IsingModel& ising) {
+  const int n = ising.NumSpins();
+  QOPT_CHECK_MSG(n <= 26, "energy table too large");
+  // Adjacency for O(degree) spin-flip deltas.
+  std::vector<std::vector<std::pair<int, double>>> adjacency(
+      static_cast<std::size_t>(n));
+  for (const auto& [edge, j] : ising.Couplings()) {
+    adjacency[static_cast<std::size_t>(edge.first)].emplace_back(edge.second,
+                                                                 j);
+    adjacency[static_cast<std::size_t>(edge.second)].emplace_back(edge.first,
+                                                                  j);
+  }
+  const std::size_t total = std::size_t{1} << n;
+  std::vector<double> table(total, 0.0);
+  // Walk basis states in Gray-code order, tracking the spin configuration
+  // (basis bit b -> spin 2b-1) and updating the energy incrementally.
+  std::vector<int> spins(static_cast<std::size_t>(n), -1);
+  double energy = ising.Energy(spins);
+  std::size_t gray = 0;
+  table[0] = energy;  // Gray code 0 == basis index 0.
+  for (std::size_t k = 1; k < total; ++k) {
+    const int flip = std::countr_zero(k);
+    const int s = spins[static_cast<std::size_t>(flip)];
+    double local = ising.Field(flip);
+    for (const auto& [j, coeff] : adjacency[static_cast<std::size_t>(flip)]) {
+      local += coeff * spins[static_cast<std::size_t>(j)];
+    }
+    energy -= 2.0 * s * local;
+    spins[static_cast<std::size_t>(flip)] = -s;
+    gray ^= std::size_t{1} << flip;
+    table[gray] = energy;
+  }
+  return table;
+}
+
+Statevector SimulateCircuit(const QuantumCircuit& circuit) {
+  Statevector state(circuit.NumQubits());
+  state.ApplyCircuit(circuit);
+  return state;
+}
+
+}  // namespace qopt

@@ -1,0 +1,67 @@
+#ifndef QQO_CIRCUIT_STATEVECTOR_H_
+#define QQO_CIRCUIT_STATEVECTOR_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/quantum_circuit.h"
+#include "common/random.h"
+#include "qubo/ising_model.h"
+
+namespace qopt {
+
+/// Dense statevector simulator (the stand-in for the remote IBM-Q qasm
+/// simulator). Basis states are indexed little-endian: bit q of the index
+/// is the value of qubit q. Practical up to ~20 qubits.
+class Statevector {
+ public:
+  /// Initializes |0...0>.
+  explicit Statevector(int num_qubits);
+
+  int NumQubits() const { return num_qubits_; }
+  const std::vector<std::complex<double>>& Amplitudes() const {
+    return amplitudes_;
+  }
+
+  /// Applies one gate in place.
+  void ApplyGate(const Gate& gate);
+
+  /// Applies every gate of the circuit (must match NumQubits()).
+  void ApplyCircuit(const QuantumCircuit& circuit);
+
+  /// Measurement probabilities |amplitude|^2 per basis state.
+  std::vector<double> Probabilities() const;
+
+  /// Sum of |amplitude|^2 (should stay 1 up to rounding; exposed for
+  /// unitarity tests).
+  double NormSquared() const;
+
+  /// Expectation value <psi| H |psi> of a diagonal-in-Z Ising Hamiltonian
+  /// (the quantity VQE/QAOA minimize, Eq. 15/21).
+  double IsingExpectation(const IsingModel& ising) const;
+
+  /// Draws one computational-basis sample.
+  std::vector<std::uint8_t> Sample(Rng* rng) const;
+
+  /// Basis state with the largest probability, as a bit vector.
+  std::vector<std::uint8_t> MostProbableBits() const;
+
+ private:
+  void ApplySingleQubit(int q, const std::complex<double> m[2][2]);
+
+  int num_qubits_;
+  std::vector<std::complex<double>> amplitudes_;
+};
+
+/// Energy of every computational basis state under `ising`, indexed by the
+/// little-endian basis index. Size 2^NumSpins(); O(2^n * couplings) via a
+/// Gray-code walk. Shared by expectation evaluation and tests.
+std::vector<double> IsingEnergyTable(const IsingModel& ising);
+
+/// Runs `circuit` on |0..0> and returns the final state.
+Statevector SimulateCircuit(const QuantumCircuit& circuit);
+
+}  // namespace qopt
+
+#endif  // QQO_CIRCUIT_STATEVECTOR_H_

@@ -1,0 +1,30 @@
+#ifndef QQO_COMMON_CHECK_H_
+#define QQO_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Contract-violation macros. The library does not throw exceptions across
+// API boundaries; programming errors (invalid arguments, broken invariants)
+// abort with a diagnostic instead. Expected runtime failures (e.g. "no
+// embedding found") are reported through std::optional / result structs.
+
+#define QOPT_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "QOPT_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define QOPT_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "QOPT_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // QQO_COMMON_CHECK_H_

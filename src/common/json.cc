@@ -1,0 +1,418 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace qopt {
+namespace {
+
+/// Recursive-descent JSON parser over a string_view with position state.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> ParseDocument(std::string* error) {
+    std::optional<JsonValue> value = ParseValue();
+    if (!value.has_value()) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = StrFormat("trailing characters at offset %zu", pos_);
+      }
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = StrFormat("%s at offset %zu", message.c_str(), pos_);
+    }
+    return false;
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return Fail(StrFormat("expected '%c'", expected));
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return Fail("invalid literal");
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return std::nullopt;
+        return JsonValue::String(std::move(s));
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) return std::nullopt;
+        return JsonValue::Bool(true);
+      case 'f':
+        if (!ConsumeLiteral("false")) return std::nullopt;
+        return JsonValue::Bool(false);
+      case 'n':
+        if (!ConsumeLiteral("null")) return std::nullopt;
+        return JsonValue::Null();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("invalid number");
+      return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      pos_ = start;
+      Fail("invalid number");
+      return std::nullopt;
+    }
+    return JsonValue::Number(value);
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          default:
+            return Fail("unsupported escape sequence");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    if (!Consume('[')) return std::nullopt;
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      std::optional<JsonValue> element = ParseValue();
+      if (!element.has_value()) return std::nullopt;
+      array.Append(std::move(*element));
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Consume(']')) return std::nullopt;
+      return array;
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) return std::nullopt;
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return std::nullopt;
+      SkipWhitespace();
+      if (!Consume(':')) return std::nullopt;
+      std::optional<JsonValue> value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      object.Set(key, std::move(*value));
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Consume('}')) return std::nullopt;
+      return object;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  QOPT_CHECK_MSG(IsBool(), "not a bool");
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  QOPT_CHECK_MSG(IsNumber(), "not a number");
+  return number_;
+}
+
+int JsonValue::AsInt() const {
+  const double value = AsNumber();
+  QOPT_CHECK_MSG(value >= std::numeric_limits<int>::min() &&
+                     value <= std::numeric_limits<int>::max() &&
+                     value == std::floor(value),
+                 "not an int");
+  return static_cast<int>(value);
+}
+
+const std::string& JsonValue::AsString() const {
+  QOPT_CHECK_MSG(IsString(), "not a string");
+  return string_;
+}
+
+std::size_t JsonValue::Size() const {
+  if (IsArray()) return array_.size();
+  if (IsObject()) return object_.size();
+  QOPT_CHECK_MSG(false, "Size() on a scalar");
+  return 0;
+}
+
+const JsonValue& JsonValue::At(std::size_t index) const {
+  QOPT_CHECK_MSG(IsArray(), "not an array");
+  QOPT_CHECK(index < array_.size());
+  return array_[index];
+}
+
+void JsonValue::Append(JsonValue value) {
+  QOPT_CHECK_MSG(IsArray(), "not an array");
+  array_.push_back(std::move(value));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  QOPT_CHECK_MSG(IsObject(), "not an object");
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  QOPT_CHECK_MSG(IsObject(), "not an object");
+  object_[key] = std::move(value);
+}
+
+const std::map<std::string, JsonValue>& JsonValue::Members() const {
+  QOPT_CHECK_MSG(IsObject(), "not an object");
+  return object_;
+}
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text,
+                                          std::string* error) {
+  Parser parser(text);
+  return parser.ParseDocument(error);
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+             : "";
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  const char* newline = pretty ? "\n" : "";
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      if (number_ == std::floor(number_) &&
+          std::abs(number_) < 1e15) {
+        *out += StrFormat("%lld", static_cast<long long>(number_));
+      } else {
+        *out += StrFormat("%.17g", number_);
+      }
+      return;
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[";
+      *out += newline;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        *out += pad;
+        array_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < array_.size()) *out += ",";
+        *out += newline;
+      }
+      *out += close_pad + "]";
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{";
+      *out += newline;
+      std::size_t i = 0;
+      for (const auto& [key, value] : object_) {
+        *out += pad;
+        AppendEscaped(out, key);
+        *out += pretty ? ": " : ":";
+        value.DumpTo(out, indent, depth + 1);
+        if (++i < object_.size()) *out += ",";
+        *out += newline;
+      }
+      *out += close_pad + "}";
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+std::optional<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string content;
+  char buffer[4096];
+  std::size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, read);
+  }
+  std::fclose(file);
+  return content;
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  return written == content.size();
+}
+
+}  // namespace qopt

@@ -1,0 +1,82 @@
+#ifndef QQO_COMMON_JSON_H_
+#define QQO_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qopt {
+
+/// Minimal JSON document model (null, bool, number, string, array,
+/// object) with a strict recursive-descent parser and a serializer.
+/// Used for workload files (MQO batches, query graphs) and CLI I/O —
+/// deliberately small, no external dependencies.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue String(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsBool() const { return kind_ == Kind::kBool; }
+  bool IsNumber() const { return kind_ == Kind::kNumber; }
+  bool IsString() const { return kind_ == Kind::kString; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+
+  /// Value accessors; abort on kind mismatch (validate first).
+  bool AsBool() const;
+  double AsNumber() const;
+  int AsInt() const;  ///< AsNumber() cast with range check.
+  const std::string& AsString() const;
+
+  /// Array access.
+  std::size_t Size() const;  ///< Elements (array) or members (object).
+  const JsonValue& At(std::size_t index) const;
+  void Append(JsonValue value);  ///< Array only.
+
+  /// Object access. Find returns nullptr when absent.
+  const JsonValue* Find(const std::string& key) const;
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+  void Set(const std::string& key, JsonValue value);  ///< Object only.
+  const std::map<std::string, JsonValue>& Members() const;
+
+  /// Parses a complete JSON document; returns nullopt and sets `error`
+  /// (if non-null) on malformed input or trailing garbage.
+  static std::optional<JsonValue> Parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  /// Serializes; indent < 0 produces compact output, otherwise
+  /// `indent`-space pretty printing.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Reads a whole file into a string; nullopt if unreadable.
+std::optional<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file; false on failure.
+bool WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace qopt
+
+#endif  // QQO_COMMON_JSON_H_

@@ -1,0 +1,27 @@
+#ifndef QQO_COMMON_STATS_H_
+#define QQO_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qopt {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes summary statistics; returns a zeroed Summary for empty input.
+Summary Summarize(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+}  // namespace qopt
+
+#endif  // QQO_COMMON_STATS_H_

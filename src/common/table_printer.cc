@@ -1,0 +1,80 @@
+#include "common/table_printer.h"
+
+#include <cstdarg>
+
+#include "common/check.h"
+
+namespace qopt {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  QOPT_CHECK(needed >= 0);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  QOPT_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  QOPT_CHECK(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    // Integral values print without a fraction for readability.
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+      cells.push_back(StrFormat("%lld", static_cast<long long>(v)));
+    } else {
+      cells.push_back(StrFormat("%.*f", precision, v));
+    }
+  }
+  AddRow(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto append_row = [&](std::string* out,
+                        const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out->append(StrFormat("%-*s", static_cast<int>(widths[c] + 2),
+                            row[c].c_str()));
+    }
+    out->push_back('\n');
+  };
+  std::string out;
+  append_row(&out, headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) append_row(&out, row);
+  return out;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+}  // namespace qopt

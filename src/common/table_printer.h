@@ -1,0 +1,41 @@
+#ifndef QQO_COMMON_TABLE_PRINTER_H_
+#define QQO_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qopt {
+
+/// Formats rows of strings as an aligned plain-text table, the output format
+/// used by the benchmark harnesses to print paper tables/figure series.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for mixed numeric rows: doubles are formatted with
+  /// `precision` digits after the decimal point.
+  void AddRow(const std::vector<double>& row, int precision = 2);
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Prints the table to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace qopt
+
+#endif  // QQO_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,131 @@
+#include "core/quantum_optimizer.h"
+
+#include "anneal/pegasus.h"
+#include "common/check.h"
+#include "bilp/bilp_to_qubo.h"
+#include "mqo/mqo_qubo_encoder.h"
+#include "qubo/brute_force_solver.h"
+
+namespace qopt {
+namespace {
+
+/// Dispatches a QUBO to the selected backend and returns the bit string it
+/// found (plus its energy).
+struct BackendResult {
+  std::vector<std::uint8_t> bits;
+  double energy = 0.0;
+};
+
+BackendResult SolveQuboWithBackend(const QuboModel& qubo,
+                                   const OptimizerOptions& options) {
+  BackendResult result;
+  switch (options.backend) {
+    case Backend::kExact: {
+      BruteForceResult exact = SolveQuboBruteForce(qubo);
+      result.bits = std::move(exact.best_bits);
+      result.energy = exact.best_energy;
+      return result;
+    }
+    case Backend::kSimulatedAnnealing: {
+      AnnealOptions anneal = options.anneal;
+      if (anneal.seed == 0) anneal.seed = options.seed;
+      AnnealResult sa = SolveQuboWithAnnealing(qubo, anneal);
+      result.bits = std::move(sa.best_bits);
+      result.energy = sa.best_energy;
+      return result;
+    }
+    case Backend::kQaoa:
+    case Backend::kVqe: {
+      VariationalOptions variational = options.variational;
+      if (variational.seed == 0) variational.seed = options.seed;
+      VariationalResult hybrid = options.backend == Backend::kQaoa
+                                     ? SolveQuboWithQaoa(qubo, variational)
+                                     : SolveQuboWithVqe(qubo, variational);
+      result.bits = std::move(hybrid.best_bits);
+      result.energy = hybrid.best_energy;
+      return result;
+    }
+    case Backend::kAdiabatic: {
+      AdiabaticOptions adiabatic = options.adiabatic;
+      if (adiabatic.seed == 0) adiabatic.seed = options.seed;
+      AdiabaticResult evolved = SolveQuboAdiabatically(qubo, adiabatic);
+      result.bits = std::move(evolved.best_bits);
+      result.energy = evolved.best_energy;
+      return result;
+    }
+    case Backend::kAnnealerEmulation: {
+      EmbeddedSolveOptions embedded = options.embedded;
+      if (embedded.embed.seed == 0) embedded.embed.seed = options.seed;
+      if (embedded.anneal.seed == 0) embedded.anneal.seed = options.seed;
+      const SimpleGraph topology = MakePegasus(options.pegasus_m);
+      std::optional<EmbeddedSolveResult> embedded_result =
+          SolveQuboOnTopology(qubo, topology, embedded);
+      QOPT_CHECK_MSG(embedded_result.has_value(),
+                     "no embedding found; use a larger pegasus_m");
+      result.bits = std::move(embedded_result->bits);
+      result.energy = embedded_result->energy;
+      return result;
+    }
+  }
+  QOPT_CHECK_MSG(false, "unknown backend");
+  return result;
+}
+
+}  // namespace
+
+std::string BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kExact:
+      return "exact";
+    case Backend::kSimulatedAnnealing:
+      return "sa";
+    case Backend::kQaoa:
+      return "qaoa";
+    case Backend::kVqe:
+      return "vqe";
+    case Backend::kAdiabatic:
+      return "adiabatic";
+    case Backend::kAnnealerEmulation:
+      return "annealer";
+  }
+  return "unknown";
+}
+
+MqoSolveReport SolveMqo(const MqoProblem& problem,
+                        const OptimizerOptions& options) {
+  const MqoQuboEncoding encoding = EncodeMqoAsQubo(problem);
+  MqoSolveReport report;
+  report.qubits = encoding.qubo.NumVariables();
+  report.quadratic_terms = encoding.qubo.NumQuadraticTerms();
+  BackendResult backend = SolveQuboWithBackend(encoding.qubo, options);
+  report.qubo_energy = backend.energy;
+  std::vector<int> selection;
+  report.valid = problem.DecodeBits(backend.bits, &selection);
+  if (report.valid) {
+    report.solution.cost = problem.SelectionCost(selection);
+    report.solution.selection = std::move(selection);
+  }
+  return report;
+}
+
+JoinOrderSolveReport SolveJoinOrder(
+    const QueryGraph& graph, const JoinOrderEncoderOptions& encoder_options,
+    const OptimizerOptions& options) {
+  const JoinOrderEncoding encoding =
+      EncodeJoinOrderAsBilp(graph, encoder_options);
+  const BilpQuboEncoding qubo_encoding = EncodeBilpAsQubo(encoding.bilp);
+  JoinOrderSolveReport report;
+  report.qubits = qubo_encoding.qubo.NumVariables();
+  report.quadratic_terms = qubo_encoding.qubo.NumQuadraticTerms();
+  BackendResult backend = SolveQuboWithBackend(qubo_encoding.qubo, options);
+  report.qubo_energy = backend.energy;
+  std::vector<int> order;
+  report.valid = DecodeJoinOrder(encoding, backend.bits, &order);
+  if (report.valid) {
+    report.solution.cost = CoutCost(graph, order);
+    report.solution.order = std::move(order);
+  }
+  return report;
+}
+
+}  // namespace qopt

@@ -1,0 +1,80 @@
+#ifndef QQO_CORE_QUANTUM_OPTIMIZER_H_
+#define QQO_CORE_QUANTUM_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "anneal/embedding_composite.h"
+#include "anneal/simulated_annealer.h"
+#include "joinorder/join_order.h"
+#include "joinorder/join_order_bilp_encoder.h"
+#include "joinorder/query_graph.h"
+#include "mqo/mqo_baselines.h"
+#include "mqo/mqo_problem.h"
+#include "variational/adiabatic.h"
+#include "variational/variational_solver.h"
+
+namespace qopt {
+
+/// Solver backends of the unified optimizer facade. All quantum backends
+/// run on classical simulation substrates (statevector / simulated
+/// annealing), mirroring the paper's all-simulation methodology.
+enum class Backend {
+  kExact,               ///< Brute-force QUBO ground state (oracle).
+  kSimulatedAnnealing,  ///< Classical SA on the QUBO (neal equivalent).
+  kQaoa,                ///< Hybrid QAOA on the statevector simulator.
+  kVqe,                 ///< Hybrid VQE on the statevector simulator.
+  kAdiabatic,           ///< Trotterized adiabatic evolution (Sec. 3.5).
+  kAnnealerEmulation,   ///< Minor-embed into a Pegasus fabric, then SA.
+};
+
+/// Readable backend name ("exact", "sa", "qaoa", "vqe", "adiabatic",
+/// "annealer").
+std::string BackendName(Backend backend);
+
+/// Options shared by the facade entry points.
+struct OptimizerOptions {
+  Backend backend = Backend::kSimulatedAnnealing;
+  VariationalOptions variational;      ///< For kQaoa / kVqe.
+  AdiabaticOptions adiabatic;          ///< For kAdiabatic.
+  AnnealOptions anneal;                ///< For kSimulatedAnnealing.
+  EmbeddedSolveOptions embedded;       ///< For kAnnealerEmulation.
+  /// Pegasus size for kAnnealerEmulation (P16 = Advantage; smaller
+  /// fabrics keep demos fast).
+  int pegasus_m = 4;
+  std::uint64_t seed = 0;
+};
+
+/// Outcome of solving an MQO problem through the QUBO pipeline.
+struct MqoSolveReport {
+  bool valid = false;       ///< Solution decodes to one plan per query.
+  MqoSolution solution;     ///< Meaningful only when valid.
+  double qubo_energy = 0.0; ///< Energy of the returned bit string.
+  int qubits = 0;
+  int quadratic_terms = 0;
+};
+
+/// Encodes `problem` as a QUBO (Sec. 5.1), solves it with the selected
+/// backend and decodes the plan selection.
+MqoSolveReport SolveMqo(const MqoProblem& problem,
+                        const OptimizerOptions& options = {});
+
+/// Outcome of solving a join ordering problem through the two-step
+/// BILP -> QUBO pipeline.
+struct JoinOrderSolveReport {
+  bool valid = false;          ///< Bits decode to a permutation.
+  JoinOrderSolution solution;  ///< Meaningful only when valid.
+  double qubo_energy = 0.0;
+  int qubits = 0;
+  int quadratic_terms = 0;
+};
+
+/// Encodes `graph` as BILP (Sec. 6.1.2/6.1.3), then QUBO (Sec. 6.1.4),
+/// solves with the selected backend and decodes the join order.
+JoinOrderSolveReport SolveJoinOrder(
+    const QueryGraph& graph, const JoinOrderEncoderOptions& encoder_options,
+    const OptimizerOptions& options = {});
+
+}  // namespace qopt
+
+#endif  // QQO_CORE_QUANTUM_OPTIMIZER_H_

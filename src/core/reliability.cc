@@ -1,0 +1,32 @@
+#include "core/reliability.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qopt {
+
+ReliabilityEstimate EstimateCircuitReliability(const DeviceModel& device,
+                                               const QuantumCircuit& circuit) {
+  ReliabilityEstimate estimate;
+  estimate.depth = circuit.Depth();
+  estimate.within_coherence = estimate.depth <= device.MaxReliableDepth();
+
+  double log_no_gate_error = 0.0;
+  for (const Gate& g : circuit.Gates()) {
+    const double e = g.NumQubits() == 2 ? device.cx_error : device.sx_error;
+    QOPT_CHECK(e >= 0.0 && e < 1.0);
+    log_no_gate_error += std::log1p(-e);
+  }
+  estimate.gate_error = 1.0 - std::exp(log_no_gate_error);
+  estimate.decoherence_error =
+      device.DecoherenceErrorProbability(estimate.depth);
+  estimate.readout_error =
+      1.0 - std::pow(1.0 - device.readout_error, circuit.NumQubits());
+  estimate.success_probability = (1.0 - estimate.gate_error) *
+                                 (1.0 - estimate.decoherence_error) *
+                                 (1.0 - estimate.readout_error);
+  return estimate;
+}
+
+}  // namespace qopt

@@ -1,0 +1,30 @@
+#ifndef QQO_CORE_RELIABILITY_H_
+#define QQO_CORE_RELIABILITY_H_
+
+#include "circuit/quantum_circuit.h"
+#include "core/device_model.h"
+
+namespace qopt {
+
+/// Error budget of running one circuit on a calibrated device, combining
+/// the three noise sources the paper discusses in Sec. 3.6.1: gate errors,
+/// decoherence over the execution time (Eq. 36), and readout errors.
+struct ReliabilityEstimate {
+  double gate_error = 0.0;         ///< 1 - prod(1 - e_gate) over all gates.
+  double decoherence_error = 0.0;  ///< Eq. 36 at the circuit's depth.
+  double readout_error = 0.0;      ///< 1 - (1 - e_ro)^num_qubits.
+  /// Probability that no error of any kind occurs (independent model).
+  double success_probability = 0.0;
+  bool within_coherence = false;   ///< depth <= MaxReliableDepth().
+  int depth = 0;
+};
+
+/// Estimates the reliability of executing `circuit` on `device`. The
+/// circuit should already be transpiled (physical qubits, basis gates) for
+/// the estimate to be meaningful.
+ReliabilityEstimate EstimateCircuitReliability(const DeviceModel& device,
+                                               const QuantumCircuit& circuit);
+
+}  // namespace qopt
+
+#endif  // QQO_CORE_RELIABILITY_H_

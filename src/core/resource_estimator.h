@@ -1,0 +1,47 @@
+#ifndef QQO_CORE_RESOURCE_ESTIMATOR_H_
+#define QQO_CORE_RESOURCE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "core/device_model.h"
+#include "qubo/qubo_model.h"
+#include "transpile/coupling_map.h"
+
+namespace qopt {
+
+/// Gate-based resource estimate for solving a QUBO on a device — the
+/// quantities the paper reports in Figs. 8/9/13 and Table 4.
+struct GateResourceEstimate {
+  int logical_qubits = 0;
+  int quadratic_terms = 0;
+  /// Depth on an all-to-all ("optimal") topology.
+  int qaoa_depth_ideal = 0;
+  int vqe_depth_ideal = 0;
+  /// Mean depth over `transpile_trials` routings onto the device topology;
+  /// -1 when the problem needs more qubits than the device offers.
+  double qaoa_depth_device = -1.0;
+  double vqe_depth_device = -1.0;
+  /// Whether the device-mean depth fits MaxReliableDepth() (Eq. 37/55).
+  bool qaoa_within_coherence = false;
+  bool vqe_within_coherence = false;
+  int max_reliable_depth = 0;
+};
+
+/// Options for gate-resource estimation.
+struct GateEstimateOptions {
+  int transpile_trials = 20;  ///< Paper: mean over 20 transpilations.
+  int qaoa_reps = 1;
+  int vqe_reps = 3;
+  std::uint64_t seed = 0;
+};
+
+/// Builds the QAOA (p = qaoa_reps) and VQE (RealAmplitudes, full
+/// entanglement) circuits for `qubo`, measures their ideal depths, routes
+/// them onto `coupling` and compares against `device` coherence limits.
+GateResourceEstimate EstimateGateResources(
+    const QuboModel& qubo, const CouplingMap& coupling,
+    const DeviceModel& device, const GateEstimateOptions& options = {});
+
+}  // namespace qopt
+
+#endif  // QQO_CORE_RESOURCE_ESTIMATOR_H_

@@ -1,0 +1,54 @@
+#include "graph/edge_coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace qopt {
+
+EdgeColoring GreedyEdgeColoring(const SimpleGraph& graph) {
+  const auto edges = graph.Edges();
+  EdgeColoring result;
+  result.color.assign(edges.size(), -1);
+  if (edges.empty()) return result;
+
+  // Process edges in order of decreasing endpoint-degree sum, which tends
+  // to color the most constrained edges first.
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const int da = graph.Degree(edges[a].first) + graph.Degree(edges[a].second);
+    const int db = graph.Degree(edges[b].first) + graph.Degree(edges[b].second);
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  // used_colors[v] is a bitset-like vector of colors incident to v.
+  const std::size_t n = static_cast<std::size_t>(graph.NumVertices());
+  std::vector<std::vector<bool>> used(n);
+  int num_colors = 0;
+  for (std::size_t idx : order) {
+    const auto [u, v] = edges[idx];
+    int c = 0;
+    const auto& uu = used[static_cast<std::size_t>(u)];
+    const auto& uv = used[static_cast<std::size_t>(v)];
+    while (true) {
+      const bool u_used = c < static_cast<int>(uu.size()) && uu[c];
+      const bool v_used = c < static_cast<int>(uv.size()) && uv[c];
+      if (!u_used && !v_used) break;
+      ++c;
+    }
+    result.color[idx] = c;
+    num_colors = std::max(num_colors, c + 1);
+    for (int w : {u, v}) {
+      auto& uw = used[static_cast<std::size_t>(w)];
+      if (static_cast<int>(uw.size()) <= c) uw.resize(c + 1, false);
+      uw[c] = true;
+    }
+  }
+  result.num_colors = num_colors;
+  return result;
+}
+
+}  // namespace qopt

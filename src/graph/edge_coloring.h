@@ -1,0 +1,27 @@
+#ifndef QQO_GRAPH_EDGE_COLORING_H_
+#define QQO_GRAPH_EDGE_COLORING_H_
+
+#include <vector>
+
+#include "graph/simple_graph.h"
+
+namespace qopt {
+
+/// A proper edge coloring: `color[i]` is the color of edge `graph.Edges()[i]`
+/// and no two edges sharing a vertex have the same color.
+struct EdgeColoring {
+  std::vector<int> color;
+  int num_colors = 0;
+};
+
+/// Greedy proper edge coloring (first-fit over edges sorted by degree sum).
+/// Uses at most 2*MaxDegree-1 colors; usually close to MaxDegree.
+///
+/// The number of colors equals the number of parallel layers needed to
+/// schedule one two-qubit interaction per edge, which is what determines
+/// the depth of a QAOA cost layer on an all-to-all device.
+EdgeColoring GreedyEdgeColoring(const SimpleGraph& graph);
+
+}  // namespace qopt
+
+#endif  // QQO_GRAPH_EDGE_COLORING_H_

@@ -1,0 +1,82 @@
+#include "graph/shortest_paths.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace qopt {
+
+ShortestPathTree BfsShortestPaths(const SimpleGraph& graph, int source) {
+  QOPT_CHECK(source >= 0 && source < graph.NumVertices());
+  ShortestPathTree tree;
+  const std::size_t n = static_cast<std::size_t>(graph.NumVertices());
+  tree.distance.assign(n, kInfiniteDistance);
+  tree.parent.assign(n, -1);
+  std::queue<int> queue;
+  tree.distance[static_cast<std::size_t>(source)] = 0.0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (int v : graph.Neighbors(u)) {
+      if (tree.distance[static_cast<std::size_t>(v)] == kInfiniteDistance) {
+        tree.distance[static_cast<std::size_t>(v)] =
+            tree.distance[static_cast<std::size_t>(u)] + 1.0;
+        tree.parent[static_cast<std::size_t>(v)] = u;
+        queue.push(v);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<std::vector<int>> AllPairsBfsDistances(const SimpleGraph& graph) {
+  const int n = graph.NumVertices();
+  std::vector<std::vector<int>> dist(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int s = 0; s < n; ++s) {
+    ShortestPathTree tree = BfsShortestPaths(graph, s);
+    for (int v = 0; v < n; ++v) {
+      const double d = tree.distance[static_cast<std::size_t>(v)];
+      dist[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)] =
+          d == kInfiniteDistance ? -1 : static_cast<int>(d);
+    }
+  }
+  return dist;
+}
+
+ShortestPathTree VertexWeightedDijkstra(
+    const SimpleGraph& graph, const std::vector<int>& sources,
+    const std::vector<double>& vertex_cost) {
+  const std::size_t n = static_cast<std::size_t>(graph.NumVertices());
+  QOPT_CHECK(vertex_cost.size() == n);
+  ShortestPathTree tree;
+  tree.distance.assign(n, kInfiniteDistance);
+  tree.parent.assign(n, -1);
+  using Entry = std::pair<double, int>;  // (distance, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int s : sources) {
+    QOPT_CHECK(s >= 0 && s < graph.NumVertices());
+    if (tree.distance[static_cast<std::size_t>(s)] > 0.0) {
+      tree.distance[static_cast<std::size_t>(s)] = 0.0;
+      heap.emplace(0.0, s);
+    }
+  }
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[static_cast<std::size_t>(u)]) continue;
+    for (int v : graph.Neighbors(u)) {
+      const double candidate = dist + vertex_cost[static_cast<std::size_t>(v)];
+      if (candidate < tree.distance[static_cast<std::size_t>(v)]) {
+        tree.distance[static_cast<std::size_t>(v)] = candidate;
+        tree.parent[static_cast<std::size_t>(v)] = u;
+        heap.emplace(candidate, v);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace qopt

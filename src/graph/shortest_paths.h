@@ -1,0 +1,39 @@
+#ifndef QQO_GRAPH_SHORTEST_PATHS_H_
+#define QQO_GRAPH_SHORTEST_PATHS_H_
+
+#include <limits>
+#include <vector>
+
+#include "graph/simple_graph.h"
+
+namespace qopt {
+
+/// Sentinel distance for unreachable vertices.
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+/// Result of a single-source shortest-path computation.
+struct ShortestPathTree {
+  std::vector<double> distance;  ///< distance[v]; kInfiniteDistance if unreachable.
+  std::vector<int> parent;       ///< parent[v] on a shortest path; -1 at roots.
+};
+
+/// Unweighted BFS distances (each edge has length 1) from `source`.
+ShortestPathTree BfsShortestPaths(const SimpleGraph& graph, int source);
+
+/// All-pairs unweighted distances; entry [u][v] is kInfiniteDistance when
+/// unreachable. Quadratic memory — intended for device-sized graphs.
+std::vector<std::vector<int>> AllPairsBfsDistances(const SimpleGraph& graph);
+
+/// Dijkstra with per-*vertex* weights: the cost of a path is the sum of
+/// `vertex_cost` over the non-source vertices on it (the formulation used
+/// by the minor-embedding heuristic, where a vertex's cost encodes how
+/// "full" a physical qubit already is). Multiple sources are supported;
+/// each source starts with distance 0.
+ShortestPathTree VertexWeightedDijkstra(const SimpleGraph& graph,
+                                        const std::vector<int>& sources,
+                                        const std::vector<double>& vertex_cost);
+
+}  // namespace qopt
+
+#endif  // QQO_GRAPH_SHORTEST_PATHS_H_

@@ -1,0 +1,138 @@
+#include "graph/simple_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qopt {
+
+SimpleGraph::SimpleGraph(int num_vertices) {
+  QOPT_CHECK(num_vertices >= 0);
+  adjacency_.resize(static_cast<std::size_t>(num_vertices));
+}
+
+bool SimpleGraph::AddEdge(int u, int v) {
+  QOPT_CHECK(u >= 0 && u < NumVertices());
+  QOPT_CHECK(v >= 0 && v < NumVertices());
+  QOPT_CHECK_MSG(u != v, "self-loops are not allowed");
+  if (HasEdge(u, v)) return false;
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool SimpleGraph::HasEdge(int u, int v) const {
+  QOPT_CHECK(u >= 0 && u < NumVertices());
+  QOPT_CHECK(v >= 0 && v < NumVertices());
+  // Scan the smaller adjacency list.
+  const auto& a = Degree(u) <= Degree(v) ? adjacency_[u] : adjacency_[v];
+  const int target = Degree(u) <= Degree(v) ? v : u;
+  return std::find(a.begin(), a.end(), target) != a.end();
+}
+
+const std::vector<int>& SimpleGraph::Neighbors(int v) const {
+  QOPT_CHECK(v >= 0 && v < NumVertices());
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+int SimpleGraph::Degree(int v) const {
+  QOPT_CHECK(v >= 0 && v < NumVertices());
+  return static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+}
+
+int SimpleGraph::MaxDegree() const {
+  int max_deg = 0;
+  for (const auto& a : adjacency_) {
+    max_deg = std::max(max_deg, static_cast<int>(a.size()));
+  }
+  return max_deg;
+}
+
+std::vector<std::pair<int, int>> SimpleGraph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges_));
+  for (int u = 0; u < NumVertices(); ++u) {
+    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+bool SimpleGraph::IsConnected() const {
+  if (NumVertices() <= 1) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(NumVertices()), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int visited = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == NumVertices();
+}
+
+bool SimpleGraph::IsConnectedSubset(const std::vector<int>& vertices) const {
+  if (vertices.empty()) return true;
+  std::vector<bool> in_set(static_cast<std::size_t>(NumVertices()), false);
+  for (int v : vertices) {
+    QOPT_CHECK(v >= 0 && v < NumVertices());
+    in_set[static_cast<std::size_t>(v)] = true;
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(NumVertices()), false);
+  std::vector<int> stack = {vertices.front()};
+  seen[static_cast<std::size_t>(vertices.front())] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (in_set[static_cast<std::size_t>(v)] &&
+          !seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  // `vertices` may contain duplicates in principle; count distinct.
+  std::size_t distinct = 0;
+  for (int v = 0; v < NumVertices(); ++v) {
+    if (in_set[static_cast<std::size_t>(v)]) ++distinct;
+  }
+  return visited == distinct;
+}
+
+SimpleGraph SimpleGraph::InducedSubgraph(const std::vector<bool>& removed,
+                                         std::vector<int>* old_to_new) const {
+  QOPT_CHECK(static_cast<int>(removed.size()) == NumVertices());
+  std::vector<int> relabel(static_cast<std::size_t>(NumVertices()), -1);
+  int next = 0;
+  for (int v = 0; v < NumVertices(); ++v) {
+    if (!removed[static_cast<std::size_t>(v)]) {
+      relabel[static_cast<std::size_t>(v)] = next++;
+    }
+  }
+  SimpleGraph sub(next);
+  for (int u = 0; u < NumVertices(); ++u) {
+    if (removed[static_cast<std::size_t>(u)]) continue;
+    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (u < v && !removed[static_cast<std::size_t>(v)]) {
+        sub.AddEdge(relabel[static_cast<std::size_t>(u)],
+                    relabel[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(relabel);
+  return sub;
+}
+
+}  // namespace qopt

@@ -1,0 +1,65 @@
+#ifndef QQO_GRAPH_SIMPLE_GRAPH_H_
+#define QQO_GRAPH_SIMPLE_GRAPH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace qopt {
+
+/// Undirected simple graph over vertices 0..n-1 with adjacency lists.
+/// Used for QUBO interaction graphs, device coupling graphs and annealer
+/// topologies.
+class SimpleGraph {
+ public:
+  SimpleGraph() = default;
+
+  /// Creates a graph with `num_vertices` vertices and no edges.
+  explicit SimpleGraph(int num_vertices);
+
+  /// Number of vertices.
+  int NumVertices() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Number of edges.
+  int NumEdges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}. Self-loops and duplicate edges are
+  /// rejected (duplicates are ignored and return false).
+  bool AddEdge(int u, int v);
+
+  /// True iff {u, v} is an edge.
+  bool HasEdge(int u, int v) const;
+
+  /// Neighbors of `v`, in insertion order.
+  const std::vector<int>& Neighbors(int v) const;
+
+  /// Degree of `v`.
+  int Degree(int v) const;
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  int MaxDegree() const;
+
+  /// All edges as (u, v) pairs with u < v.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  /// True iff every pair of vertices is connected by a path. The empty
+  /// graph and single-vertex graph are considered connected.
+  bool IsConnected() const;
+
+  /// True iff the vertex set `vertices` induces a connected subgraph.
+  bool IsConnectedSubset(const std::vector<int>& vertices) const;
+
+  /// Returns the subgraph induced by deleting `removed[v] == true`
+  /// vertices, relabelling survivors consecutively. `old_to_new` (optional)
+  /// receives the relabelling with -1 for removed vertices.
+  SimpleGraph InducedSubgraph(const std::vector<bool>& removed,
+                              std::vector<int>* old_to_new = nullptr) const;
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  int num_edges_ = 0;
+};
+
+}  // namespace qopt
+
+#endif  // QQO_GRAPH_SIMPLE_GRAPH_H_

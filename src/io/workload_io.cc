@@ -1,0 +1,231 @@
+#include "io/workload_io.h"
+
+#include "common/table_printer.h"
+
+namespace qopt {
+namespace {
+
+bool SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+/// Fetches an object member of the expected kind; false + error if
+/// missing or mismatched.
+const JsonValue* Require(const JsonValue& object, const std::string& key,
+                         JsonValue::Kind kind, std::string* error) {
+  if (!object.IsObject()) {
+    SetError(error, "expected a JSON object");
+    return nullptr;
+  }
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr) {
+    SetError(error, StrFormat("missing field \"%s\"", key.c_str()));
+    return nullptr;
+  }
+  if (value->kind() != kind) {
+    SetError(error, StrFormat("field \"%s\" has the wrong type", key.c_str()));
+    return nullptr;
+  }
+  return value;
+}
+
+}  // namespace
+
+JsonValue MqoProblemToJson(const MqoProblem& problem) {
+  JsonValue queries = JsonValue::Array();
+  for (int q = 0; q < problem.NumQueries(); ++q) {
+    JsonValue plans = JsonValue::Array();
+    for (int plan : problem.PlansOfQuery(q)) {
+      JsonValue plan_json = JsonValue::Object();
+      plan_json.Set("cost", JsonValue::Number(problem.PlanCost(plan)));
+      plans.Append(std::move(plan_json));
+    }
+    JsonValue query_json = JsonValue::Object();
+    query_json.Set("plans", std::move(plans));
+    queries.Append(std::move(query_json));
+  }
+  JsonValue savings = JsonValue::Array();
+  for (const auto& [pair, value] : problem.Savings()) {
+    JsonValue saving_json = JsonValue::Object();
+    saving_json.Set("plan1", JsonValue::Number(pair.first));
+    saving_json.Set("plan2", JsonValue::Number(pair.second));
+    saving_json.Set("saving", JsonValue::Number(value));
+    savings.Append(std::move(saving_json));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("queries", std::move(queries));
+  root.Set("savings", std::move(savings));
+  return root;
+}
+
+std::optional<MqoProblem> MqoProblemFromJson(const JsonValue& json,
+                                             std::string* error) {
+  const JsonValue* queries =
+      Require(json, "queries", JsonValue::Kind::kArray, error);
+  if (queries == nullptr) return std::nullopt;
+  MqoProblem problem;
+  for (std::size_t q = 0; q < queries->Size(); ++q) {
+    const JsonValue* plans =
+        Require(queries->At(q), "plans", JsonValue::Kind::kArray, error);
+    if (plans == nullptr) return std::nullopt;
+    if (plans->Size() == 0) {
+      SetError(error, StrFormat("query %zu has no plans", q));
+      return std::nullopt;
+    }
+    std::vector<double> costs;
+    for (std::size_t p = 0; p < plans->Size(); ++p) {
+      const JsonValue* cost =
+          Require(plans->At(p), "cost", JsonValue::Kind::kNumber, error);
+      if (cost == nullptr) return std::nullopt;
+      if (cost->AsNumber() < 0.0) {
+        SetError(error, "plan costs must be non-negative");
+        return std::nullopt;
+      }
+      costs.push_back(cost->AsNumber());
+    }
+    problem.AddQuery(costs);
+  }
+  if (json.Has("savings")) {
+    const JsonValue* savings =
+        Require(json, "savings", JsonValue::Kind::kArray, error);
+    if (savings == nullptr) return std::nullopt;
+    for (std::size_t s = 0; s < savings->Size(); ++s) {
+      const JsonValue& entry = savings->At(s);
+      const JsonValue* plan1 =
+          Require(entry, "plan1", JsonValue::Kind::kNumber, error);
+      const JsonValue* plan2 =
+          Require(entry, "plan2", JsonValue::Kind::kNumber, error);
+      const JsonValue* value =
+          Require(entry, "saving", JsonValue::Kind::kNumber, error);
+      if (plan1 == nullptr || plan2 == nullptr || value == nullptr) {
+        return std::nullopt;
+      }
+      const int p1 = plan1->AsInt();
+      const int p2 = plan2->AsInt();
+      if (p1 < 0 || p1 >= problem.NumPlans() || p2 < 0 ||
+          p2 >= problem.NumPlans() || p1 == p2 ||
+          problem.QueryOfPlan(p1) == problem.QueryOfPlan(p2) ||
+          value->AsNumber() <= 0.0) {
+        SetError(error, StrFormat("invalid saving entry %zu", s));
+        return std::nullopt;
+      }
+      problem.AddSaving(p1, p2, value->AsNumber());
+    }
+  }
+  return problem;
+}
+
+JsonValue QueryGraphToJson(const QueryGraph& graph) {
+  JsonValue relations = JsonValue::Array();
+  for (int r = 0; r < graph.NumRelations(); ++r) {
+    JsonValue relation = JsonValue::Object();
+    relation.Set("cardinality", JsonValue::Number(graph.Cardinality(r)));
+    relations.Append(std::move(relation));
+  }
+  JsonValue predicates = JsonValue::Array();
+  for (const auto& p : graph.Predicates()) {
+    JsonValue predicate = JsonValue::Object();
+    predicate.Set("rel1", JsonValue::Number(p.rel1));
+    predicate.Set("rel2", JsonValue::Number(p.rel2));
+    predicate.Set("selectivity", JsonValue::Number(p.selectivity));
+    predicates.Append(std::move(predicate));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("relations", std::move(relations));
+  root.Set("predicates", std::move(predicates));
+  return root;
+}
+
+std::optional<QueryGraph> QueryGraphFromJson(const JsonValue& json,
+                                             std::string* error) {
+  const JsonValue* relations =
+      Require(json, "relations", JsonValue::Kind::kArray, error);
+  if (relations == nullptr) return std::nullopt;
+  if (relations->Size() == 0) {
+    SetError(error, "need at least one relation");
+    return std::nullopt;
+  }
+  std::vector<double> cardinalities;
+  for (std::size_t r = 0; r < relations->Size(); ++r) {
+    const JsonValue* card = Require(relations->At(r), "cardinality",
+                                    JsonValue::Kind::kNumber, error);
+    if (card == nullptr) return std::nullopt;
+    if (card->AsNumber() < 1.0) {
+      SetError(error, "cardinalities must be >= 1");
+      return std::nullopt;
+    }
+    cardinalities.push_back(card->AsNumber());
+  }
+  QueryGraph graph(std::move(cardinalities));
+  if (json.Has("predicates")) {
+    const JsonValue* predicates =
+        Require(json, "predicates", JsonValue::Kind::kArray, error);
+    if (predicates == nullptr) return std::nullopt;
+    for (std::size_t p = 0; p < predicates->Size(); ++p) {
+      const JsonValue& entry = predicates->At(p);
+      const JsonValue* rel1 =
+          Require(entry, "rel1", JsonValue::Kind::kNumber, error);
+      const JsonValue* rel2 =
+          Require(entry, "rel2", JsonValue::Kind::kNumber, error);
+      const JsonValue* sel =
+          Require(entry, "selectivity", JsonValue::Kind::kNumber, error);
+      if (rel1 == nullptr || rel2 == nullptr || sel == nullptr) {
+        return std::nullopt;
+      }
+      const int r1 = rel1->AsInt();
+      const int r2 = rel2->AsInt();
+      if (r1 < 0 || r1 >= graph.NumRelations() || r2 < 0 ||
+          r2 >= graph.NumRelations() || r1 == r2 || sel->AsNumber() <= 0.0 ||
+          sel->AsNumber() > 1.0) {
+        SetError(error, StrFormat("invalid predicate entry %zu", p));
+        return std::nullopt;
+      }
+      graph.AddPredicate(r1, r2, sel->AsNumber());
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+template <typename T>
+std::optional<T> LoadWorkload(
+    const std::string& path, std::string* error,
+    std::optional<T> (*from_json)(const JsonValue&, std::string*)) {
+  const std::optional<std::string> content = ReadFileToString(path);
+  if (!content.has_value()) {
+    SetError(error, StrFormat("cannot read %s", path.c_str()));
+    return std::nullopt;
+  }
+  std::string parse_error;
+  const std::optional<JsonValue> json =
+      JsonValue::Parse(*content, &parse_error);
+  if (!json.has_value()) {
+    SetError(error, StrFormat("%s: %s", path.c_str(), parse_error.c_str()));
+    return std::nullopt;
+  }
+  return from_json(*json, error);
+}
+
+}  // namespace
+
+std::optional<MqoProblem> LoadMqoProblem(const std::string& path,
+                                         std::string* error) {
+  return LoadWorkload<MqoProblem>(path, error, &MqoProblemFromJson);
+}
+
+bool SaveMqoProblem(const MqoProblem& problem, const std::string& path) {
+  return WriteStringToFile(path, MqoProblemToJson(problem).Dump(2) + "\n");
+}
+
+std::optional<QueryGraph> LoadQueryGraph(const std::string& path,
+                                         std::string* error) {
+  return LoadWorkload<QueryGraph>(path, error, &QueryGraphFromJson);
+}
+
+bool SaveQueryGraph(const QueryGraph& graph, const std::string& path) {
+  return WriteStringToFile(path, QueryGraphToJson(graph).Dump(2) + "\n");
+}
+
+}  // namespace qopt

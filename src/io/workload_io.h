@@ -1,0 +1,49 @@
+#ifndef QQO_IO_WORKLOAD_IO_H_
+#define QQO_IO_WORKLOAD_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "joinorder/query_graph.h"
+#include "mqo/mqo_problem.h"
+
+namespace qopt {
+
+/// JSON (de)serialization of the two workload types, so that external
+/// batches and query graphs can be fed to the solvers (used by the
+/// qqo_cli tool and available to downstream users).
+///
+/// MQO format:
+///   {"queries": [{"plans": [{"cost": 10}, ...]}, ...],
+///    "savings": [{"plan1": 1, "plan2": 3, "saving": 4}, ...]}
+/// Plan ids are global, in declaration order, 0-based.
+///
+/// Query-graph format:
+///   {"relations": [{"cardinality": 10}, ...],
+///    "predicates": [{"rel1": 0, "rel2": 1, "selectivity": 0.1}, ...]}
+
+JsonValue MqoProblemToJson(const MqoProblem& problem);
+
+/// Returns nullopt and sets `error` (if non-null) on malformed documents.
+std::optional<MqoProblem> MqoProblemFromJson(const JsonValue& json,
+                                             std::string* error = nullptr);
+
+JsonValue QueryGraphToJson(const QueryGraph& graph);
+
+std::optional<QueryGraph> QueryGraphFromJson(const JsonValue& json,
+                                             std::string* error = nullptr);
+
+/// File convenience wrappers (parse errors and I/O errors both yield
+/// nullopt with a message).
+std::optional<MqoProblem> LoadMqoProblem(const std::string& path,
+                                         std::string* error = nullptr);
+bool SaveMqoProblem(const MqoProblem& problem, const std::string& path);
+
+std::optional<QueryGraph> LoadQueryGraph(const std::string& path,
+                                         std::string* error = nullptr);
+bool SaveQueryGraph(const QueryGraph& graph, const std::string& path);
+
+}  // namespace qopt
+
+#endif  // QQO_IO_WORKLOAD_IO_H_

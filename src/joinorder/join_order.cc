@@ -1,0 +1,56 @@
+#include "joinorder/join_order.h"
+
+#include "common/check.h"
+
+namespace qopt {
+
+bool IsValidJoinOrder(const QueryGraph& graph, const std::vector<int>& order) {
+  if (static_cast<int>(order.size()) != graph.NumRelations()) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(graph.NumRelations()), false);
+  for (int r : order) {
+    if (r < 0 || r >= graph.NumRelations() ||
+        seen[static_cast<std::size_t>(r)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(r)] = true;
+  }
+  return true;
+}
+
+double CoutCost(const QueryGraph& graph, const std::vector<int>& order,
+                bool include_final_join) {
+  QOPT_CHECK_MSG(IsValidJoinOrder(graph, order), "invalid join order");
+  const int n = graph.NumRelations();
+  if (n == 1) return 0.0;
+  std::vector<bool> joined(static_cast<std::size_t>(n), false);
+  joined[static_cast<std::size_t>(order[0])] = true;
+  double intermediate = graph.Cardinality(order[0]);
+  double cost = 0.0;
+  const int last = include_final_join ? n : n - 1;
+  for (int i = 1; i < n; ++i) {
+    const int rel = order[static_cast<std::size_t>(i)];
+    intermediate *= graph.Cardinality(rel) *
+                    graph.SelectivityAgainst(rel, joined);
+    joined[static_cast<std::size_t>(rel)] = true;
+    if (i < last) cost += intermediate;
+  }
+  return cost;
+}
+
+double IntermediateCardinality(const QueryGraph& graph,
+                               const std::vector<int>& subset) {
+  std::vector<bool> joined(static_cast<std::size_t>(graph.NumRelations()),
+                           false);
+  double cardinality = 1.0;
+  for (int rel : subset) {
+    QOPT_CHECK(rel >= 0 && rel < graph.NumRelations());
+    QOPT_CHECK_MSG(!joined[static_cast<std::size_t>(rel)],
+                   "subset contains a relation twice");
+    cardinality *=
+        graph.Cardinality(rel) * graph.SelectivityAgainst(rel, joined);
+    joined[static_cast<std::size_t>(rel)] = true;
+  }
+  return subset.empty() ? 0.0 : cardinality;
+}
+
+}  // namespace qopt

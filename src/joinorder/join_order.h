@@ -1,0 +1,38 @@
+#ifndef QQO_JOINORDER_JOIN_ORDER_H_
+#define QQO_JOINORDER_JOIN_ORDER_H_
+
+#include <vector>
+
+#include "joinorder/query_graph.h"
+
+namespace qopt {
+
+/// A left-deep join order: the permutation of relations assigned to the
+/// leaves of the join tree, plus its cost.
+struct JoinOrderSolution {
+  std::vector<int> order;
+  double cost = 0.0;
+};
+
+/// C_out cost of a left-deep join order (Eq. 27/28): the sum of the
+/// intermediate result cardinalities
+///   C(s) = sum_{i=2..n} |s_1 ... s_i|,
+/// where |s_1 ... s_i| multiplies the relation cardinalities with the
+/// selectivities of every predicate whose two relations are both joined.
+/// Predicates between unjoined relations act as cross products (factor 1).
+/// `include_final_join` controls whether the last term (identical for all
+/// orders) is counted; the paper's Table 3 includes it.
+double CoutCost(const QueryGraph& graph, const std::vector<int>& order,
+                bool include_final_join = true);
+
+/// Cardinality of the intermediate result of joining exactly the
+/// relations in `subset` (all predicates inside the subset applied).
+double IntermediateCardinality(const QueryGraph& graph,
+                               const std::vector<int>& subset);
+
+/// True iff `order` is a permutation of 0..NumRelations()-1.
+bool IsValidJoinOrder(const QueryGraph& graph, const std::vector<int>& order);
+
+}  // namespace qopt
+
+#endif  // QQO_JOINORDER_JOIN_ORDER_H_

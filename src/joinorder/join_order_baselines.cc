@@ -1,0 +1,141 @@
+#include "joinorder/join_order_baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace qopt {
+
+JoinOrderSolution SolveJoinOrderExhaustive(const QueryGraph& graph,
+                                           bool include_final_join,
+                                           int max_relations) {
+  const int n = graph.NumRelations();
+  QOPT_CHECK_MSG(n <= max_relations,
+                 "too many relations for exhaustive enumeration");
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  JoinOrderSolution best;
+  best.order = order;
+  best.cost = CoutCost(graph, order, include_final_join);
+  while (std::next_permutation(order.begin(), order.end())) {
+    const double cost = CoutCost(graph, order, include_final_join);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.order = order;
+    }
+  }
+  return best;
+}
+
+JoinOrderSolution SolveJoinOrderDp(const QueryGraph& graph,
+                                   bool include_final_join,
+                                   int max_relations) {
+  const int n = graph.NumRelations();
+  QOPT_CHECK_MSG(n <= max_relations, "too many relations for subset DP");
+  if (n == 1) return {{0}, 0.0};
+  const std::size_t num_subsets = std::size_t{1} << n;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // card[S]: cardinality of the intermediate result over subset S.
+  std::vector<double> card(num_subsets, 0.0);
+  std::vector<double> cost(num_subsets, kInf);
+  std::vector<int> last(num_subsets, -1);  // relation joined last
+  for (int r = 0; r < n; ++r) {
+    const std::size_t s = std::size_t{1} << r;
+    card[s] = graph.Cardinality(r);
+    cost[s] = 0.0;
+    last[s] = r;
+  }
+  for (std::size_t s = 1; s < num_subsets; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singletons done
+    for (int r = 0; r < n; ++r) {
+      const std::size_t bit = std::size_t{1} << r;
+      if (!(s & bit)) continue;
+      const std::size_t rest = s ^ bit;
+      if (cost[rest] == kInf) continue;
+      // Selectivity of r against the rest of the subset.
+      std::vector<bool> joined(static_cast<std::size_t>(n), false);
+      for (int t = 0; t < n; ++t) {
+        if (rest & (std::size_t{1} << t)) {
+          joined[static_cast<std::size_t>(t)] = true;
+        }
+      }
+      const double joined_card =
+          card[rest] * graph.Cardinality(r) *
+          graph.SelectivityAgainst(r, joined);
+      if (card[s] == 0.0) card[s] = joined_card;  // same for every split
+      const double total = cost[rest] + joined_card;
+      if (total < cost[s]) {
+        cost[s] = total;
+        last[s] = r;
+      }
+    }
+  }
+
+  const std::size_t full = num_subsets - 1;
+  JoinOrderSolution solution;
+  solution.order.assign(static_cast<std::size_t>(n), -1);
+  std::size_t s = full;
+  for (int i = n - 1; i >= 0; --i) {
+    const int r = last[s];
+    QOPT_CHECK(r >= 0);
+    solution.order[static_cast<std::size_t>(i)] = r;
+    s ^= std::size_t{1} << r;
+  }
+  solution.cost = include_final_join
+                      ? cost[full]
+                      : CoutCost(graph, solution.order, false);
+  return solution;
+}
+
+JoinOrderSolution SolveJoinOrderGreedy(const QueryGraph& graph,
+                                       bool include_final_join) {
+  const int n = graph.NumRelations();
+  JoinOrderSolution solution;
+  if (n == 1) return {{0}, 0.0};
+
+  // Cheapest first pair.
+  int best_a = 0;
+  int best_b = 1;
+  double best_card = std::numeric_limits<double>::infinity();
+  for (int a = 0; a < n; ++a) {
+    std::vector<bool> joined(static_cast<std::size_t>(n), false);
+    joined[static_cast<std::size_t>(a)] = true;
+    for (int b = 0; b < n; ++b) {
+      if (b == a) continue;
+      const double pair_card = graph.Cardinality(a) * graph.Cardinality(b) *
+                               graph.SelectivityAgainst(b, joined);
+      if (pair_card < best_card) {
+        best_card = pair_card;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  std::vector<bool> joined(static_cast<std::size_t>(n), false);
+  solution.order = {best_a, best_b};
+  joined[static_cast<std::size_t>(best_a)] = true;
+  joined[static_cast<std::size_t>(best_b)] = true;
+  double intermediate = best_card;
+  while (static_cast<int>(solution.order.size()) < n) {
+    int best_r = -1;
+    double best_next = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < n; ++r) {
+      if (joined[static_cast<std::size_t>(r)]) continue;
+      const double next = intermediate * graph.Cardinality(r) *
+                          graph.SelectivityAgainst(r, joined);
+      if (next < best_next) {
+        best_next = next;
+        best_r = r;
+      }
+    }
+    solution.order.push_back(best_r);
+    joined[static_cast<std::size_t>(best_r)] = true;
+    intermediate = best_next;
+  }
+  solution.cost = CoutCost(graph, solution.order, include_final_join);
+  return solution;
+}
+
+}  // namespace qopt

@@ -1,0 +1,28 @@
+#ifndef QQO_JOINORDER_JOIN_ORDER_BASELINES_H_
+#define QQO_JOINORDER_JOIN_ORDER_BASELINES_H_
+
+#include "joinorder/join_order.h"
+#include "joinorder/query_graph.h"
+
+namespace qopt {
+
+/// Exhaustive enumeration of all n! left-deep join orders; ground truth
+/// for small n (refuses n > max_relations).
+JoinOrderSolution SolveJoinOrderExhaustive(const QueryGraph& graph,
+                                           bool include_final_join = true,
+                                           int max_relations = 10);
+
+/// Dynamic programming over relation subsets (optimal for left-deep trees
+/// in O(2^n * n^2); the classical exact comparator for mid-size queries).
+JoinOrderSolution SolveJoinOrderDp(const QueryGraph& graph,
+                                   bool include_final_join = true,
+                                   int max_relations = 22);
+
+/// Greedy heuristic: start with the cheapest pair, then repeatedly append
+/// the relation minimizing the next intermediate cardinality.
+JoinOrderSolution SolveJoinOrderGreedy(const QueryGraph& graph,
+                                       bool include_final_join = true);
+
+}  // namespace qopt
+
+#endif  // QQO_JOINORDER_JOIN_ORDER_BASELINES_H_

@@ -1,0 +1,147 @@
+#include "joinorder/join_order_randomized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace qopt {
+namespace {
+
+std::vector<int> RandomOrder(int n, Rng* rng) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  return order;
+}
+
+/// Applies a random neighbourhood move (swap of two positions, or a
+/// 3-cycle rotation) in place; returns a functor undoing it.
+void RandomMove(std::vector<int>* order, Rng* rng, int* a, int* b, int* c) {
+  const int n = static_cast<int>(order->size());
+  *a = rng->NextInt(0, n - 1);
+  *b = rng->NextInt(0, n - 1);
+  while (*b == *a) *b = rng->NextInt(0, n - 1);
+  if (n >= 3 && rng->NextBool(0.3)) {
+    *c = rng->NextInt(0, n - 1);
+    while (*c == *a || *c == *b) *c = rng->NextInt(0, n - 1);
+    // 3-cycle a -> b -> c -> a.
+    const int tmp = (*order)[static_cast<std::size_t>(*a)];
+    (*order)[static_cast<std::size_t>(*a)] =
+        (*order)[static_cast<std::size_t>(*c)];
+    (*order)[static_cast<std::size_t>(*c)] =
+        (*order)[static_cast<std::size_t>(*b)];
+    (*order)[static_cast<std::size_t>(*b)] = tmp;
+  } else {
+    *c = -1;
+    std::swap((*order)[static_cast<std::size_t>(*a)],
+              (*order)[static_cast<std::size_t>(*b)]);
+  }
+}
+
+void UndoMove(std::vector<int>* order, int a, int b, int c) {
+  if (c < 0) {
+    std::swap((*order)[static_cast<std::size_t>(a)],
+              (*order)[static_cast<std::size_t>(b)]);
+  } else {
+    // Reverse the 3-cycle.
+    const int tmp = (*order)[static_cast<std::size_t>(*&a)];
+    (*order)[static_cast<std::size_t>(a)] =
+        (*order)[static_cast<std::size_t>(b)];
+    (*order)[static_cast<std::size_t>(b)] =
+        (*order)[static_cast<std::size_t>(c)];
+    (*order)[static_cast<std::size_t>(c)] = tmp;
+  }
+}
+
+}  // namespace
+
+JoinOrderSolution SolveJoinOrderIterativeImprovement(
+    const QueryGraph& graph, const RandomizedJoinOrderOptions& options) {
+  QOPT_CHECK(options.restarts >= 1);
+  Rng rng(options.seed);
+  const int n = graph.NumRelations();
+  JoinOrderSolution best;
+  bool first = true;
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    std::vector<int> order = RandomOrder(n, &rng);
+    double cost = CoutCost(graph, order);
+    int stale = 0;
+    for (int move = 0; move < options.max_moves && stale < 200; ++move) {
+      int a, b, c;
+      RandomMove(&order, &rng, &a, &b, &c);
+      const double candidate = CoutCost(graph, order);
+      if (candidate < cost) {
+        cost = candidate;
+        stale = 0;
+      } else {
+        UndoMove(&order, a, b, c);
+        ++stale;
+      }
+    }
+    if (first || cost < best.cost) {
+      best.cost = cost;
+      best.order = order;
+      first = false;
+    }
+  }
+  return best;
+}
+
+JoinOrderSolution SolveJoinOrderSimulatedAnnealing(
+    const QueryGraph& graph, const RandomizedJoinOrderOptions& options) {
+  QOPT_CHECK(options.restarts >= 1);
+  Rng rng(options.seed);
+  const int n = graph.NumRelations();
+  JoinOrderSolution best;
+  bool first = true;
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    std::vector<int> order = RandomOrder(n, &rng);
+    double cost = CoutCost(graph, order);
+    double temperature =
+        std::max(1e-9, options.initial_temperature_factor * cost);
+    for (int move = 0; move < options.max_moves; ++move) {
+      int a, b, c;
+      RandomMove(&order, &rng, &a, &b, &c);
+      const double candidate = CoutCost(graph, order);
+      const double delta = candidate - cost;
+      if (delta <= 0.0 ||
+          rng.NextDouble() < std::exp(-delta / temperature)) {
+        cost = candidate;
+        temperature *= options.cooling_rate;
+      } else {
+        UndoMove(&order, a, b, c);
+      }
+      if (first || cost < best.cost) {
+        best.cost = cost;
+        best.order = order;
+        first = false;
+      }
+    }
+  }
+  // Final greedy polish.
+  RandomizedJoinOrderOptions polish = options;
+  polish.restarts = 1;
+  Rng polish_rng(options.seed + 1);
+  std::vector<int> order = best.order;
+  double cost = best.cost;
+  for (int move = 0; move < options.max_moves; ++move) {
+    int a, b, c;
+    RandomMove(&order, &polish_rng, &a, &b, &c);
+    const double candidate = CoutCost(graph, order);
+    if (candidate < cost) {
+      cost = candidate;
+    } else {
+      UndoMove(&order, a, b, c);
+    }
+  }
+  if (cost < best.cost) {
+    best.cost = cost;
+    best.order = order;
+  }
+  return best;
+}
+
+}  // namespace qopt

@@ -1,0 +1,32 @@
+#ifndef QQO_JOINORDER_JOIN_ORDER_RANDOMIZED_H_
+#define QQO_JOINORDER_JOIN_ORDER_RANDOMIZED_H_
+
+#include <cstdint>
+
+#include "joinorder/join_order.h"
+#include "joinorder/query_graph.h"
+
+namespace qopt {
+
+/// Options for the randomized join-ordering algorithms of Steinbrunn,
+/// Moerkotte & Kemper [15], operating directly on left-deep permutations.
+struct RandomizedJoinOrderOptions {
+  int restarts = 10;           ///< Random starting points.
+  int max_moves = 2000;        ///< Move evaluations per start.
+  double initial_temperature_factor = 0.1;  ///< SA: T0 = factor * C(start).
+  double cooling_rate = 0.95;  ///< SA: geometric cooling per accepted move.
+  std::uint64_t seed = 0;
+};
+
+/// Iterative improvement: repeated random restarts, each descending to a
+/// local minimum under the swap and 3-cycle neighbourhood.
+JoinOrderSolution SolveJoinOrderIterativeImprovement(
+    const QueryGraph& graph, const RandomizedJoinOrderOptions& options = {});
+
+/// Simulated annealing over permutations with the same neighbourhood.
+JoinOrderSolution SolveJoinOrderSimulatedAnnealing(
+    const QueryGraph& graph, const RandomizedJoinOrderOptions& options = {});
+
+}  // namespace qopt
+
+#endif  // QQO_JOINORDER_JOIN_ORDER_RANDOMIZED_H_

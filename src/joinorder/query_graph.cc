@@ -1,0 +1,126 @@
+#include "joinorder/query_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace qopt {
+
+QueryGraph::QueryGraph(std::vector<double> cardinalities)
+    : cardinality_(std::move(cardinalities)) {
+  QOPT_CHECK_MSG(!cardinality_.empty(), "need at least one relation");
+  for (double c : cardinality_) {
+    QOPT_CHECK_MSG(c >= 1.0, "cardinalities must be >= 1");
+  }
+}
+
+double QueryGraph::Cardinality(int relation) const {
+  QOPT_CHECK(relation >= 0 && relation < NumRelations());
+  return cardinality_[static_cast<std::size_t>(relation)];
+}
+
+int QueryGraph::AddPredicate(int rel1, int rel2, double selectivity) {
+  QOPT_CHECK(rel1 >= 0 && rel1 < NumRelations());
+  QOPT_CHECK(rel2 >= 0 && rel2 < NumRelations());
+  QOPT_CHECK_MSG(rel1 != rel2, "predicate must join two distinct relations");
+  QOPT_CHECK_MSG(selectivity > 0.0 && selectivity <= 1.0,
+                 "selectivity must be in (0, 1]");
+  if (rel1 > rel2) std::swap(rel1, rel2);
+  predicates_.push_back({rel1, rel2, selectivity});
+  return static_cast<int>(predicates_.size()) - 1;
+}
+
+double QueryGraph::SelectivityAgainst(int relation,
+                                      const std::vector<bool>& joined) const {
+  QOPT_CHECK(relation >= 0 && relation < NumRelations());
+  QOPT_CHECK(static_cast<int>(joined.size()) == NumRelations());
+  double selectivity = 1.0;
+  for (const Predicate& p : predicates_) {
+    const int other = p.rel1 == relation   ? p.rel2
+                      : p.rel2 == relation ? p.rel1
+                                           : -1;
+    if (other >= 0 && joined[static_cast<std::size_t>(other)]) {
+      selectivity *= p.selectivity;
+    }
+  }
+  return selectivity;
+}
+
+QueryGraph MakePaperExampleQuery() {
+  QueryGraph graph({10.0, 1000.0, 1000.0});  // R, S, T
+  graph.AddPredicate(0, 1, 0.1);              // R-S
+  graph.AddPredicate(1, 2, 0.05);             // S-T
+  return graph;
+}
+
+QueryGraph GenerateRandomQuery(const QueryGeneratorOptions& options) {
+  const int n = options.num_relations;
+  QOPT_CHECK(n >= 2);
+  QOPT_CHECK_MSG(options.num_predicates >= n - 1,
+                 "need at least a spanning tree of predicates");
+  QOPT_CHECK_MSG(options.num_predicates <= n * (n - 1) / 2,
+                 "more predicates than distinct relation pairs");
+  Rng rng(options.seed);
+  std::vector<double> cards(static_cast<std::size_t>(n));
+  for (double& c : cards) {
+    c = rng.NextDouble(options.cardinality_min, options.cardinality_max);
+    c = std::max(1.0, c);
+  }
+  QueryGraph graph(std::move(cards));
+
+  auto random_selectivity = [&]() {
+    return rng.NextDouble(options.selectivity_min, options.selectivity_max);
+  };
+  // Random spanning tree: attach each relation to a random earlier one.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.Shuffle(&order);
+  std::vector<std::vector<bool>> used(
+      static_cast<std::size_t>(n),
+      std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (int i = 1; i < n; ++i) {
+    const int a = order[static_cast<std::size_t>(i)];
+    const int b = order[static_cast<std::size_t>(rng.NextUint64(
+        static_cast<std::uint64_t>(i)))];
+    graph.AddPredicate(a, b, random_selectivity());
+    used[static_cast<std::size_t>(std::min(a, b))]
+        [static_cast<std::size_t>(std::max(a, b))] = true;
+  }
+  // Extra predicates on distinct unused pairs.
+  while (graph.NumPredicates() < options.num_predicates) {
+    const int a = rng.NextInt(0, n - 1);
+    const int b = rng.NextInt(0, n - 1);
+    if (a == b) continue;
+    auto flag = used[static_cast<std::size_t>(std::min(a, b))].begin() +
+                std::max(a, b);
+    if (*flag) continue;
+    *flag = true;
+    graph.AddPredicate(a, b, random_selectivity());
+  }
+  return graph;
+}
+
+QueryGraph GenerateChainQuery(int num_relations, double cardinality,
+                              double selectivity, std::uint64_t seed) {
+  (void)seed;
+  QueryGraph graph(
+      std::vector<double>(static_cast<std::size_t>(num_relations), cardinality));
+  for (int i = 0; i + 1 < num_relations; ++i) {
+    graph.AddPredicate(i, i + 1, selectivity);
+  }
+  return graph;
+}
+
+QueryGraph GenerateStarQuery(int num_relations, double cardinality,
+                             double selectivity, std::uint64_t seed) {
+  (void)seed;
+  QueryGraph graph(
+      std::vector<double>(static_cast<std::size_t>(num_relations), cardinality));
+  for (int i = 1; i < num_relations; ++i) {
+    graph.AddPredicate(0, i, selectivity);
+  }
+  return graph;
+}
+
+}  // namespace qopt

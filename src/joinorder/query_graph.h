@@ -1,0 +1,78 @@
+#ifndef QQO_JOINORDER_QUERY_GRAPH_H_
+#define QQO_JOINORDER_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qopt {
+
+/// Query graph for the join ordering problem (Sec. 4.2): relations with
+/// cardinalities, and join predicates with selectivities labelling edges.
+class QueryGraph {
+ public:
+  /// One join predicate between two relations.
+  struct Predicate {
+    int rel1;
+    int rel2;
+    double selectivity;  ///< 0 < selectivity <= 1.
+  };
+
+  /// Creates a graph over the given relation cardinalities (each >= 1).
+  explicit QueryGraph(std::vector<double> cardinalities);
+
+  int NumRelations() const { return static_cast<int>(cardinality_.size()); }
+  int NumPredicates() const { return static_cast<int>(predicates_.size()); }
+  int NumJoins() const { return NumRelations() - 1; }
+
+  double Cardinality(int relation) const;
+  const std::vector<Predicate>& Predicates() const { return predicates_; }
+
+  /// Adds a predicate between distinct relations; returns its index.
+  /// Multiple predicates between the same pair are allowed (their
+  /// selectivities multiply).
+  int AddPredicate(int rel1, int rel2, double selectivity);
+
+  /// Product of the selectivities of all predicates joining `relation`
+  /// against the set `joined` (1.0 when none apply — a cross product).
+  double SelectivityAgainst(int relation,
+                            const std::vector<bool>& joined) const;
+
+ private:
+  std::vector<double> cardinality_;
+  std::vector<Predicate> predicates_;
+};
+
+/// The example query graph of Fig. 6 / Table 3: relations R, S, T with
+/// cardinalities 10, 1000, 1000 and predicates RS (0.1) and ST (0.05).
+QueryGraph MakePaperExampleQuery();
+
+/// Workload generators for the evaluation sweeps. All guarantee a
+/// connected predicate graph (the paper's P = J minimum; fewer predicates
+/// would force cross products).
+struct QueryGeneratorOptions {
+  int num_relations = 3;
+  /// Total number of predicates; must be >= num_relations - 1 (a spanning
+  /// tree) and <= the number of distinct relation pairs.
+  int num_predicates = 2;
+  double cardinality_min = 10.0;
+  double cardinality_max = 10.0;
+  double selectivity_min = 0.01;
+  double selectivity_max = 1.0;
+  std::uint64_t seed = 0;
+};
+
+/// Random connected query graph: a random spanning tree plus extra random
+/// distinct pairs until `num_predicates` is reached.
+QueryGraph GenerateRandomQuery(const QueryGeneratorOptions& options);
+
+/// Chain query R0 - R1 - ... - Rn-1.
+QueryGraph GenerateChainQuery(int num_relations, double cardinality,
+                              double selectivity, std::uint64_t seed = 0);
+
+/// Star query with relation 0 in the center.
+QueryGraph GenerateStarQuery(int num_relations, double cardinality,
+                             double selectivity, std::uint64_t seed = 0);
+
+}  // namespace qopt
+
+#endif  // QQO_JOINORDER_QUERY_GRAPH_H_

@@ -1,0 +1,48 @@
+#ifndef QQO_MQO_MQO_BASELINES_H_
+#define QQO_MQO_MQO_BASELINES_H_
+
+#include <cstdint>
+
+#include "mqo/mqo_problem.h"
+
+namespace qopt {
+
+/// A concrete MQO solution: one global plan id per query plus its cost.
+struct MqoSolution {
+  std::vector<int> selection;
+  double cost = 0.0;
+};
+
+/// Exhaustive search over the product of plan choices (search space
+/// O(ppq^queries), Sec. 2); refuses problems with more than
+/// `max_combinations` combinations.
+MqoSolution SolveMqoExhaustive(const MqoProblem& problem,
+                               std::uint64_t max_combinations = 1u << 24);
+
+/// Locally optimal baseline: cheapest plan per query, ignoring savings
+/// (the "26 vs 21" comparison of the paper's example).
+MqoSolution SolveMqoGreedy(const MqoProblem& problem);
+
+/// Options for the genetic-algorithm baseline (after Bayir et al. [14]).
+struct MqoGeneticOptions {
+  int population_size = 40;
+  int generations = 200;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.05;
+  int tournament_size = 3;
+  std::uint64_t seed = 0;
+};
+
+/// Genetic algorithm over selection chromosomes with tournament selection,
+/// uniform crossover and per-gene mutation.
+MqoSolution SolveMqoGenetic(const MqoProblem& problem,
+                            const MqoGeneticOptions& options = {});
+
+/// First-improvement hill climbing with random restarts: repeatedly tries
+/// to improve one query's plan choice.
+MqoSolution SolveMqoLocalSearch(const MqoProblem& problem, int restarts = 10,
+                                std::uint64_t seed = 0);
+
+}  // namespace qopt
+
+#endif  // QQO_MQO_MQO_BASELINES_H_

@@ -1,0 +1,42 @@
+#ifndef QQO_MQO_MQO_BILP_ENCODER_H_
+#define QQO_MQO_MQO_BILP_ENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bilp/bilp_problem.h"
+#include "mqo/mqo_problem.h"
+
+namespace qopt {
+
+/// Alternative MQO encoding through the generic BILP -> QUBO pipeline of
+/// Ch. 6 (an ablation against the direct QUBO formulation of [9]):
+///
+///   min  sum_p c_p x_p + sum_{(p1,p2)} s * z_{p1,p2}
+///   s.t. sum_{p in P_q} x_p = 1                      (one plan per query)
+///        y <= x_p1, y <= x_p2, y >= x_p1 + x_p2 - 1  (sharing linearized)
+///        z + y = 1                                   (z = 1 - y)
+///
+/// where y indicates that both plans of a saving run. Using z keeps every
+/// objective coefficient non-negative, as the Lucas QUBO transformation
+/// requires; the optimum equals the MQO optimum plus sum of all savings.
+struct MqoBilpEncoding {
+  BilpProblem bilp;
+  std::vector<int> plan_var;   ///< x variable index per global plan id.
+  std::vector<int> share_var;  ///< y index per saving (Savings() order).
+  double objective_offset = 0.0;  ///< Sum of savings; MQO cost =
+                                  ///< bilp objective - objective_offset.
+};
+
+/// Builds the BILP model.
+MqoBilpEncoding EncodeMqoAsBilp(const MqoProblem& problem);
+
+/// Reads the plan selection out of a BILP assignment; returns false when
+/// some query has no or several selected plans.
+bool DecodeMqoBilp(const MqoBilpEncoding& encoding, const MqoProblem& problem,
+                   const std::vector<std::uint8_t>& bits,
+                   std::vector<int>* selection);
+
+}  // namespace qopt
+
+#endif  // QQO_MQO_MQO_BILP_ENCODER_H_

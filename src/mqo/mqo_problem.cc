@@ -1,0 +1,96 @@
+#include "mqo/mqo_problem.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qopt {
+
+int MqoProblem::AddQuery(const std::vector<double>& plan_costs) {
+  QOPT_CHECK_MSG(!plan_costs.empty(), "a query needs at least one plan");
+  const int query = static_cast<int>(queries_.size());
+  std::vector<int> plan_ids;
+  plan_ids.reserve(plan_costs.size());
+  for (double cost : plan_costs) {
+    QOPT_CHECK_MSG(cost >= 0.0, "plan costs must be non-negative");
+    plan_ids.push_back(static_cast<int>(cost_.size()));
+    cost_.push_back(cost);
+    query_of_plan_.push_back(query);
+  }
+  queries_.push_back(std::move(plan_ids));
+  return query;
+}
+
+void MqoProblem::AddSaving(int plan1, int plan2, double saving) {
+  QOPT_CHECK(plan1 >= 0 && plan1 < NumPlans());
+  QOPT_CHECK(plan2 >= 0 && plan2 < NumPlans());
+  QOPT_CHECK_MSG(saving > 0.0, "savings must be positive");
+  QOPT_CHECK_MSG(QueryOfPlan(plan1) != QueryOfPlan(plan2),
+                 "savings must relate plans of different queries");
+  if (plan1 > plan2) std::swap(plan1, plan2);
+  for (auto& [plans, value] : savings_) {
+    if (plans == std::make_pair(plan1, plan2)) {
+      value += saving;
+      return;
+    }
+  }
+  savings_.push_back({{plan1, plan2}, saving});
+}
+
+int MqoProblem::QueryOfPlan(int plan) const {
+  QOPT_CHECK(plan >= 0 && plan < NumPlans());
+  return query_of_plan_[static_cast<std::size_t>(plan)];
+}
+
+const std::vector<int>& MqoProblem::PlansOfQuery(int q) const {
+  QOPT_CHECK(q >= 0 && q < NumQueries());
+  return queries_[static_cast<std::size_t>(q)];
+}
+
+double MqoProblem::PlanCost(int plan) const {
+  QOPT_CHECK(plan >= 0 && plan < NumPlans());
+  return cost_[static_cast<std::size_t>(plan)];
+}
+
+bool MqoProblem::IsValidSelection(const std::vector<int>& selection) const {
+  if (static_cast<int>(selection.size()) != NumQueries()) return false;
+  for (int q = 0; q < NumQueries(); ++q) {
+    const int plan = selection[static_cast<std::size_t>(q)];
+    if (plan < 0 || plan >= NumPlans() || QueryOfPlan(plan) != q) return false;
+  }
+  return true;
+}
+
+double MqoProblem::SelectionCost(const std::vector<int>& selection) const {
+  QOPT_CHECK_MSG(IsValidSelection(selection), "invalid MQO selection");
+  double total = 0.0;
+  for (int plan : selection) total += PlanCost(plan);
+  std::vector<std::uint8_t> chosen(static_cast<std::size_t>(NumPlans()), 0);
+  for (int plan : selection) chosen[static_cast<std::size_t>(plan)] = 1;
+  for (const auto& [plans, saving] : savings_) {
+    if (chosen[static_cast<std::size_t>(plans.first)] &&
+        chosen[static_cast<std::size_t>(plans.second)]) {
+      total -= saving;
+    }
+  }
+  return total;
+}
+
+bool MqoProblem::DecodeBits(const std::vector<std::uint8_t>& bits,
+                            std::vector<int>* selection) const {
+  QOPT_CHECK(static_cast<int>(bits.size()) == NumPlans());
+  QOPT_CHECK(selection != nullptr);
+  selection->assign(static_cast<std::size_t>(NumQueries()), -1);
+  for (int plan = 0; plan < NumPlans(); ++plan) {
+    if (!bits[static_cast<std::size_t>(plan)]) continue;
+    const int query = QueryOfPlan(plan);
+    if ((*selection)[static_cast<std::size_t>(query)] != -1) return false;
+    (*selection)[static_cast<std::size_t>(query)] = plan;
+  }
+  for (int plan_id : *selection) {
+    if (plan_id == -1) return false;
+  }
+  return true;
+}
+
+}  // namespace qopt

@@ -1,0 +1,68 @@
+#ifndef QQO_MQO_MQO_PROBLEM_H_
+#define QQO_MQO_MQO_PROBLEM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qopt {
+
+/// Multi query optimization problem (Sec. 4.1, following Trummer & Koch
+/// [9]): a batch of queries, each with alternative execution plans, plus
+/// pairwise cost savings for plans that can share subexpressions. A
+/// solution picks exactly one plan per query; its cost is
+///   sum of chosen plan costs - sum of savings whose two plans are chosen.
+class MqoProblem {
+ public:
+  MqoProblem() = default;
+
+  /// Appends a query with the given alternative plan costs (must be
+  /// non-empty); returns the query index. Plans get global consecutive
+  /// ids in insertion order.
+  int AddQuery(const std::vector<double>& plan_costs);
+
+  /// Registers cost savings `saving > 0` for executing both plans. The
+  /// plans must belong to different queries (sharing between alternatives
+  /// of one query is meaningless). Accumulates if called twice.
+  void AddSaving(int plan1, int plan2, double saving);
+
+  int NumQueries() const { return static_cast<int>(queries_.size()); }
+  int NumPlans() const { return static_cast<int>(cost_.size()); }
+  int NumSavings() const { return static_cast<int>(savings_.size()); }
+
+  /// Query the plan belongs to.
+  int QueryOfPlan(int plan) const;
+
+  /// Global plan ids of query `q`.
+  const std::vector<int>& PlansOfQuery(int q) const;
+
+  /// Execution cost of a plan.
+  double PlanCost(int plan) const;
+
+  /// All savings as ((plan1, plan2), value) with plan1 < plan2.
+  const std::vector<std::pair<std::pair<int, int>, double>>& Savings() const {
+    return savings_;
+  }
+
+  /// True iff `selection` (one global plan id per query, indexed by query)
+  /// is well-formed: selection[q] is a plan of query q.
+  bool IsValidSelection(const std::vector<int>& selection) const;
+
+  /// Total cost c_e of a valid selection (Eq. 25).
+  double SelectionCost(const std::vector<int>& selection) const;
+
+  /// Interprets a plan indicator bit vector (bit per plan) as a selection;
+  /// returns false if it does not select exactly one plan per query.
+  bool DecodeBits(const std::vector<std::uint8_t>& bits,
+                  std::vector<int>* selection) const;
+
+ private:
+  std::vector<std::vector<int>> queries_;  // query -> global plan ids
+  std::vector<int> query_of_plan_;
+  std::vector<double> cost_;
+  std::vector<std::pair<std::pair<int, int>, double>> savings_;
+};
+
+}  // namespace qopt
+
+#endif  // QQO_MQO_MQO_PROBLEM_H_

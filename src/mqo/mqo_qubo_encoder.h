@@ -1,0 +1,32 @@
+#ifndef QQO_MQO_MQO_QUBO_ENCODER_H_
+#define QQO_MQO_MQO_QUBO_ENCODER_H_
+
+#include "mqo/mqo_problem.h"
+#include "qubo/qubo_model.h"
+
+namespace qopt {
+
+/// The QUBO encoding of an MQO problem after [9] (Sec. 5.1):
+///
+///   E = wL * EL + wM * EM + EC + ES
+///
+/// with one binary variable X_p per plan. EL = -sum X_p rewards selecting
+/// plans, EM penalizes selecting two plans of the same query, EC adds the
+/// plan costs and ES subtracts pairwise savings. The penalty weights
+/// follow Eq. 34/35:
+///   wL > max_p c_p,     wM > wL + max_p1 sum_p2 s_{p1,p2}.
+struct MqoQuboEncoding {
+  QuboModel qubo;
+  double weight_l = 0.0;
+  double weight_m = 0.0;
+};
+
+/// Encodes `problem`; the variable of plan p is QUBO variable p.
+/// `slack` (> 0) is how much the penalty-weight inequalities are exceeded
+/// by.
+MqoQuboEncoding EncodeMqoAsQubo(const MqoProblem& problem,
+                                double slack = 1.0);
+
+}  // namespace qopt
+
+#endif  // QQO_MQO_MQO_QUBO_ENCODER_H_

@@ -1,0 +1,41 @@
+#include "qubo/brute_force_solver.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace qopt {
+
+BruteForceResult SolveQuboBruteForce(const QuboModel& qubo,
+                                     int max_variables) {
+  const int n = qubo.NumVariables();
+  QOPT_CHECK_MSG(n <= max_variables,
+                 "problem too large for exhaustive enumeration");
+  BruteForceResult result;
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(n), 0);
+  result.best_bits = bits;
+  result.best_energy = qubo.Energy(bits);
+  result.num_optima = 1;
+  if (n == 0) return result;
+
+  // Gray-code walk: between consecutive assignments exactly one bit flips,
+  // so the energy can be updated incrementally in O(degree).
+  const auto adjacency = qubo.BuildAdjacency();
+  double energy = result.best_energy;
+  const std::uint64_t total = std::uint64_t{1} << n;
+  for (std::uint64_t k = 1; k < total; ++k) {
+    const int flip = std::countr_zero(k);
+    energy += qubo.FlipDelta(bits, flip, adjacency);
+    bits[static_cast<std::size_t>(flip)] ^= 1;
+    if (energy < result.best_energy - 1e-12) {
+      result.best_energy = energy;
+      result.best_bits = bits;
+      result.num_optima = 1;
+    } else if (energy <= result.best_energy + 1e-12) {
+      ++result.num_optima;
+    }
+  }
+  return result;
+}
+
+}  // namespace qopt

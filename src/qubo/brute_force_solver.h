@@ -1,0 +1,28 @@
+#ifndef QQO_QUBO_BRUTE_FORCE_SOLVER_H_
+#define QQO_QUBO_BRUTE_FORCE_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/qubo_model.h"
+
+namespace qopt {
+
+/// Result of an exhaustive QUBO solve.
+struct BruteForceResult {
+  std::vector<std::uint8_t> best_bits;
+  double best_energy = 0.0;
+  /// Number of assignments attaining the minimum (useful to detect
+  /// degenerate ground states in tests).
+  std::uint64_t num_optima = 0;
+};
+
+/// Enumerates all 2^n assignments. Intended as a ground-truth oracle for
+/// tests and tiny examples; refuses problems with more than `max_variables`
+/// variables (default 26) to bound runtime.
+BruteForceResult SolveQuboBruteForce(const QuboModel& qubo,
+                                     int max_variables = 26);
+
+}  // namespace qopt
+
+#endif  // QQO_QUBO_BRUTE_FORCE_SOLVER_H_

@@ -1,0 +1,29 @@
+#ifndef QQO_QUBO_CONVERSIONS_H_
+#define QQO_QUBO_CONVERSIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/ising_model.h"
+#include "qubo/qubo_model.h"
+
+namespace qopt {
+
+/// Exact QUBO -> Ising transformation via x_i = (1 + s_i) / 2.
+/// Energies are preserved: qubo.Energy(bits) == ising.Energy(spins)
+/// whenever spins = BitsToSpins(bits).
+IsingModel QuboToIsing(const QuboModel& qubo);
+
+/// Exact Ising -> QUBO transformation via s_i = 2 x_i - 1 (inverse of
+/// QuboToIsing, up to floating-point rounding).
+QuboModel IsingToQubo(const IsingModel& ising);
+
+/// Maps bit values {0,1} to spins {-1,+1} (0 -> -1, 1 -> +1).
+std::vector<int> BitsToSpins(const std::vector<std::uint8_t>& bits);
+
+/// Maps spins {-1,+1} to bit values {0,1}.
+std::vector<std::uint8_t> SpinsToBits(const std::vector<int>& spins);
+
+}  // namespace qopt
+
+#endif  // QQO_QUBO_CONVERSIONS_H_

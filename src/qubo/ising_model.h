@@ -1,0 +1,54 @@
+#ifndef QQO_QUBO_ISING_MODEL_H_
+#define QQO_QUBO_ISING_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace qopt {
+
+/// Ising Hamiltonian over spins s_i in {-1, +1} (Eq. 13 of the paper,
+/// written with positive sign convention):
+///
+///   H(s) = offset + sum_i h_i s_i + sum_{i<j} J_{ij} s_i s_j.
+///
+/// QAOA and VQE act on this form; `conversions.h` maps it to/from
+/// QuboModel, which the paper treats as interchangeable (Sec. 3.3).
+class IsingModel {
+ public:
+  IsingModel() = default;
+  explicit IsingModel(int num_spins);
+
+  int NumSpins() const { return static_cast<int>(h_.size()); }
+  int NumCouplings() const { return static_cast<int>(j_.size()); }
+
+  void AddOffset(double value) { offset_ += value; }
+  double Offset() const { return offset_; }
+
+  void AddField(int i, double value);
+  double Field(int i) const;
+
+  void AddCoupling(int i, int j, double value);
+  double Coupling(int i, int j) const;
+
+  /// Energy of a spin assignment; spins[i] must be -1 or +1.
+  double Energy(const std::vector<int>& spins) const;
+
+  /// All couplings as ((i, j), J_ij) with i < j, sorted.
+  std::vector<std::pair<std::pair<int, int>, double>> Couplings() const;
+
+ private:
+  static std::uint64_t Key(int i, int j) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+           static_cast<std::uint32_t>(j);
+  }
+
+  double offset_ = 0.0;
+  std::vector<double> h_;
+  std::unordered_map<std::uint64_t, double> j_;  // key: i < j packed.
+};
+
+}  // namespace qopt
+
+#endif  // QQO_QUBO_ISING_MODEL_H_

@@ -1,0 +1,119 @@
+#include "qubo/qubo_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qopt {
+
+QuboModel::QuboModel(int num_variables) {
+  QOPT_CHECK(num_variables >= 0);
+  linear_.assign(static_cast<std::size_t>(num_variables), 0.0);
+}
+
+void QuboModel::AddLinear(int i, double value) {
+  QOPT_CHECK(i >= 0 && i < NumVariables());
+  linear_[static_cast<std::size_t>(i)] += value;
+}
+
+double QuboModel::Linear(int i) const {
+  QOPT_CHECK(i >= 0 && i < NumVariables());
+  return linear_[static_cast<std::size_t>(i)];
+}
+
+void QuboModel::AddQuadratic(int i, int j, double value) {
+  QOPT_CHECK(i >= 0 && i < NumVariables());
+  QOPT_CHECK(j >= 0 && j < NumVariables());
+  QOPT_CHECK_MSG(i != j, "diagonal terms belong in the linear part");
+  if (i > j) std::swap(i, j);
+  quadratic_[Key(i, j)] += value;
+}
+
+double QuboModel::Quadratic(int i, int j) const {
+  QOPT_CHECK(i >= 0 && i < NumVariables());
+  QOPT_CHECK(j >= 0 && j < NumVariables());
+  QOPT_CHECK(i != j);
+  if (i > j) std::swap(i, j);
+  auto it = quadratic_.find(Key(i, j));
+  return it == quadratic_.end() ? 0.0 : it->second;
+}
+
+void QuboModel::Compress(double epsilon) {
+  for (auto it = quadratic_.begin(); it != quadratic_.end();) {
+    if (std::abs(it->second) <= epsilon) {
+      it = quadratic_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double QuboModel::Energy(const std::vector<std::uint8_t>& bits) const {
+  QOPT_CHECK(static_cast<int>(bits.size()) == NumVariables());
+  double energy = offset_;
+  for (int i = 0; i < NumVariables(); ++i) {
+    if (bits[static_cast<std::size_t>(i)]) {
+      energy += linear_[static_cast<std::size_t>(i)];
+    }
+  }
+  for (const auto& [key, coeff] : quadratic_) {
+    const int i = static_cast<int>(key >> 32);
+    const int j = static_cast<int>(key & 0xFFFFFFFFu);
+    if (bits[static_cast<std::size_t>(i)] && bits[static_cast<std::size_t>(j)]) {
+      energy += coeff;
+    }
+  }
+  return energy;
+}
+
+std::vector<std::pair<std::pair<int, int>, double>> QuboModel::QuadraticTerms()
+    const {
+  std::vector<std::pair<std::pair<int, int>, double>> terms;
+  terms.reserve(quadratic_.size());
+  for (const auto& [key, coeff] : quadratic_) {
+    terms.push_back({{static_cast<int>(key >> 32),
+                      static_cast<int>(key & 0xFFFFFFFFu)},
+                     coeff});
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return terms;
+}
+
+SimpleGraph QuboModel::InteractionGraph() const {
+  SimpleGraph graph(NumVariables());
+  for (const auto& [key, coeff] : quadratic_) {
+    if (coeff == 0.0) continue;
+    graph.AddEdge(static_cast<int>(key >> 32),
+                  static_cast<int>(key & 0xFFFFFFFFu));
+  }
+  return graph;
+}
+
+std::vector<std::vector<std::pair<int, double>>> QuboModel::BuildAdjacency()
+    const {
+  std::vector<std::vector<std::pair<int, double>>> adjacency(
+      static_cast<std::size_t>(NumVariables()));
+  for (const auto& [key, coeff] : quadratic_) {
+    const int i = static_cast<int>(key >> 32);
+    const int j = static_cast<int>(key & 0xFFFFFFFFu);
+    adjacency[static_cast<std::size_t>(i)].emplace_back(j, coeff);
+    adjacency[static_cast<std::size_t>(j)].emplace_back(i, coeff);
+  }
+  return adjacency;
+}
+
+double QuboModel::FlipDelta(
+    const std::vector<std::uint8_t>& bits, int i,
+    const std::vector<std::vector<std::pair<int, double>>>& adjacency) const {
+  QOPT_CHECK(i >= 0 && i < NumVariables());
+  double delta = linear_[static_cast<std::size_t>(i)];
+  for (const auto& [j, coeff] : adjacency[static_cast<std::size_t>(i)]) {
+    if (bits[static_cast<std::size_t>(j)]) delta += coeff;
+  }
+  // Flipping 1 -> 0 removes those contributions instead of adding them.
+  return bits[static_cast<std::size_t>(i)] ? -delta : delta;
+}
+
+}  // namespace qopt

@@ -1,0 +1,88 @@
+#ifndef QQO_QUBO_QUBO_MODEL_H_
+#define QQO_QUBO_QUBO_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/simple_graph.h"
+
+namespace qopt {
+
+/// Quadratic unconstrained binary optimization problem
+///
+///   E(x) = offset + sum_i linear_i * x_i
+///               + sum_{i<j} quadratic_{ij} * x_i * x_j,     x_i in {0, 1}.
+///
+/// Stored sparsely in upper-triangular form. This is the common currency
+/// of the library: the MQO encoder (Ch. 5) and the join-ordering BILP
+/// encoder (Ch. 6) both produce a QuboModel, and every solver backend
+/// (brute force, simulated annealing, QAOA, VQE, annealer emulation)
+/// consumes one.
+class QuboModel {
+ public:
+  QuboModel() = default;
+
+  /// Creates a QUBO over `num_variables` binary variables, all zero terms.
+  explicit QuboModel(int num_variables);
+
+  int NumVariables() const { return static_cast<int>(linear_.size()); }
+
+  /// Number of non-zero quadratic terms (the "QUBO matrix density" metric
+  /// the paper reports in Table 4).
+  int NumQuadraticTerms() const { return static_cast<int>(quadratic_.size()); }
+
+  /// Adds `value` to the constant offset.
+  void AddOffset(double value) { offset_ += value; }
+  double Offset() const { return offset_; }
+
+  /// Adds `value` to the linear coefficient of x_i.
+  void AddLinear(int i, double value);
+  double Linear(int i) const;
+
+  /// Adds `value` to the quadratic coefficient of x_i * x_j (i != j; the
+  /// pair is normalized to i < j). A coefficient that becomes exactly zero
+  /// still counts as a stored term until Compress() is called.
+  void AddQuadratic(int i, int j, double value);
+  double Quadratic(int i, int j) const;
+
+  /// Removes stored quadratic terms whose magnitude is <= `epsilon`.
+  void Compress(double epsilon = 0.0);
+
+  /// Energy of an assignment (bits.size() == NumVariables()).
+  double Energy(const std::vector<std::uint8_t>& bits) const;
+
+  /// All quadratic entries as ((i, j), coefficient) with i < j.
+  std::vector<std::pair<std::pair<int, int>, double>> QuadraticTerms() const;
+
+  /// Graph with one vertex per variable and one edge per non-zero
+  /// quadratic term. This is the graph that must be minor-embedded into an
+  /// annealer topology and that determines QAOA interaction layers.
+  SimpleGraph InteractionGraph() const;
+
+  /// Per-variable adjacency: for each i the list of (j, coefficient)
+  /// partners. Useful for incremental energy updates in local-search
+  /// solvers. Rebuilt on each call.
+  std::vector<std::vector<std::pair<int, double>>> BuildAdjacency() const;
+
+  /// Energy delta from flipping bit `i` of `bits`, in O(degree(i)) given a
+  /// prebuilt adjacency.
+  double FlipDelta(
+      const std::vector<std::uint8_t>& bits, int i,
+      const std::vector<std::vector<std::pair<int, double>>>& adjacency) const;
+
+ private:
+  static std::uint64_t Key(int i, int j) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+           static_cast<std::uint32_t>(j);
+  }
+
+  double offset_ = 0.0;
+  std::vector<double> linear_;
+  std::unordered_map<std::uint64_t, double> quadratic_;  // key: i < j packed.
+};
+
+}  // namespace qopt
+
+#endif  // QQO_QUBO_QUBO_MODEL_H_

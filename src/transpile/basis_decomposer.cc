@@ -1,0 +1,124 @@
+#include "transpile/basis_decomposer.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace qopt {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+void EmitH(QuantumCircuit* out, int q) {
+  // H ~ RZ(pi/2) . SX . RZ(pi/2) (up to global phase).
+  out->Rz(q, kPi / 2.0);
+  out->Sx(q);
+  out->Rz(q, kPi / 2.0);
+}
+
+void EmitRy(QuantumCircuit* out, int q, double theta) {
+  // RY(t) = RX(pi/2) . RZ(pi - t) . RX(pi/2) . RZ(-pi) exactly (phase 1);
+  // with SX ~ RX(pi/2) the circuit order is rz, sx, rz, sx. Verified
+  // against the statevector in transpile_test.
+  out->Rz(q, -kPi);
+  out->Sx(q);
+  out->Rz(q, kPi - theta);
+  out->Sx(q);
+}
+
+void EmitRx(QuantumCircuit* out, int q, double theta) {
+  // RX(t) ~ RZ(pi/2) . SX . RZ(t + pi) . SX . RZ(pi/2) (the symmetric
+  // ZSXZSX Euler form).
+  out->Rz(q, kPi / 2.0);
+  out->Sx(q);
+  out->Rz(q, theta + kPi);
+  out->Sx(q);
+  out->Rz(q, kPi / 2.0);
+}
+
+}  // namespace
+
+QuantumCircuit DecomposeToBasis(const QuantumCircuit& circuit) {
+  QuantumCircuit out(circuit.NumQubits());
+  for (const Gate& g : circuit.Gates()) {
+    switch (g.kind) {
+      case GateKind::kH:
+        EmitH(&out, g.qubit0);
+        break;
+      case GateKind::kX:
+        out.X(g.qubit0);
+        break;
+      case GateKind::kY:
+        // Y ~ X . Z (up to global phase i): apply Z first, then X.
+        out.Rz(g.qubit0, kPi);
+        out.X(g.qubit0);
+        break;
+      case GateKind::kZ:
+        out.Rz(g.qubit0, kPi);
+        break;
+      case GateKind::kSx:
+        out.Sx(g.qubit0);
+        break;
+      case GateKind::kRx:
+        EmitRx(&out, g.qubit0, g.param);
+        break;
+      case GateKind::kRy:
+        EmitRy(&out, g.qubit0, g.param);
+        break;
+      case GateKind::kRz:
+        out.Rz(g.qubit0, g.param);
+        break;
+      case GateKind::kCx:
+        out.Cx(g.qubit0, g.qubit1);
+        break;
+      case GateKind::kCz:
+        // CZ = (I (x) H) CX (I (x) H).
+        EmitH(&out, g.qubit1);
+        out.Cx(g.qubit0, g.qubit1);
+        EmitH(&out, g.qubit1);
+        break;
+      case GateKind::kRzz:
+        // exp(-i t/2 Z(x)Z) = CX . RZ(t on target) . CX.
+        out.Cx(g.qubit0, g.qubit1);
+        out.Rz(g.qubit1, g.param);
+        out.Cx(g.qubit0, g.qubit1);
+        break;
+      case GateKind::kSwap:
+        out.Cx(g.qubit0, g.qubit1);
+        out.Cx(g.qubit1, g.qubit0);
+        out.Cx(g.qubit0, g.qubit1);
+        break;
+    }
+  }
+  return out;
+}
+
+QuantumCircuit MergeAdjacentRz(const QuantumCircuit& circuit) {
+  QuantumCircuit out(circuit.NumQubits());
+  // pending[q] holds an accumulated RZ angle not yet emitted for qubit q.
+  std::vector<double> pending(static_cast<std::size_t>(circuit.NumQubits()),
+                              0.0);
+  auto flush = [&](int q) {
+    double angle = std::fmod(pending[static_cast<std::size_t>(q)], 2.0 * kPi);
+    pending[static_cast<std::size_t>(q)] = 0.0;
+    if (std::abs(angle) < 1e-12 ||
+        std::abs(std::abs(angle) - 2.0 * kPi) < 1e-12) {
+      return;
+    }
+    out.Rz(q, angle);
+  };
+  for (const Gate& g : circuit.Gates()) {
+    if (g.kind == GateKind::kRz) {
+      pending[static_cast<std::size_t>(g.qubit0)] += g.param;
+      continue;
+    }
+    flush(g.qubit0);
+    if (g.NumQubits() == 2) flush(g.qubit1);
+    out.Append(g);
+  }
+  for (int q = 0; q < circuit.NumQubits(); ++q) flush(q);
+  return out;
+}
+
+}  // namespace qopt

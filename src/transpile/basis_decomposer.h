@@ -1,0 +1,21 @@
+#ifndef QQO_TRANSPILE_BASIS_DECOMPOSER_H_
+#define QQO_TRANSPILE_BASIS_DECOMPOSER_H_
+
+#include "circuit/quantum_circuit.h"
+
+namespace qopt {
+
+/// Rewrites a circuit into the IBM-Q Falcon/Hummingbird basis gate set
+/// {RZ, SX, X, CX}, equivalent up to global phase. RZZ becomes
+/// CX-RZ-CX, SWAP becomes three CX, CZ becomes H-CX-H on the target, and
+/// single-qubit gates are expressed in ZSXZ form.
+QuantumCircuit DecomposeToBasis(const QuantumCircuit& circuit);
+
+/// Light single-qubit peephole optimization (the analogue of Qiskit's
+/// optimization level 1 pass used in the paper): merges runs of adjacent
+/// RZ rotations on the same qubit and removes rotations that are 0 mod 2π.
+QuantumCircuit MergeAdjacentRz(const QuantumCircuit& circuit);
+
+}  // namespace qopt
+
+#endif  // QQO_TRANSPILE_BASIS_DECOMPOSER_H_

@@ -1,0 +1,53 @@
+#include "transpile/coupling_map.h"
+
+#include "common/check.h"
+#include "graph/shortest_paths.h"
+
+namespace qopt {
+
+CouplingMap::CouplingMap(std::string name, SimpleGraph graph)
+    : name_(std::move(name)), graph_(std::move(graph)) {
+  distance_ = AllPairsBfsDistances(graph_);
+}
+
+int CouplingMap::Distance(int a, int b) const {
+  QOPT_CHECK(a >= 0 && a < NumQubits());
+  QOPT_CHECK(b >= 0 && b < NumQubits());
+  return distance_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+bool CouplingMap::IsFullyConnected() const {
+  const int n = NumQubits();
+  return graph_.NumEdges() == n * (n - 1) / 2;
+}
+
+CouplingMap MakeFullyConnected(int num_qubits) {
+  QOPT_CHECK(num_qubits >= 1);
+  SimpleGraph graph(num_qubits);
+  for (int i = 0; i < num_qubits; ++i) {
+    for (int j = i + 1; j < num_qubits; ++j) graph.AddEdge(i, j);
+  }
+  return CouplingMap("full", std::move(graph));
+}
+
+CouplingMap MakeLinear(int num_qubits) {
+  QOPT_CHECK(num_qubits >= 1);
+  SimpleGraph graph(num_qubits);
+  for (int i = 0; i + 1 < num_qubits; ++i) graph.AddEdge(i, i + 1);
+  return CouplingMap("linear", std::move(graph));
+}
+
+CouplingMap MakeGrid(int rows, int cols) {
+  QOPT_CHECK(rows >= 1 && cols >= 1);
+  SimpleGraph graph(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) graph.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) graph.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return CouplingMap("grid", std::move(graph));
+}
+
+}  // namespace qopt

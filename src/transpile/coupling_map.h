@@ -1,0 +1,54 @@
+#ifndef QQO_TRANSPILE_COUPLING_MAP_H_
+#define QQO_TRANSPILE_COUPLING_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/simple_graph.h"
+
+namespace qopt {
+
+/// Device connectivity: which pairs of physical qubits support a two-qubit
+/// gate. Wraps the undirected connectivity graph plus a precomputed
+/// all-pairs distance matrix used by layout selection and swap routing.
+class CouplingMap {
+ public:
+  /// Builds a coupling map from a connectivity graph. `name` is used in
+  /// reports ("mumbai", "brooklyn", "full", ...).
+  CouplingMap(std::string name, SimpleGraph graph);
+
+  const std::string& Name() const { return name_; }
+  int NumQubits() const { return graph_.NumVertices(); }
+  const SimpleGraph& Graph() const { return graph_; }
+
+  /// True iff {a, b} is a directly coupled pair.
+  bool AreCoupled(int a, int b) const { return graph_.HasEdge(a, b); }
+
+  /// Hop distance between physical qubits (-1 if disconnected).
+  int Distance(int a, int b) const;
+
+  /// True iff every qubit can reach every other one.
+  bool IsConnected() const { return graph_.IsConnected(); }
+
+  /// True iff every pair of qubits is directly coupled.
+  bool IsFullyConnected() const;
+
+ private:
+  std::string name_;
+  SimpleGraph graph_;
+  std::vector<std::vector<int>> distance_;
+};
+
+/// All-to-all connectivity over n qubits — the "optimal topology" the
+/// paper's qasm-simulator results assume.
+CouplingMap MakeFullyConnected(int num_qubits);
+
+/// Path topology 0-1-2-...-n-1.
+CouplingMap MakeLinear(int num_qubits);
+
+/// Rectangular grid topology with `rows` x `cols` qubits.
+CouplingMap MakeGrid(int rows, int cols);
+
+}  // namespace qopt
+
+#endif  // QQO_TRANSPILE_COUPLING_MAP_H_

@@ -1,0 +1,49 @@
+#include "transpile/heavy_hex.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace qopt {
+
+CouplingMap MakeHeavyHex(int rows, int row_length) {
+  QOPT_CHECK(rows >= 1);
+  QOPT_CHECK(row_length >= 1);
+
+  // Qubit ids: first all row qubits (row-major), then the bridge qubits
+  // between consecutive rows in order.
+  std::vector<std::vector<int>> bridge_columns(
+      static_cast<std::size_t>(rows > 1 ? rows - 1 : 0));
+  int num_bridges = 0;
+  for (int gap = 0; gap + 1 < rows; ++gap) {
+    // Bridges every 4 columns; offset alternates 0, 2, 0, ... per gap.
+    const int offset = (gap % 2) * 2;
+    for (int col = offset; col < row_length; col += 4) {
+      bridge_columns[static_cast<std::size_t>(gap)].push_back(col);
+      ++num_bridges;
+    }
+  }
+  const int num_row_qubits = rows * row_length;
+  SimpleGraph graph(num_row_qubits + num_bridges);
+  auto row_qubit = [row_length](int row, int col) {
+    return row * row_length + col;
+  };
+  for (int row = 0; row < rows; ++row) {
+    for (int col = 0; col + 1 < row_length; ++col) {
+      graph.AddEdge(row_qubit(row, col), row_qubit(row, col + 1));
+    }
+  }
+  int bridge = num_row_qubits;
+  for (int gap = 0; gap + 1 < rows; ++gap) {
+    for (int col : bridge_columns[static_cast<std::size_t>(gap)]) {
+      graph.AddEdge(row_qubit(gap, col), bridge);
+      graph.AddEdge(bridge, row_qubit(gap + 1, col));
+      ++bridge;
+    }
+  }
+  return CouplingMap(StrFormat("heavy_hex_%dx%d", rows, row_length),
+                     std::move(graph));
+}
+
+}  // namespace qopt

@@ -1,0 +1,22 @@
+#ifndef QQO_TRANSPILE_HEAVY_HEX_H_
+#define QQO_TRANSPILE_HEAVY_HEX_H_
+
+#include "transpile/coupling_map.h"
+
+namespace qopt {
+
+/// Parameterized IBM-style heavy-hex lattice generator (the topology
+/// family of the Falcon/Hummingbird/Eagle processors): `rows` horizontal
+/// chains of `row_length` qubits each, joined by single bridge qubits
+/// placed every fourth column, with the bridge columns offset by two
+/// between successive row gaps — the pattern visible in Fig. 4 of the
+/// paper and in the 65-qubit Brooklyn device.
+///
+/// All qubits have degree <= 3. Useful for studying how the paper's
+/// depth-after-routing results extrapolate to larger future devices
+/// (e.g. rows=7, row_length=15 gives a 127-qubit Eagle-class lattice).
+CouplingMap MakeHeavyHex(int rows, int row_length);
+
+}  // namespace qopt
+
+#endif  // QQO_TRANSPILE_HEAVY_HEX_H_

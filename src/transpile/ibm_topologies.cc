@@ -1,0 +1,39 @@
+#include "transpile/ibm_topologies.h"
+
+namespace qopt {
+
+CouplingMap MakeMumbai27() {
+  // Falcon r4 heavy-hex lattice (ibmq_mumbai), 27 qubits / 28 couplers.
+  static constexpr int kEdges[][2] = {
+      {0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},   {5, 8},
+      {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12}, {11, 14}, {12, 13},
+      {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21},
+      {19, 20}, {19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26}};
+  SimpleGraph graph(27);
+  for (const auto& e : kEdges) graph.AddEdge(e[0], e[1]);
+  return CouplingMap("mumbai", std::move(graph));
+}
+
+CouplingMap MakeBrooklyn65() {
+  // Hummingbird r2 heavy-hex lattice (ibmq_brooklyn / ibmq_manhattan),
+  // 65 qubits / 72 couplers: five horizontal rows of qubits joined by
+  // vertical two-qubit bridges.
+  SimpleGraph graph(65);
+  auto add_row = [&graph](int first, int last) {
+    for (int q = first; q < last; ++q) graph.AddEdge(q, q + 1);
+  };
+  add_row(0, 9);    // row 0: qubits 0..9
+  add_row(13, 23);  // row 1: qubits 13..23
+  add_row(27, 37);  // row 2: qubits 27..37
+  add_row(41, 51);  // row 3: qubits 41..51
+  add_row(55, 64);  // row 4: qubits 55..64
+  static constexpr int kBridges[][2] = {
+      {0, 10},  {10, 13}, {4, 11},  {11, 17}, {8, 12},  {12, 21},
+      {15, 24}, {24, 29}, {19, 25}, {25, 33}, {23, 26}, {26, 37},
+      {27, 38}, {38, 41}, {31, 39}, {39, 45}, {35, 40}, {40, 49},
+      {43, 52}, {52, 56}, {47, 53}, {53, 60}, {51, 54}, {54, 64}};
+  for (const auto& e : kBridges) graph.AddEdge(e[0], e[1]);
+  return CouplingMap("brooklyn", std::move(graph));
+}
+
+}  // namespace qopt

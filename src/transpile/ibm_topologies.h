@@ -1,0 +1,18 @@
+#ifndef QQO_TRANSPILE_IBM_TOPOLOGIES_H_
+#define QQO_TRANSPILE_IBM_TOPOLOGIES_H_
+
+#include "transpile/coupling_map.h"
+
+namespace qopt {
+
+/// 27-qubit IBM Falcon heavy-hex coupling map — the topology of the
+/// IBM-Q Mumbai system used for the paper's MQO transpilations (Fig. 4).
+CouplingMap MakeMumbai27();
+
+/// 65-qubit IBM Hummingbird heavy-hex coupling map — the topology of the
+/// IBM-Q Brooklyn system used for the paper's join-ordering transpilations.
+CouplingMap MakeBrooklyn65();
+
+}  // namespace qopt
+
+#endif  // QQO_TRANSPILE_IBM_TOPOLOGIES_H_

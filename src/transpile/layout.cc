@@ -1,0 +1,59 @@
+#include "transpile/layout.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace qopt {
+
+std::vector<int> TrivialLayout(int num_logical) {
+  std::vector<int> layout(static_cast<std::size_t>(num_logical));
+  std::iota(layout.begin(), layout.end(), 0);
+  return layout;
+}
+
+std::vector<int> DenseLayout(const CouplingMap& coupling, int num_logical) {
+  const SimpleGraph& graph = coupling.Graph();
+  const int n = graph.NumVertices();
+  QOPT_CHECK_MSG(num_logical <= n, "circuit needs more qubits than device");
+  if (num_logical == 0) return {};
+
+  // Seed with the highest-degree physical qubit.
+  int seed = 0;
+  for (int v = 1; v < n; ++v) {
+    if (graph.Degree(v) > graph.Degree(seed)) seed = v;
+  }
+  std::vector<bool> selected(static_cast<std::size_t>(n), false);
+  std::vector<int> links(static_cast<std::size_t>(n), 0);  // edges into set
+  std::vector<int> chosen = {seed};
+  selected[static_cast<std::size_t>(seed)] = true;
+  for (int v : graph.Neighbors(seed)) ++links[static_cast<std::size_t>(v)];
+
+  while (static_cast<int>(chosen.size()) < num_logical) {
+    // Pick the unselected qubit with most links into the chosen set,
+    // breaking ties by total degree (denser region first).
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (selected[static_cast<std::size_t>(v)] ||
+          links[static_cast<std::size_t>(v)] == 0) {
+        continue;
+      }
+      if (best < 0 ||
+          links[static_cast<std::size_t>(v)] >
+              links[static_cast<std::size_t>(best)] ||
+          (links[static_cast<std::size_t>(v)] ==
+               links[static_cast<std::size_t>(best)] &&
+           graph.Degree(v) > graph.Degree(best))) {
+        best = v;
+      }
+    }
+    QOPT_CHECK_MSG(best >= 0, "device connectivity graph is disconnected");
+    selected[static_cast<std::size_t>(best)] = true;
+    chosen.push_back(best);
+    for (int v : graph.Neighbors(best)) ++links[static_cast<std::size_t>(v)];
+  }
+  return chosen;
+}
+
+}  // namespace qopt

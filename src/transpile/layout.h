@@ -1,0 +1,24 @@
+#ifndef QQO_TRANSPILE_LAYOUT_H_
+#define QQO_TRANSPILE_LAYOUT_H_
+
+#include <vector>
+
+#include "transpile/coupling_map.h"
+
+namespace qopt {
+
+/// A layout maps logical circuit qubits to physical device qubits:
+/// layout[logical] == physical.
+
+/// Identity layout: logical qubit i starts on physical qubit i.
+std::vector<int> TrivialLayout(int num_logical);
+
+/// Dense layout in the spirit of Qiskit's DenseLayout pass: selects a
+/// connected set of `num_logical` physical qubits with many internal
+/// couplers (greedy accretion from the highest-degree seed) so that routed
+/// circuits need fewer swaps than with a trivial layout.
+std::vector<int> DenseLayout(const CouplingMap& coupling, int num_logical);
+
+}  // namespace qopt
+
+#endif  // QQO_TRANSPILE_LAYOUT_H_

@@ -1,0 +1,53 @@
+#include "transpile/transpiler.h"
+
+#include "common/check.h"
+#include "common/random.h"
+#include "transpile/basis_decomposer.h"
+#include "transpile/layout.h"
+#include "transpile/swap_router.h"
+
+namespace qopt {
+
+TranspileResult Transpile(const QuantumCircuit& circuit,
+                          const CouplingMap& coupling,
+                          const TranspileOptions& options) {
+  QOPT_CHECK_MSG(circuit.NumQubits() <= coupling.NumQubits(),
+                 "circuit does not fit on the device");
+  Rng rng(options.seed);
+  const std::vector<int> layout =
+      options.dense_layout && !coupling.IsFullyConnected()
+          ? DenseLayout(coupling, circuit.NumQubits())
+          : TrivialLayout(circuit.NumQubits());
+
+  RoutedCircuit routed =
+      RouteCircuit(circuit, coupling, layout, &rng, options.router);
+
+  TranspileResult result;
+  result.initial_layout = std::move(routed.initial_layout);
+  result.final_layout = std::move(routed.final_layout);
+  QuantumCircuit transformed = std::move(routed.circuit);
+  if (options.to_basis) transformed = DecomposeToBasis(transformed);
+  if (options.optimize) transformed = MergeAdjacentRz(transformed);
+  result.depth = transformed.Depth();
+  result.circuit = std::move(transformed);
+  return result;
+}
+
+Summary TranspiledDepthStats(const QuantumCircuit& circuit,
+                             const CouplingMap& coupling, int num_trials,
+                             std::uint64_t seed0) {
+  QOPT_CHECK(num_trials >= 1);
+  std::vector<double> depths;
+  depths.reserve(static_cast<std::size_t>(num_trials));
+  for (int t = 0; t < num_trials; ++t) {
+    TranspileOptions options;
+    options.seed = seed0 + static_cast<std::uint64_t>(t);
+    depths.push_back(
+        static_cast<double>(Transpile(circuit, coupling, options).depth));
+    // A fully connected device is deterministic; one trial suffices.
+    if (coupling.IsFullyConnected()) break;
+  }
+  return Summarize(depths);
+}
+
+}  // namespace qopt

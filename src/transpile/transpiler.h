@@ -1,0 +1,53 @@
+#ifndef QQO_TRANSPILE_TRANSPILER_H_
+#define QQO_TRANSPILE_TRANSPILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/quantum_circuit.h"
+#include "common/stats.h"
+#include "transpile/coupling_map.h"
+#include "transpile/swap_router.h"
+
+namespace qopt {
+
+/// Options for the transpilation pipeline (the analogue of Qiskit
+/// transpile() at optimization level 1, which the paper uses).
+struct TranspileOptions {
+  /// Seed for the stochastic swap router.
+  std::uint64_t seed = 0;
+  /// Choose a dense initial layout instead of the trivial one.
+  bool dense_layout = true;
+  /// Rewrite into the {RZ, SX, X, CX} device basis after routing.
+  bool to_basis = true;
+  /// Merge adjacent RZ rotations (light optimization).
+  bool optimize = true;
+  /// Swap-routing heuristics (commutation awareness, lookahead).
+  RouterOptions router;
+};
+
+/// Result of transpiling a logical circuit for a device.
+struct TranspileResult {
+  QuantumCircuit circuit;            ///< Over physical qubits.
+  std::vector<int> initial_layout;   ///< logical -> physical at the start.
+  std::vector<int> final_layout;     ///< logical -> physical at the end.
+  int depth = 0;                     ///< circuit.Depth(), for convenience.
+};
+
+/// Full pipeline: layout -> stochastic swap routing -> basis decomposition
+/// -> peephole optimization. On a fully connected device no swaps are
+/// inserted and the layout is trivial.
+TranspileResult Transpile(const QuantumCircuit& circuit,
+                          const CouplingMap& coupling,
+                          const TranspileOptions& options = {});
+
+/// Transpiles `num_trials` times with seeds seed0, seed0+1, ... and
+/// summarizes the resulting depths — the "mean circuit depth over 20
+/// transpilations" statistic reported throughout the paper's evaluation.
+Summary TranspiledDepthStats(const QuantumCircuit& circuit,
+                             const CouplingMap& coupling, int num_trials,
+                             std::uint64_t seed0 = 0);
+
+}  // namespace qopt
+
+#endif  // QQO_TRANSPILE_TRANSPILER_H_

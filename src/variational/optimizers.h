@@ -1,0 +1,49 @@
+#ifndef QQO_VARIATIONAL_OPTIMIZERS_H_
+#define QQO_VARIATIONAL_OPTIMIZERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace qopt {
+
+/// Objective for the classical outer loop of a variational algorithm.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Result of a classical optimization run.
+struct OptimizeResult {
+  std::vector<double> x;
+  double fval = 0.0;
+  int evaluations = 0;
+  int iterations = 0;
+};
+
+/// Derivative-free Nelder–Mead simplex minimization (the COBYLA stand-in;
+/// both are the derivative-free local optimizers Qiskit defaults to).
+OptimizeResult MinimizeNelderMead(const Objective& objective,
+                                  const std::vector<double>& x0,
+                                  int max_iterations = 400,
+                                  double tolerance = 1e-6,
+                                  double initial_step = 0.5);
+
+/// Adam-style gradient descent with central finite-difference gradients.
+/// On a noiseless statevector backend the gradients are effectively
+/// exact, which makes this the strongest (if costly: 2N evaluations per
+/// step) outer optimizer for larger parameter counts.
+OptimizeResult MinimizeAdam(const Objective& objective,
+                            const std::vector<double>& x0,
+                            int max_iterations = 100,
+                            double learning_rate = 0.1,
+                            double gradient_step = 1e-4);
+
+/// Simultaneous perturbation stochastic approximation, the optimizer
+/// recommended for noisy quantum objective evaluations.
+OptimizeResult MinimizeSpsa(const Objective& objective,
+                            const std::vector<double>& x0,
+                            int max_iterations = 200,
+                            std::uint64_t seed = 0, double a = 0.2,
+                            double c = 0.1);
+
+}  // namespace qopt
+
+#endif  // QQO_VARIATIONAL_OPTIMIZERS_H_

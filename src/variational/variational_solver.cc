@@ -1,0 +1,158 @@
+#include "variational/variational_solver.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/statevector.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "qubo/conversions.h"
+#include "variational/optimizers.h"
+#include "variational/qaoa.h"
+
+namespace qopt {
+namespace {
+
+OptimizeResult RunOuterLoop(const Objective& objective,
+                            const std::vector<double>& x0,
+                            const VariationalOptions& options) {
+  switch (options.optimizer) {
+    case OuterOptimizer::kNelderMead:
+      return MinimizeNelderMead(objective, x0, options.max_iterations);
+    case OuterOptimizer::kSpsa:
+      return MinimizeSpsa(objective, x0, options.max_iterations,
+                          options.seed);
+    case OuterOptimizer::kAdam:
+      return MinimizeAdam(objective, x0,
+                          std::max(1, options.max_iterations / 4));
+  }
+  QOPT_CHECK_MSG(false, "unknown optimizer");
+  return {};
+}
+
+/// Simulates `circuit`, samples `shots` bit strings and returns the one
+/// with the lowest QUBO energy together with the state expectation.
+VariationalResult FinalizeFromCircuit(const QuboModel& qubo,
+                                      const IsingModel& ising,
+                                      QuantumCircuit circuit,
+                                      const VariationalOptions& options,
+                                      int evaluations) {
+  Statevector state = SimulateCircuit(circuit);
+  VariationalResult result;
+  result.expectation = state.IsingExpectation(ising);
+  Rng rng(options.seed + 0x5EED);
+  result.best_bits = state.Sample(&rng);
+  result.best_energy = qubo.Energy(result.best_bits);
+  for (int s = 1; s < options.shots; ++s) {
+    const std::vector<std::uint8_t> bits = state.Sample(&rng);
+    const double energy = qubo.Energy(bits);
+    if (energy < result.best_energy) {
+      result.best_energy = energy;
+      result.best_bits = bits;
+    }
+  }
+  result.optimal_circuit = std::move(circuit);
+  result.evaluations = evaluations;
+  return result;
+}
+
+}  // namespace
+
+VariationalResult SolveQuboWithQaoa(const QuboModel& qubo,
+                                    const VariationalOptions& options) {
+  QOPT_CHECK(qubo.NumVariables() >= 1);
+  QOPT_CHECK(options.qaoa_reps >= 1);
+  const IsingModel ising = QuboToIsing(qubo);
+  const std::vector<double> energies = IsingEnergyTable(ising);
+  const int p = options.qaoa_reps;
+
+  // theta = (gamma_1..gamma_p, beta_1..beta_p); initialized with zeros as
+  // in the paper's QAOA setup (Sec. 5.2.2).
+  auto split = [p](const std::vector<double>& theta) {
+    const std::vector<double> gammas(theta.begin(), theta.begin() + p);
+    const std::vector<double> betas(theta.begin() + p, theta.end());
+    return std::make_pair(gammas, betas);
+  };
+  Objective objective = [&](const std::vector<double>& theta) {
+    const auto [gammas, betas] = split(theta);
+    Statevector state =
+        SimulateCircuit(BuildQaoaCircuit(ising, gammas, betas));
+    const std::vector<double> probs = state.Probabilities();
+    double expectation = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      expectation += probs[i] * energies[i];
+    }
+    return expectation;
+  };
+
+  // Multi-start: the all-zero start of the paper's setup, the INTERP-style
+  // linear ramp (gamma rising, beta falling — the adiabatic-inspired
+  // schedule that works well for p > 1), and one random point.
+  std::vector<std::vector<double>> starts;
+  starts.emplace_back(static_cast<std::size_t>(2 * p), 0.0);
+  {
+    std::vector<double> ramp(static_cast<std::size_t>(2 * p));
+    for (int l = 0; l < p; ++l) {
+      const double frac = (l + 0.5) / p;
+      ramp[static_cast<std::size_t>(l)] = 0.4 * frac;            // gamma
+      ramp[static_cast<std::size_t>(p + l)] = 0.4 * (1 - frac);  // beta
+    }
+    starts.push_back(std::move(ramp));
+  }
+  {
+    Rng rng(options.seed + 17);
+    std::vector<double> random_start(static_cast<std::size_t>(2 * p));
+    for (double& v : random_start) v = rng.NextDouble(-0.5, 0.5);
+    starts.push_back(std::move(random_start));
+  }
+  OptimizeResult opt;
+  bool first = true;
+  for (const auto& x0 : starts) {
+    OptimizeResult candidate = RunOuterLoop(objective, x0, options);
+    if (first || candidate.fval < opt.fval) {
+      candidate.evaluations += first ? 0 : opt.evaluations;
+      opt = std::move(candidate);
+      first = false;
+    } else {
+      opt.evaluations += candidate.evaluations;
+    }
+  }
+  const auto [gammas, betas] = split(opt.x);
+  return FinalizeFromCircuit(qubo, ising, BuildQaoaCircuit(ising, gammas, betas),
+                             options, opt.evaluations);
+}
+
+VariationalResult SolveQuboWithVqe(const QuboModel& qubo,
+                                   const VariationalOptions& options) {
+  QOPT_CHECK(qubo.NumVariables() >= 1);
+  const IsingModel ising = QuboToIsing(qubo);
+  const std::vector<double> energies = IsingEnergyTable(ising);
+  const int n = qubo.NumVariables();
+  const int num_params = RealAmplitudesNumParameters(n, options.vqe_reps);
+
+  Objective objective = [&](const std::vector<double>& theta) {
+    Statevector state = SimulateCircuit(BuildRealAmplitudes(
+        n, options.vqe_reps, theta, options.vqe_entanglement));
+    const std::vector<double> probs = state.Probabilities();
+    double expectation = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      expectation += probs[i] * energies[i];
+    }
+    return expectation;
+  };
+
+  // Small random angles break the symmetry of the all-zero start (an RY(0)
+  // ansatz would stay in |0..0> for Nelder-Mead's degenerate directions).
+  Rng rng(options.seed);
+  std::vector<double> x0(static_cast<std::size_t>(num_params));
+  for (double& v : x0) {
+    v = rng.NextDouble(-std::numbers::pi / 8.0, std::numbers::pi / 8.0);
+  }
+  OptimizeResult opt = RunOuterLoop(objective, x0, options);
+  return FinalizeFromCircuit(
+      qubo, ising,
+      BuildRealAmplitudes(n, options.vqe_reps, opt.x, options.vqe_entanglement),
+      options, opt.evaluations);
+}
+
+}  // namespace qopt

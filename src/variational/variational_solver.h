@@ -1,0 +1,49 @@
+#ifndef QQO_VARIATIONAL_VARIATIONAL_SOLVER_H_
+#define QQO_VARIATIONAL_VARIATIONAL_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/quantum_circuit.h"
+#include "qubo/qubo_model.h"
+#include "variational/vqe_ansatz.h"
+
+namespace qopt {
+
+/// Classical optimizer choice for the variational outer loop.
+enum class OuterOptimizer { kNelderMead, kSpsa, kAdam };
+
+/// Options for the hybrid quantum-classical solvers. The defaults match
+/// the paper's setup: QAOA with p = 1 repetitions, VQE with the
+/// RealAmplitudes ansatz (3 reps, full entanglement).
+struct VariationalOptions {
+  int qaoa_reps = 1;
+  int vqe_reps = 3;
+  Entanglement vqe_entanglement = Entanglement::kFull;
+  OuterOptimizer optimizer = OuterOptimizer::kNelderMead;
+  int max_iterations = 300;
+  int shots = 1024;  ///< Samples drawn from the optimal state.
+  std::uint64_t seed = 0;
+};
+
+/// Result of a hybrid solve. `best_bits` is the lowest-energy sample drawn
+/// from the optimized state (the MinimumEigenOptimizer behaviour).
+struct VariationalResult {
+  std::vector<std::uint8_t> best_bits;
+  double best_energy = 0.0;       ///< QUBO energy of best_bits.
+  double expectation = 0.0;       ///< <H> of the optimized state.
+  QuantumCircuit optimal_circuit; ///< Ansatz bound to the optimal angles.
+  int evaluations = 0;            ///< Objective (circuit) evaluations.
+};
+
+/// Solves a QUBO with QAOA simulated on the statevector backend.
+VariationalResult SolveQuboWithQaoa(const QuboModel& qubo,
+                                    const VariationalOptions& options = {});
+
+/// Solves a QUBO with VQE simulated on the statevector backend.
+VariationalResult SolveQuboWithVqe(const QuboModel& qubo,
+                                   const VariationalOptions& options = {});
+
+}  // namespace qopt
+
+#endif  // QQO_VARIATIONAL_VARIATIONAL_SOLVER_H_

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/edge_coloring.h"
+#include "graph/shortest_paths.h"
+#include "graph/simple_graph.h"
+
+namespace qopt {
+namespace {
+
+SimpleGraph MakePath(int n) {
+  SimpleGraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+SimpleGraph MakeRandomGraph(int n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  SimpleGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.NextBool(density)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+TEST(SimpleGraphTest, EmptyGraph) {
+  SimpleGraph g(0);
+  EXPECT_EQ(g.NumVertices(), 0);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(SimpleGraphTest, AddEdgeAndQuery) {
+  SimpleGraph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(SimpleGraphTest, DuplicateEdgeIgnored) {
+  SimpleGraph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(1, 0));
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.Degree(0), 1);
+}
+
+TEST(SimpleGraphTest, DegreesAndMaxDegree) {
+  SimpleGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.Degree(0), 3);
+  EXPECT_EQ(g.Degree(3), 1);
+  EXPECT_EQ(g.MaxDegree(), 3);
+}
+
+TEST(SimpleGraphTest, EdgesAreNormalized) {
+  SimpleGraph g(3);
+  g.AddEdge(2, 0);
+  const auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 2));
+}
+
+TEST(SimpleGraphTest, Connectivity) {
+  SimpleGraph g = MakePath(4);
+  EXPECT_TRUE(g.IsConnected());
+  SimpleGraph h(4);
+  h.AddEdge(0, 1);
+  h.AddEdge(2, 3);
+  EXPECT_FALSE(h.IsConnected());
+}
+
+TEST(SimpleGraphTest, ConnectedSubset) {
+  SimpleGraph g = MakePath(5);
+  EXPECT_TRUE(g.IsConnectedSubset({1, 2, 3}));
+  EXPECT_FALSE(g.IsConnectedSubset({0, 2}));
+  EXPECT_TRUE(g.IsConnectedSubset({}));
+  EXPECT_TRUE(g.IsConnectedSubset({4}));
+}
+
+TEST(SimpleGraphTest, InducedSubgraphRelabels) {
+  SimpleGraph g = MakePath(5);
+  std::vector<bool> removed = {false, true, false, false, false};
+  std::vector<int> relabel;
+  SimpleGraph sub = g.InducedSubgraph(removed, &relabel);
+  EXPECT_EQ(sub.NumVertices(), 4);
+  EXPECT_EQ(relabel[0], 0);
+  EXPECT_EQ(relabel[1], -1);
+  EXPECT_EQ(relabel[2], 1);
+  // Path 0-1-2-3-4 minus vertex 1 leaves edges (2,3),(3,4) -> (1,2),(2,3).
+  EXPECT_EQ(sub.NumEdges(), 2);
+  EXPECT_TRUE(sub.HasEdge(1, 2));
+  EXPECT_TRUE(sub.HasEdge(2, 3));
+  EXPECT_FALSE(sub.IsConnected());
+}
+
+TEST(ShortestPathsTest, BfsDistancesOnPath) {
+  SimpleGraph g = MakePath(5);
+  const ShortestPathTree tree = BfsShortestPaths(g, 0);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(tree.distance[static_cast<std::size_t>(v)], v);
+  }
+  EXPECT_EQ(tree.parent[4], 3);
+  EXPECT_EQ(tree.parent[0], -1);
+}
+
+TEST(ShortestPathsTest, UnreachableIsInfinite) {
+  SimpleGraph g(3);
+  g.AddEdge(0, 1);
+  const ShortestPathTree tree = BfsShortestPaths(g, 0);
+  EXPECT_EQ(tree.distance[2], kInfiniteDistance);
+}
+
+TEST(ShortestPathsTest, AllPairsMatchesSingleSource) {
+  SimpleGraph g = MakeRandomGraph(12, 0.3, 5);
+  const auto all = AllPairsBfsDistances(g);
+  for (int s = 0; s < 12; ++s) {
+    const ShortestPathTree tree = BfsShortestPaths(g, s);
+    for (int v = 0; v < 12; ++v) {
+      const double d = tree.distance[static_cast<std::size_t>(v)];
+      if (d == kInfiniteDistance) {
+        EXPECT_EQ(all[s][v], -1);
+      } else {
+        EXPECT_EQ(all[s][v], static_cast<int>(d));
+      }
+    }
+  }
+}
+
+TEST(ShortestPathsTest, VertexWeightedPrefersCheapVertices) {
+  // 0 - 1 - 3 and 0 - 2 - 3; vertex 1 is expensive.
+  SimpleGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 3);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  const std::vector<double> cost = {1.0, 100.0, 1.0, 1.0};
+  const ShortestPathTree tree = VertexWeightedDijkstra(g, {0}, cost);
+  EXPECT_DOUBLE_EQ(tree.distance[3], 2.0);  // via vertex 2
+  EXPECT_EQ(tree.parent[3], 2);
+}
+
+TEST(ShortestPathsTest, MultiSourceStartsAtZero) {
+  SimpleGraph g = MakePath(6);
+  const std::vector<double> cost(6, 1.0);
+  const ShortestPathTree tree = VertexWeightedDijkstra(g, {0, 5}, cost);
+  EXPECT_DOUBLE_EQ(tree.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(tree.distance[5], 0.0);
+  EXPECT_DOUBLE_EQ(tree.distance[2], 2.0);
+  EXPECT_DOUBLE_EQ(tree.distance[3], 2.0);
+}
+
+class EdgeColoringParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeColoringParamTest, ColoringIsProperAndBounded) {
+  const int seed = GetParam();
+  SimpleGraph g = MakeRandomGraph(14, 0.25 + 0.05 * (seed % 5), seed);
+  const EdgeColoring coloring = GreedyEdgeColoring(g);
+  const auto edges = g.Edges();
+  ASSERT_EQ(coloring.color.size(), edges.size());
+  // Proper: edges sharing a vertex have different colors.
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      const bool share = edges[i].first == edges[j].first ||
+                         edges[i].first == edges[j].second ||
+                         edges[i].second == edges[j].first ||
+                         edges[i].second == edges[j].second;
+      if (share) EXPECT_NE(coloring.color[i], coloring.color[j]);
+    }
+  }
+  // Vizing-style bound for greedy: < 2 * max degree.
+  if (g.NumEdges() > 0) {
+    EXPECT_GE(coloring.num_colors, g.MaxDegree());
+    EXPECT_LE(coloring.num_colors, 2 * g.MaxDegree() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, EdgeColoringParamTest,
+                         ::testing::Range(0, 10));
+
+TEST(EdgeColoringTest, EmptyGraph) {
+  SimpleGraph g(3);
+  const EdgeColoring coloring = GreedyEdgeColoring(g);
+  EXPECT_EQ(coloring.num_colors, 0);
+}
+
+TEST(EdgeColoringTest, CompleteGraphK4NeedsAtLeastThreeColors) {
+  SimpleGraph g(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) g.AddEdge(i, j);
+  }
+  const EdgeColoring coloring = GreedyEdgeColoring(g);
+  EXPECT_GE(coloring.num_colors, 3);
+  EXPECT_LE(coloring.num_colors, 5);
+}
+
+}  // namespace
+}  // namespace qopt

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace qopt {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->IsNull());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("3.5")->AsNumber(), 3.5);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-0.25e2")->AsNumber(), -25.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  const auto value = JsonValue::Parse("  {\n \"a\" : [ 1 , 2 ] }\t");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->Find("a")->Size(), 2u);
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const auto value = JsonValue::Parse(
+      R"({"x": {"y": [1, {"z": true}, null]}, "w": "s"})");
+  ASSERT_TRUE(value.has_value());
+  const JsonValue* x = value->Find("x");
+  ASSERT_NE(x, nullptr);
+  const JsonValue* y = x->Find("y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->Size(), 3u);
+  EXPECT_TRUE(y->At(1).Find("z")->AsBool());
+  EXPECT_TRUE(y->At(2).IsNull());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  const auto value = JsonValue::Parse(R"("a\"b\\c\nd\te")");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->AsString(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+        "[1] garbage", "{\"a\":1,}x", "nul", "\"\x01\""}) {
+    EXPECT_FALSE(JsonValue::Parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_EQ(JsonValue::Parse("[]")->Size(), 0u);
+  EXPECT_EQ(JsonValue::Parse("{}")->Size(), 0u);
+}
+
+TEST(JsonDumpTest, CompactRoundTrip) {
+  const char* doc = R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+  const auto value = JsonValue::Parse(doc);
+  ASSERT_TRUE(value.has_value());
+  const auto reparsed = JsonValue::Parse(value->Dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->Dump(), value->Dump());
+}
+
+TEST(JsonDumpTest, PrettyOutputReparses) {
+  JsonValue object = JsonValue::Object();
+  object.Set("list", JsonValue::Array());
+  JsonValue* unused = nullptr;
+  (void)unused;
+  JsonValue list = JsonValue::Array();
+  list.Append(JsonValue::Number(1));
+  list.Append(JsonValue::String("two"));
+  object.Set("list", std::move(list));
+  object.Set("flag", JsonValue::Bool(true));
+  const std::string pretty = object.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const auto reparsed = JsonValue::Parse(pretty);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->Dump(), object.Dump());
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(JsonValue::Number(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Number(-3.0).Dump(), "-3");
+  EXPECT_EQ(JsonValue::Number(0.5).Dump(), "0.5");
+}
+
+TEST(JsonDumpTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonValue::String("a\"b\nc").Dump(), R"("a\"b\nc")");
+}
+
+TEST(JsonValueTest, AsIntValidation) {
+  EXPECT_EQ(JsonValue::Parse("7")->AsInt(), 7);
+  EXPECT_EQ(JsonValue::Parse("-7")->AsInt(), -7);
+}
+
+TEST(JsonValueTest, FindOnMissingKeyReturnsNull) {
+  const auto value = JsonValue::Parse(R"({"a": 1})");
+  EXPECT_EQ(value->Find("b"), nullptr);
+  EXPECT_TRUE(value->Has("a"));
+  EXPECT_FALSE(value->Has("b"));
+}
+
+TEST(JsonFileTest, ReadWriteRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/qqo_json_test.json";
+  ASSERT_TRUE(WriteStringToFile(path, "{\"k\": [1, 2]}"));
+  const auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.has_value());
+  const auto value = JsonValue::Parse(*content);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->Find("k")->Size(), 2u);
+}
+
+TEST(JsonFileTest, MissingFileYieldsNullopt) {
+  EXPECT_FALSE(ReadFileToString("/nonexistent/qqo/file.json").has_value());
+}
+
+}  // namespace
+}  // namespace qopt

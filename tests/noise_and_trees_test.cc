@@ -1,0 +1,175 @@
+// Tests for the Pauli noise model and the bushy join-tree extension.
+#include <gtest/gtest.h>
+
+#include "circuit/noise_model.h"
+#include "circuit/statevector.h"
+#include "joinorder/join_order_baselines.h"
+#include "joinorder/join_tree.h"
+#include "joinorder/query_graph.h"
+
+namespace qopt {
+namespace {
+
+// --- Noise model ----------------------------------------------------------
+
+TEST(NoiseModelTest, ZeroNoiseIsIdentity) {
+  QuantumCircuit c(2);
+  c.H(0);
+  c.Cx(0, 1);
+  Rng rng(1);
+  int errors = -1;
+  const QuantumCircuit noisy =
+      InjectPauliNoise(c, NoiseModel{0.0, 0.0}, &rng, &errors);
+  EXPECT_EQ(errors, 0);
+  EXPECT_EQ(noisy.NumGates(), c.NumGates());
+}
+
+TEST(NoiseModelTest, CertainNoiseInjectsEveryGate) {
+  QuantumCircuit c(2);
+  c.H(0);
+  c.Cx(0, 1);
+  Rng rng(1);
+  int errors = 0;
+  const QuantumCircuit noisy =
+      InjectPauliNoise(c, NoiseModel{0.999999, 0.999999}, &rng, &errors);
+  // 1 error after H + 2 after CX (one per involved qubit).
+  EXPECT_EQ(errors, 3);
+  EXPECT_EQ(noisy.NumGates(), c.NumGates() + errors);
+}
+
+TEST(NoiseModelTest, ErrorRateMatchesExpectation) {
+  QuantumCircuit c(1);
+  for (int i = 0; i < 100; ++i) c.Sx(0);
+  Rng rng(5);
+  const double p = 0.03;
+  int total_errors = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    int errors = 0;
+    InjectPauliNoise(c, NoiseModel{p, 0.0}, &rng, &errors);
+    total_errors += errors;
+  }
+  const double mean = static_cast<double>(total_errors) / trials;
+  EXPECT_NEAR(mean, 100 * p, 0.5);
+}
+
+TEST(NoiseModelTest, CleanFractionDecaysWithDepth) {
+  const NoiseModel noise{0.01, 0.02};
+  auto clean_fraction = [&](int layers) {
+    QuantumCircuit c(3);
+    for (int l = 0; l < layers; ++l) {
+      c.H(0);
+      c.Cx(0, 1);
+      c.Cx(1, 2);
+    }
+    return SampleNoisyCircuit(c, noise, 300, 7).clean_fraction;
+  };
+  const double shallow = clean_fraction(2);
+  const double deep = clean_fraction(20);
+  EXPECT_GT(shallow, deep);
+  EXPECT_LT(deep, 0.5);
+}
+
+TEST(NoiseModelTest, FidelityBoundedAndHighForLowNoise) {
+  QuantumCircuit c(3);
+  c.H(0);
+  c.Cx(0, 1);
+  c.Cx(1, 2);
+  const NoisySamplingResult result =
+      SampleNoisyCircuit(c, NoiseModel{0.001, 0.002}, 200, 3);
+  EXPECT_GE(result.mean_fidelity, 0.9);
+  EXPECT_LE(result.mean_fidelity, 1.0 + 1e-12);
+  EXPECT_GT(result.clean_fraction, 0.9);
+}
+
+// --- Join trees -------------------------------------------------------------
+
+TEST(JoinTreeTest, LeftDeepConstructionAndCost) {
+  const QueryGraph graph = MakePaperExampleQuery();
+  const JoinTree tree = JoinTree::FromLeftDeepOrder({0, 1, 2});
+  EXPECT_TRUE(tree.IsLeftDeep());
+  EXPECT_EQ(tree.Relations(), (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(tree.Cost(graph), 51000.0);  // Table 3
+  EXPECT_DOUBLE_EQ(tree.Cost(graph, false), 1000.0);
+  EXPECT_EQ(tree.ToString(), "((R0 |><| R1) |><| R2)");
+}
+
+TEST(JoinTreeTest, BushyTreeIsNotLeftDeep) {
+  const JoinTree bushy = JoinTree::Join(
+      JoinTree::Join(JoinTree::Leaf(0), JoinTree::Leaf(1)),
+      JoinTree::Join(JoinTree::Leaf(2), JoinTree::Leaf(3)));
+  EXPECT_FALSE(bushy.IsLeftDeep());
+  EXPECT_EQ(bushy.Relations(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(JoinTreeTest, CostMatchesCoutForLeftDeepOrders) {
+  QueryGeneratorOptions gen;
+  gen.num_relations = 6;
+  gen.num_predicates = 8;
+  gen.cardinality_min = 10.0;
+  gen.cardinality_max = 10000.0;
+  gen.selectivity_min = 0.001;
+  gen.seed = 3;
+  const QueryGraph graph = GenerateRandomQuery(gen);
+  const JoinOrderSolution dp = SolveJoinOrderDp(graph);
+  const JoinTree tree = JoinTree::FromLeftDeepOrder(dp.order);
+  EXPECT_NEAR(tree.Cost(graph) / CoutCost(graph, dp.order), 1.0, 1e-12);
+}
+
+class BushyDpParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BushyDpParamTest, BushyNeverWorseThanLeftDeep) {
+  QueryGeneratorOptions gen;
+  gen.num_relations = 7;
+  gen.num_predicates = 8 + (GetParam() % 4);
+  gen.cardinality_min = 10.0;
+  gen.cardinality_max = 100000.0;
+  gen.selectivity_min = 0.0005;
+  gen.seed = GetParam();
+  const QueryGraph graph = GenerateRandomQuery(gen);
+  const JoinOrderSolution left_deep = SolveJoinOrderDp(graph);
+  const BushyDpResult bushy = SolveJoinOrderBushyDp(graph);
+  EXPECT_LE(bushy.cost, left_deep.cost * (1.0 + 1e-12));
+  // The tree's own cost evaluation agrees with the DP value.
+  EXPECT_NEAR(bushy.tree.Cost(graph) / bushy.cost, 1.0, 1e-12);
+  // Every relation appears exactly once.
+  std::vector<int> relations = bushy.tree.Relations();
+  std::sort(relations.begin(), relations.end());
+  for (int r = 0; r < graph.NumRelations(); ++r) {
+    EXPECT_EQ(relations[static_cast<std::size_t>(r)], r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BushyDpParamTest, ::testing::Range(0, 8));
+
+TEST(BushyDpTest, StarQueryBushyCanBeatLeftDeepOrTie) {
+  // On a star query with uniform selectivities bushy trees tie left-deep;
+  // the DP must not return anything worse.
+  const QueryGraph star = GenerateStarQuery(6, 100.0, 0.01);
+  const JoinOrderSolution left_deep = SolveJoinOrderDp(star);
+  const BushyDpResult bushy = SolveJoinOrderBushyDp(star);
+  EXPECT_LE(bushy.cost, left_deep.cost * (1.0 + 1e-12));
+}
+
+TEST(BushyDpTest, SingleRelation) {
+  QueryGraph graph({42.0});
+  const BushyDpResult result = SolveJoinOrderBushyDp(graph);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+  EXPECT_TRUE(result.tree.IsLeaf());
+}
+
+TEST(BushyDpTest, TwoRelations) {
+  QueryGraph graph({10.0, 20.0});
+  graph.AddPredicate(0, 1, 0.5);
+  const BushyDpResult result = SolveJoinOrderBushyDp(graph);
+  EXPECT_DOUBLE_EQ(result.cost, 100.0);  // 10 * 20 * 0.5
+}
+
+TEST(JoinTreeTest, EmptyDefaultTree) {
+  JoinTree tree;
+  EXPECT_TRUE(tree.IsEmpty());
+  EXPECT_FALSE(tree.IsLeaf());
+}
+
+}  // namespace
+}  // namespace qopt

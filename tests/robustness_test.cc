@@ -1,0 +1,307 @@
+// Robustness and property tests across modules: semantic preservation of
+// commutation-aware routing, cluster-move annealing correctness, encoder
+// pruning equivalence, and assorted edge cases.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <numbers>
+
+#include "anneal/chimera.h"
+#include "anneal/embedding_composite.h"
+#include "anneal/simulated_annealer.h"
+#include "bilp/bilp_branch_and_bound.h"
+#include "circuit/statevector.h"
+#include "common/random.h"
+#include "joinorder/join_order.h"
+#include "joinorder/join_order_bilp_encoder.h"
+#include "joinorder/query_graph.h"
+#include "variational/qaoa.h"
+#include "mqo/mqo_generator.h"
+#include "mqo/mqo_qubo_encoder.h"
+#include "qubo/brute_force_solver.h"
+#include "qubo/conversions.h"
+#include "transpile/coupling_map.h"
+#include "transpile/layout.h"
+#include "transpile/swap_router.h"
+
+namespace qopt {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+double Fidelity(const std::vector<std::complex<double>>& a,
+                const std::vector<std::complex<double>>& b) {
+  std::complex<double> inner = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) inner += std::conj(a[i]) * b[i];
+  return std::norm(inner);
+}
+
+QuboModel MakeRandomQubo(int n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  QuboModel qubo(n);
+  for (int i = 0; i < n; ++i) qubo.AddLinear(i, rng.NextDouble(-2.0, 2.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.NextBool(density)) {
+        qubo.AddQuadratic(i, j, rng.NextDouble(-2.0, 2.0));
+      }
+    }
+  }
+  return qubo;
+}
+
+// --- Commutation-aware routing preserves semantics -----------------------------
+
+class CommuteRoutingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommuteRoutingTest, ReorderedDiagonalRunsPreserveState) {
+  Rng rng(GetParam());
+  const int n = 5;
+  QuantumCircuit circuit(n);
+  // Mix of diagonal runs (rz, rzz, cz) and non-commuting gates.
+  for (int g = 0; g < 30; ++g) {
+    const int a = rng.NextInt(0, n - 1);
+    int b = rng.NextInt(0, n - 1);
+    while (b == a) b = rng.NextInt(0, n - 1);
+    switch (rng.NextInt(0, 4)) {
+      case 0: circuit.Rzz(a, b, rng.NextDouble(-kPi, kPi)); break;
+      case 1: circuit.Rz(a, rng.NextDouble(-kPi, kPi)); break;
+      case 2: circuit.Cz(a, b); break;
+      case 3: circuit.H(a); break;
+      default: circuit.Cx(a, b); break;
+    }
+  }
+  const CouplingMap line = MakeLinear(n);
+  Rng route_rng(GetParam() + 99);
+  RouterOptions router;  // commute + lookahead on
+  const RoutedCircuit routed =
+      RouteCircuit(circuit, line, TrivialLayout(n), &route_rng, router);
+
+  const auto expected = SimulateCircuit(circuit).Amplitudes();
+  const auto physical = SimulateCircuit(routed.circuit).Amplitudes();
+  std::vector<std::complex<double>> actual(expected.size(), 0.0);
+  for (std::size_t p_index = 0; p_index < physical.size(); ++p_index) {
+    std::size_t l_index = 0;
+    for (int l = 0; l < n; ++l) {
+      const int p = routed.final_layout[static_cast<std::size_t>(l)];
+      if (p_index & (std::size_t{1} << p)) l_index |= std::size_t{1} << l;
+    }
+    actual[l_index] += physical[p_index];
+  }
+  EXPECT_NEAR(Fidelity(expected, actual), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommuteRoutingTest, ::testing::Range(0, 8));
+
+TEST(CommuteRoutingTest, CommuteOffAlsoPreservesSemantics) {
+  QuantumCircuit circuit(4);
+  circuit.H(0);
+  circuit.Rzz(0, 3, 0.7);
+  circuit.Rzz(1, 2, -0.4);
+  circuit.Cx(0, 2);
+  const CouplingMap line = MakeLinear(4);
+  for (const bool commute : {true, false}) {
+    Rng rng(5);
+    RouterOptions router;
+    router.commute_diagonal = commute;
+    router.lookahead = 0;
+    const RoutedCircuit routed =
+        RouteCircuit(circuit, line, TrivialLayout(4), &rng, router);
+    for (const Gate& g : routed.circuit.Gates()) {
+      if (g.NumQubits() == 2) EXPECT_TRUE(line.AreCoupled(g.qubit0, g.qubit1));
+    }
+  }
+}
+
+TEST(CommuteRoutingTest, CommutationReducesSwapCount) {
+  // A QAOA-like all-pairs RZZ layer on a line benefits from reordering.
+  const int n = 8;
+  QuantumCircuit circuit(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) circuit.Rzz(i, j, 0.3);
+  }
+  const CouplingMap line = MakeLinear(n);
+  auto swaps_with = [&](bool commute) {
+    Rng rng(3);
+    RouterOptions router;
+    router.commute_diagonal = commute;
+    const RoutedCircuit routed =
+        RouteCircuit(circuit, line, TrivialLayout(n), &rng, router);
+    const auto counts = routed.circuit.CountOps();
+    auto it = counts.find("swap");
+    return it == counts.end() ? 0 : it->second;
+  };
+  EXPECT_LT(swaps_with(true), swaps_with(false));
+}
+
+// --- Cluster-move annealing -----------------------------------------------------
+
+class ClusterMoveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterMoveTest, GroupFlipsKeepEnergyBookkeepingConsistent) {
+  const QuboModel qubo = MakeRandomQubo(10, 0.5, GetParam());
+  const BruteForceResult exact = SolveQuboBruteForce(qubo);
+  Rng rng(GetParam());
+  AnnealOptions options;
+  options.num_reads = 15;
+  options.num_sweeps = 300;
+  options.seed = GetParam() + 3;
+  // Random overlapping groups; correctness must not depend on their shape.
+  for (int g = 0; g < 4; ++g) {
+    std::vector<int> group;
+    for (int i = 0; i < 10; ++i) {
+      if (rng.NextBool(0.4)) group.push_back(i);
+    }
+    if (!group.empty()) options.flip_groups.push_back(group);
+  }
+  const AnnealResult result = SolveQuboWithAnnealing(qubo, options);
+  // Reported energy must match a fresh evaluation, and never beat exact.
+  EXPECT_NEAR(result.best_energy, qubo.Energy(result.best_bits), 1e-9);
+  EXPECT_GE(result.best_energy, exact.best_energy - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterMoveTest, ::testing::Range(0, 6));
+
+TEST(ClusterMoveTest, GroupMovesEscapeChainBarriers) {
+  // Two strongly ferromagnetically coupled pairs with a weak preference
+  // for the all-ones state: single flips must cross a huge barrier, a
+  // pair flip crosses none.
+  QuboModel qubo(4);
+  const double strong = 100.0;
+  // Pairs (0,1) and (2,3): x0 == x1 and x2 == x3 strongly preferred.
+  for (const auto& [a, b] : {std::pair<int, int>{0, 1}, {2, 3}}) {
+    qubo.AddQuadratic(a, b, -2.0 * strong);
+    qubo.AddLinear(a, strong);
+    qubo.AddLinear(b, strong);
+  }
+  // Slight preference for ones.
+  for (int i = 0; i < 4; ++i) qubo.AddLinear(i, -0.5);
+  AnnealOptions options;
+  options.num_reads = 5;
+  options.num_sweeps = 100;
+  options.seed = 1;
+  options.flip_groups = {{0, 1}, {2, 3}};
+  const AnnealResult result = SolveQuboWithAnnealing(qubo, options);
+  EXPECT_NEAR(result.best_energy, SolveQuboBruteForce(qubo).best_energy,
+              1e-9);
+}
+
+// --- Encoder pruning equivalence --------------------------------------------------
+
+class PruningEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruningEquivalenceTest, PrunedModelKeepsOptimalObjective) {
+  QueryGeneratorOptions gen;
+  gen.num_relations = 3;
+  gen.num_predicates = 2;
+  gen.cardinality_min = 10.0;
+  gen.cardinality_max = 100.0;
+  gen.selectivity_min = 0.2;
+  gen.seed = GetParam();
+  const QueryGraph graph = GenerateRandomQuery(gen);
+  JoinOrderEncoderOptions base;
+  base.thresholds = {10.0, 1000.0, 1e7};  // 1e7 is unreachable
+  base.safe_slack_bounds = true;
+  JoinOrderEncoderOptions pruned = base;
+  pruned.prune_unreachable_cto = true;
+
+  const auto full_solution =
+      SolveBilpBranchAndBound(EncodeJoinOrderAsBilp(graph, base).bilp);
+  const auto pruned_solution =
+      SolveBilpBranchAndBound(EncodeJoinOrderAsBilp(graph, pruned).bilp);
+  ASSERT_TRUE(full_solution.has_value());
+  ASSERT_TRUE(pruned_solution.has_value());
+  EXPECT_NEAR(full_solution->objective, pruned_solution->objective, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningEquivalenceTest, ::testing::Range(0, 4));
+
+// --- Misc edge cases ----------------------------------------------------------------
+
+TEST(EdgeCaseTest, RngBoundOne) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextUint64(1), 0u);
+}
+
+TEST(EdgeCaseTest, CouplingDistanceSymmetric) {
+  const CouplingMap grid = MakeGrid(3, 3);
+  for (int a = 0; a < 9; ++a) {
+    for (int b = 0; b < 9; ++b) {
+      EXPECT_EQ(grid.Distance(a, b), grid.Distance(b, a));
+    }
+  }
+}
+
+TEST(EdgeCaseTest, CompressWithEpsilonDropsTinyTerms) {
+  QuboModel qubo(3);
+  qubo.AddQuadratic(0, 1, 1e-13);
+  qubo.AddQuadratic(1, 2, 0.5);
+  qubo.Compress(1e-12);
+  EXPECT_EQ(qubo.NumQuadraticTerms(), 1);
+}
+
+TEST(EdgeCaseTest, TwoRelationJoinOrderEncodes) {
+  QueryGraph graph({10.0, 20.0});
+  graph.AddPredicate(0, 1, 0.5);
+  JoinOrderEncoderOptions options;
+  options.thresholds = {10.0};
+  options.safe_slack_bounds = true;
+  const JoinOrderEncoding encoding = EncodeJoinOrderAsBilp(graph, options);
+  // One join only: no pao/cto variables survive the j = 0 pruning.
+  EXPECT_EQ(encoding.num_logical, 4);  // tio/tii for 2 relations x 1 join
+  const auto solution = SolveBilpBranchAndBound(encoding.bilp);
+  ASSERT_TRUE(solution.has_value());
+  std::vector<int> order;
+  EXPECT_TRUE(DecodeJoinOrder(encoding, solution->bits, &order));
+  EXPECT_TRUE(IsValidJoinOrder(graph, order));
+}
+
+TEST(EdgeCaseTest, MqoSingleQueryDegeneratesToMinCost) {
+  MqoProblem problem;
+  problem.AddQuery({5.0, 3.0, 9.0});
+  const MqoQuboEncoding encoding = EncodeMqoAsQubo(problem);
+  const BruteForceResult ground = SolveQuboBruteForce(encoding.qubo);
+  std::vector<int> selection;
+  ASSERT_TRUE(problem.DecodeBits(ground.best_bits, &selection));
+  EXPECT_EQ(selection, (std::vector<int>{1}));
+}
+
+TEST(EdgeCaseTest, EmbeddingCompositeHandlesIsolatedVariables) {
+  // A QUBO whose interaction graph has isolated vertices (pure linear
+  // variables) must still solve through an embedding.
+  QuboModel qubo(5);
+  qubo.AddLinear(0, -1.0);
+  qubo.AddLinear(4, 2.0);
+  qubo.AddQuadratic(1, 2, -1.5);
+  EmbeddedSolveOptions options;
+  options.anneal.num_reads = 10;
+  options.anneal.seed = 2;
+  options.embed.seed = 2;
+  const auto result =
+      SolveQuboOnTopology(qubo, MakeChimera(2, 2, 4), options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->energy, SolveQuboBruteForce(qubo).best_energy, 1e-9);
+}
+
+TEST(EdgeCaseTest, StatevectorSingleQubitDevice) {
+  QuantumCircuit c(1);
+  c.Sx(0);
+  c.Sx(0);
+  // Two SX = X up to phase: probability of |1> is 1.
+  const auto probs = SimulateCircuit(c).Probabilities();
+  EXPECT_NEAR(probs[1], 1.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, QaoaOnFieldOnlyHamiltonian) {
+  // No couplings at all: QAOA still runs and the circuit has no RZZ.
+  IsingModel ising(3);
+  ising.AddField(0, 1.0);
+  ising.AddField(1, -2.0);
+  ising.AddField(2, 0.5);
+  const QuantumCircuit circuit = BuildQaoaTemplate(ising);
+  EXPECT_EQ(circuit.CountOps().count("rzz"), 0u);
+  EXPECT_EQ(circuit.CountOps().at("rz"), 3);
+}
+
+}  // namespace
+}  // namespace qopt

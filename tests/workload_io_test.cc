@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "io/workload_io.h"
+#include "mqo/mqo_generator.h"
+#include "joinorder/query_graph.h"
+
+namespace qopt {
+namespace {
+
+TEST(MqoIoTest, JsonRoundTripPreservesProblem) {
+  const MqoProblem original = MakePaperExampleMqo();
+  const JsonValue json = MqoProblemToJson(original);
+  std::string error;
+  const auto restored = MqoProblemFromJson(json, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->NumQueries(), original.NumQueries());
+  EXPECT_EQ(restored->NumPlans(), original.NumPlans());
+  EXPECT_EQ(restored->NumSavings(), original.NumSavings());
+  for (int p = 0; p < original.NumPlans(); ++p) {
+    EXPECT_DOUBLE_EQ(restored->PlanCost(p), original.PlanCost(p));
+    EXPECT_EQ(restored->QueryOfPlan(p), original.QueryOfPlan(p));
+  }
+  EXPECT_DOUBLE_EQ(restored->SelectionCost({1, 3, 7}),
+                   original.SelectionCost({1, 3, 7}));
+}
+
+TEST(MqoIoTest, FileRoundTrip) {
+  MqoGeneratorOptions gen;
+  gen.num_queries = 3;
+  gen.plans_per_query = 4;
+  gen.seed = 7;
+  const MqoProblem original = GenerateMqoProblem(gen);
+  const std::string path = ::testing::TempDir() + "/qqo_mqo_test.json";
+  ASSERT_TRUE(SaveMqoProblem(original, path));
+  std::string error;
+  const auto restored = LoadMqoProblem(path, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->NumPlans(), original.NumPlans());
+  EXPECT_EQ(restored->NumSavings(), original.NumSavings());
+}
+
+TEST(MqoIoTest, RejectsMalformedDocuments) {
+  std::string error;
+  for (const char* bad : {
+           R"({})",                                             // no queries
+           R"({"queries": [{}]})",                              // no plans
+           R"({"queries": [{"plans": []}]})",                   // empty plans
+           R"({"queries": [{"plans": [{"cost": -1}]}]})",       // negative
+           R"({"queries": [{"plans": [{"cost": "x"}]}]})",      // wrong type
+       }) {
+    const auto json = JsonValue::Parse(bad);
+    ASSERT_TRUE(json.has_value()) << bad;
+    EXPECT_FALSE(MqoProblemFromJson(*json, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(MqoIoTest, RejectsInvalidSavings) {
+  std::string error;
+  // Saving between two plans of the same query.
+  const char* doc =
+      R"({"queries": [{"plans": [{"cost": 1}, {"cost": 2}]}],
+          "savings": [{"plan1": 0, "plan2": 1, "saving": 0.5}]})";
+  const auto json = JsonValue::Parse(doc);
+  ASSERT_TRUE(json.has_value());
+  EXPECT_FALSE(MqoProblemFromJson(*json, &error).has_value());
+}
+
+TEST(QueryGraphIoTest, JsonRoundTripPreservesGraph) {
+  const QueryGraph original = MakePaperExampleQuery();
+  const JsonValue json = QueryGraphToJson(original);
+  std::string error;
+  const auto restored = QueryGraphFromJson(json, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->NumRelations(), original.NumRelations());
+  EXPECT_EQ(restored->NumPredicates(), original.NumPredicates());
+  for (int r = 0; r < original.NumRelations(); ++r) {
+    EXPECT_DOUBLE_EQ(restored->Cardinality(r), original.Cardinality(r));
+  }
+  for (std::size_t p = 0; p < original.Predicates().size(); ++p) {
+    EXPECT_DOUBLE_EQ(restored->Predicates()[p].selectivity,
+                     original.Predicates()[p].selectivity);
+  }
+}
+
+TEST(QueryGraphIoTest, FileRoundTrip) {
+  QueryGeneratorOptions gen;
+  gen.num_relations = 6;
+  gen.num_predicates = 8;
+  gen.seed = 11;
+  const QueryGraph original = GenerateRandomQuery(gen);
+  const std::string path = ::testing::TempDir() + "/qqo_graph_test.json";
+  ASSERT_TRUE(SaveQueryGraph(original, path));
+  std::string error;
+  const auto restored = LoadQueryGraph(path, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->NumPredicates(), original.NumPredicates());
+}
+
+TEST(QueryGraphIoTest, RejectsMalformedDocuments) {
+  std::string error;
+  for (const char* bad : {
+           R"({})",
+           R"({"relations": []})",
+           R"({"relations": [{"cardinality": 0.5}]})",
+           R"({"relations": [{"cardinality": 10}],
+               "predicates": [{"rel1": 0, "rel2": 0, "selectivity": 0.5}]})",
+           R"({"relations": [{"cardinality": 10}, {"cardinality": 10}],
+               "predicates": [{"rel1": 0, "rel2": 1, "selectivity": 2.0}]})",
+       }) {
+    const auto json = JsonValue::Parse(bad);
+    ASSERT_TRUE(json.has_value()) << bad;
+    EXPECT_FALSE(QueryGraphFromJson(*json, &error).has_value()) << bad;
+  }
+}
+
+TEST(QueryGraphIoTest, LoadReportsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(LoadQueryGraph("/no/such/file.json", &error).has_value());
+  EXPECT_NE(error.find("cannot read"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qopt

@@ -1,0 +1,311 @@
+// qqo — command-line front end of the library.
+//
+//   qqo generate mqo <out.json>   [--queries=N] [--ppq=N] [--seed=N]
+//   qqo generate join <out.json>  [--relations=N] [--predicates=N] [--seed=N]
+//   qqo mqo <workload.json>       [--backend=exact|sa|qaoa|vqe|adiabatic|annealer]
+//   qqo join <graph.json>         [--backend=...] [--thresholds=a,b,...]
+//                                 [--precision=P]
+//   qqo estimate mqo|join <file>  [--device=mumbai|brooklyn]
+//   qqo qasm mqo|join <file>      [--algorithm=qaoa|vqe] [--device=...]
+//
+// Workload file formats are documented in src/io/workload_io.h.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bilp/bilp_to_qubo.h"
+#include "circuit/qasm_exporter.h"
+#include "common/table_printer.h"
+#include "core/device_model.h"
+#include "core/quantum_optimizer.h"
+#include "core/reliability.h"
+#include "core/resource_estimator.h"
+#include "io/workload_io.h"
+#include "mqo/mqo_generator.h"
+#include "mqo/mqo_qubo_encoder.h"
+#include "qubo/conversions.h"
+#include "transpile/ibm_topologies.h"
+#include "transpile/transpiler.h"
+#include "variational/qaoa.h"
+#include "variational/vqe_ansatz.h"
+
+namespace {
+
+using namespace qopt;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  qqo generate mqo <out.json>  [--queries=N] [--ppq=N] [--seed=N]\n"
+      "  qqo generate join <out.json> [--relations=N] [--predicates=N]"
+      " [--seed=N]\n"
+      "  qqo mqo <workload.json>      [--backend=exact|sa|qaoa|vqe|adiabatic|annealer]"
+      " [--seed=N]\n"
+      "  qqo join <graph.json>        [--backend=...] [--thresholds=a,b,..]"
+      " [--precision=P]\n"
+      "  qqo estimate mqo|join <file> [--device=mumbai|brooklyn]\n"
+      "  qqo qasm mqo|join <file>     [--algorithm=qaoa|vqe]\n");
+  return 2;
+}
+
+/// Parses trailing --key=value flags into a map.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg.substr(2)] = "1";
+    } else {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int IntFlag(const std::map<std::string, std::string>& flags,
+            const std::string& key, int fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+bool ParseBackend(const std::string& name, Backend* backend) {
+  static const std::map<std::string, Backend> kBackends = {
+      {"exact", Backend::kExact},
+      {"sa", Backend::kSimulatedAnnealing},
+      {"qaoa", Backend::kQaoa},
+      {"vqe", Backend::kVqe},
+      {"adiabatic", Backend::kAdiabatic},
+      {"annealer", Backend::kAnnealerEmulation}};
+  auto it = kBackends.find(name);
+  if (it == kBackends.end()) return false;
+  *backend = it->second;
+  return true;
+}
+
+std::vector<double> ParseThresholds(const std::string& spec) {
+  std::vector<double> thresholds;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    thresholds.push_back(std::atof(spec.substr(start, comma - start).c_str()));
+    start = comma + 1;
+  }
+  return thresholds;
+}
+
+OptimizerOptions MakeOptions(const std::map<std::string, std::string>& flags,
+                             Backend backend) {
+  OptimizerOptions options;
+  options.backend = backend;
+  options.seed = static_cast<std::uint64_t>(IntFlag(flags, "seed", 7));
+  options.anneal.num_reads = 50;
+  options.anneal.num_sweeps = 2000;
+  options.variational.max_iterations = 250;
+  options.variational.shots = 4096;
+  options.pegasus_m = IntFlag(flags, "pegasus", 4);
+  options.embedded.anneal.num_reads = 100;
+  options.embedded.anneal.num_sweeps = 4000;
+  return options;
+}
+
+int RunGenerate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string what = argv[2];
+  const std::string path = argv[3];
+  const auto flags = ParseFlags(argc, argv, 4);
+  if (what == "mqo") {
+    MqoGeneratorOptions gen;
+    gen.num_queries = IntFlag(flags, "queries", 4);
+    gen.plans_per_query = IntFlag(flags, "ppq", 4);
+    gen.seed = static_cast<std::uint64_t>(IntFlag(flags, "seed", 1));
+    const MqoProblem problem = GenerateMqoProblem(gen);
+    if (!SaveMqoProblem(problem, path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote MQO workload: %d queries, %d plans, %d savings -> %s\n",
+                problem.NumQueries(), problem.NumPlans(),
+                problem.NumSavings(), path.c_str());
+    return 0;
+  }
+  if (what == "join") {
+    QueryGeneratorOptions gen;
+    gen.num_relations = IntFlag(flags, "relations", 5);
+    gen.num_predicates =
+        IntFlag(flags, "predicates", gen.num_relations - 1);
+    gen.cardinality_min = 10.0;
+    gen.cardinality_max = 100000.0;
+    gen.selectivity_min = 0.001;
+    gen.seed = static_cast<std::uint64_t>(IntFlag(flags, "seed", 1));
+    const QueryGraph graph = GenerateRandomQuery(gen);
+    if (!SaveQueryGraph(graph, path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote query graph: %d relations, %d predicates -> %s\n",
+                graph.NumRelations(), graph.NumPredicates(), path.c_str());
+    return 0;
+  }
+  return Usage();
+}
+
+int RunMqo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const auto flags = ParseFlags(argc, argv, 3);
+  std::string error;
+  const auto problem = LoadMqoProblem(argv[2], &error);
+  if (!problem.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  Backend backend;
+  if (!ParseBackend(FlagOr(flags, "backend", "sa"), &backend)) return Usage();
+  const MqoSolveReport report =
+      SolveMqo(*problem, MakeOptions(flags, backend));
+  std::printf("backend: %s\nqubits: %d\nquadratic terms: %d\n",
+              BackendName(backend).c_str(), report.qubits,
+              report.quadratic_terms);
+  if (!report.valid) {
+    std::printf("result: INVALID (backend returned a non-selection)\n");
+    return 1;
+  }
+  std::printf("cost: %.6g\nselection (query: plan):", report.solution.cost);
+  for (int q = 0; q < problem->NumQueries(); ++q) {
+    std::printf(" %d:%d", q,
+                report.solution.selection[static_cast<std::size_t>(q)]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunJoin(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const auto flags = ParseFlags(argc, argv, 3);
+  std::string error;
+  const auto graph = LoadQueryGraph(argv[2], &error);
+  if (!graph.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  Backend backend;
+  if (!ParseBackend(FlagOr(flags, "backend", "sa"), &backend)) return Usage();
+  JoinOrderEncoderOptions encoder;
+  encoder.thresholds = ParseThresholds(FlagOr(flags, "thresholds", "10,100"));
+  encoder.precision_decimals = IntFlag(flags, "precision", 0);
+  encoder.safe_slack_bounds = true;
+  const JoinOrderSolveReport report =
+      SolveJoinOrder(*graph, encoder, MakeOptions(flags, backend));
+  std::printf("backend: %s\nqubits: %d\nquadratic terms: %d\n",
+              BackendName(backend).c_str(), report.qubits,
+              report.quadratic_terms);
+  if (!report.valid) {
+    std::printf("result: INVALID (backend returned a non-permutation)\n");
+    return 1;
+  }
+  std::printf("C_out cost: %.6g\norder:", report.solution.cost);
+  for (int r : report.solution.order) std::printf(" R%d", r);
+  std::printf("\n");
+  return 0;
+}
+
+std::optional<QuboModel> LoadAsQubo(const std::string& what,
+                                    const std::string& path,
+                                    const std::map<std::string, std::string>&
+                                        flags) {
+  std::string error;
+  if (what == "mqo") {
+    const auto problem = LoadMqoProblem(path, &error);
+    if (!problem.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return std::nullopt;
+    }
+    return EncodeMqoAsQubo(*problem).qubo;
+  }
+  if (what == "join") {
+    const auto graph = LoadQueryGraph(path, &error);
+    if (!graph.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return std::nullopt;
+    }
+    JoinOrderEncoderOptions encoder;
+    encoder.thresholds =
+        ParseThresholds(FlagOr(flags, "thresholds", "10,100"));
+    encoder.precision_decimals = IntFlag(flags, "precision", 0);
+    return EncodeBilpAsQubo(EncodeJoinOrderAsBilp(*graph, encoder).bilp).qubo;
+  }
+  return std::nullopt;
+}
+
+int RunEstimate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const auto flags = ParseFlags(argc, argv, 4);
+  const auto qubo = LoadAsQubo(argv[2], argv[3], flags);
+  if (!qubo.has_value()) return 1;
+  const std::string device_name = FlagOr(flags, "device", "mumbai");
+  const DeviceModel device =
+      device_name == "brooklyn" ? BrooklynDevice() : MumbaiDevice();
+  const CouplingMap coupling =
+      device_name == "brooklyn" ? MakeBrooklyn65() : MakeMumbai27();
+  GateEstimateOptions options;
+  options.transpile_trials = IntFlag(flags, "trials", 10);
+  const GateResourceEstimate estimate =
+      EstimateGateResources(*qubo, coupling, device, options);
+  std::printf("device: %s (max reliable depth %d)\n", device.name.c_str(),
+              estimate.max_reliable_depth);
+  std::printf("logical qubits: %d (device offers %d)\n",
+              estimate.logical_qubits, device.num_qubits);
+  std::printf("quadratic terms: %d\n", estimate.quadratic_terms);
+  std::printf("QAOA depth: %d ideal, %.1f routed -> %s\n",
+              estimate.qaoa_depth_ideal, estimate.qaoa_depth_device,
+              estimate.qaoa_within_coherence ? "within coherence"
+                                             : "EXCEEDS coherence");
+  std::printf("VQE depth:  %d ideal, %.1f routed -> %s\n",
+              estimate.vqe_depth_ideal, estimate.vqe_depth_device,
+              estimate.vqe_within_coherence ? "within coherence"
+                                            : "EXCEEDS coherence");
+  return 0;
+}
+
+int RunQasm(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const auto flags = ParseFlags(argc, argv, 4);
+  const auto qubo = LoadAsQubo(argv[2], argv[3], flags);
+  if (!qubo.has_value()) return 1;
+  const std::string algorithm = FlagOr(flags, "algorithm", "qaoa");
+  QuantumCircuit circuit;
+  if (algorithm == "qaoa") {
+    circuit = BuildQaoaTemplate(QuboToIsing(*qubo));
+  } else if (algorithm == "vqe") {
+    circuit = BuildVqeTemplate(qubo->NumVariables(), 3);
+  } else {
+    return Usage();
+  }
+  std::fputs(ToQasm2(circuit, /*measure_all=*/true).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return RunGenerate(argc, argv);
+  if (command == "mqo") return RunMqo(argc, argv);
+  if (command == "join") return RunJoin(argc, argv);
+  if (command == "estimate") return RunEstimate(argc, argv);
+  if (command == "qasm") return RunQasm(argc, argv);
+  return Usage();
+}
