@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adiabatic.dir/ablation_adiabatic.cc.o"
+  "CMakeFiles/ablation_adiabatic.dir/ablation_adiabatic.cc.o.d"
+  "ablation_adiabatic"
+  "ablation_adiabatic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adiabatic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

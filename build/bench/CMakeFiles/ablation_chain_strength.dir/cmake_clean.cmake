@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chain_strength.dir/ablation_chain_strength.cc.o"
+  "CMakeFiles/ablation_chain_strength.dir/ablation_chain_strength.cc.o.d"
+  "ablation_chain_strength"
+  "ablation_chain_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chain_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mqo_encodings.dir/ablation_mqo_encodings.cc.o"
+  "CMakeFiles/ablation_mqo_encodings.dir/ablation_mqo_encodings.cc.o.d"
+  "ablation_mqo_encodings"
+  "ablation_mqo_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mqo_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

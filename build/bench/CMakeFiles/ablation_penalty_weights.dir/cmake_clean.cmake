@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_penalty_weights.dir/ablation_penalty_weights.cc.o"
+  "CMakeFiles/ablation_penalty_weights.dir/ablation_penalty_weights.cc.o.d"
+  "ablation_penalty_weights"
+  "ablation_penalty_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_penalty_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

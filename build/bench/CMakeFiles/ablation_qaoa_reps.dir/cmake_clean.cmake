@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qaoa_reps.dir/ablation_qaoa_reps.cc.o"
+  "CMakeFiles/ablation_qaoa_reps.dir/ablation_qaoa_reps.cc.o.d"
+  "ablation_qaoa_reps"
+  "ablation_qaoa_reps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qaoa_reps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_thresholds.dir/coherence_thresholds.cc.o"
+  "CMakeFiles/coherence_thresholds.dir/coherence_thresholds.cc.o.d"
+  "coherence_thresholds"
+  "coherence_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

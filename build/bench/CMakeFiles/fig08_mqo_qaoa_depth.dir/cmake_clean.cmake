@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_mqo_qaoa_depth.dir/fig08_mqo_qaoa_depth.cc.o"
+  "CMakeFiles/fig08_mqo_qaoa_depth.dir/fig08_mqo_qaoa_depth.cc.o.d"
+  "fig08_mqo_qaoa_depth"
+  "fig08_mqo_qaoa_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mqo_qaoa_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

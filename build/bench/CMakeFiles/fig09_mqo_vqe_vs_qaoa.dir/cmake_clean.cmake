@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mqo_vqe_vs_qaoa.dir/fig09_mqo_vqe_vs_qaoa.cc.o"
+  "CMakeFiles/fig09_mqo_vqe_vs_qaoa.dir/fig09_mqo_vqe_vs_qaoa.cc.o.d"
+  "fig09_mqo_vqe_vs_qaoa"
+  "fig09_mqo_vqe_vs_qaoa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mqo_vqe_vs_qaoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

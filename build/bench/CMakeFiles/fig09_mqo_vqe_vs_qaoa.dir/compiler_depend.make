@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_mqo_vqe_vs_qaoa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_mqo_vqe_vs_qaoa.
+# This may be replaced when dependencies are built.

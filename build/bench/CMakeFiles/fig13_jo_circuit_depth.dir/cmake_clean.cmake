@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_jo_circuit_depth.dir/fig13_jo_circuit_depth.cc.o"
+  "CMakeFiles/fig13_jo_circuit_depth.dir/fig13_jo_circuit_depth.cc.o.d"
+  "fig13_jo_circuit_depth"
+  "fig13_jo_circuit_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_jo_circuit_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

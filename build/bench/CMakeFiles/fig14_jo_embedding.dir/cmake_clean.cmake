@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_jo_embedding.dir/fig14_jo_embedding.cc.o"
+  "CMakeFiles/fig14_jo_embedding.dir/fig14_jo_embedding.cc.o.d"
+  "fig14_jo_embedding"
+  "fig14_jo_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_jo_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

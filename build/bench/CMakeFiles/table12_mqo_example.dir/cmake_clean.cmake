@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_mqo_example.dir/table12_mqo_example.cc.o"
+  "CMakeFiles/table12_mqo_example.dir/table12_mqo_example.cc.o.d"
+  "table12_mqo_example"
+  "table12_mqo_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_mqo_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

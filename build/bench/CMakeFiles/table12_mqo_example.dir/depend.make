@@ -1,0 +1,2 @@
+# Empty dependencies file for table12_mqo_example.
+# This may be replaced when dependencies are built.

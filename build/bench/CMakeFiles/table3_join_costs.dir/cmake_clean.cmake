@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_join_costs.dir/table3_join_costs.cc.o"
+  "CMakeFiles/table3_join_costs.dir/table3_join_costs.cc.o.d"
+  "table3_join_costs"
+  "table3_join_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_join_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

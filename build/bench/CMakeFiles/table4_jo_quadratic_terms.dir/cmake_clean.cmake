@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_jo_quadratic_terms.dir/table4_jo_quadratic_terms.cc.o"
+  "CMakeFiles/table4_jo_quadratic_terms.dir/table4_jo_quadratic_terms.cc.o.d"
+  "table4_jo_quadratic_terms"
+  "table4_jo_quadratic_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_jo_quadratic_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adiabatic_evolution.dir/adiabatic_evolution.cpp.o"
+  "CMakeFiles/example_adiabatic_evolution.dir/adiabatic_evolution.cpp.o.d"
+  "adiabatic_evolution"
+  "adiabatic_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adiabatic_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

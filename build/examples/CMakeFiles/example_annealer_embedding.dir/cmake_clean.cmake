@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_annealer_embedding.dir/annealer_embedding.cpp.o"
+  "CMakeFiles/example_annealer_embedding.dir/annealer_embedding.cpp.o.d"
+  "annealer_embedding"
+  "annealer_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_annealer_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_join_ordering.dir/join_ordering.cpp.o"
+  "CMakeFiles/example_join_ordering.dir/join_ordering.cpp.o.d"
+  "join_ordering"
+  "join_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_join_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mqo_batch.dir/mqo_batch.cpp.o"
+  "CMakeFiles/example_mqo_batch.dir/mqo_batch.cpp.o.d"
+  "mqo_batch"
+  "mqo_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mqo_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

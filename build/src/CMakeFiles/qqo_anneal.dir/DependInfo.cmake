@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anneal/chimera.cc" "src/CMakeFiles/qqo_anneal.dir/anneal/chimera.cc.o" "gcc" "src/CMakeFiles/qqo_anneal.dir/anneal/chimera.cc.o.d"
+  "/root/repo/src/anneal/embedding.cc" "src/CMakeFiles/qqo_anneal.dir/anneal/embedding.cc.o" "gcc" "src/CMakeFiles/qqo_anneal.dir/anneal/embedding.cc.o.d"
+  "/root/repo/src/anneal/embedding_composite.cc" "src/CMakeFiles/qqo_anneal.dir/anneal/embedding_composite.cc.o" "gcc" "src/CMakeFiles/qqo_anneal.dir/anneal/embedding_composite.cc.o.d"
+  "/root/repo/src/anneal/minor_embedder.cc" "src/CMakeFiles/qqo_anneal.dir/anneal/minor_embedder.cc.o" "gcc" "src/CMakeFiles/qqo_anneal.dir/anneal/minor_embedder.cc.o.d"
+  "/root/repo/src/anneal/pegasus.cc" "src/CMakeFiles/qqo_anneal.dir/anneal/pegasus.cc.o" "gcc" "src/CMakeFiles/qqo_anneal.dir/anneal/pegasus.cc.o.d"
+  "/root/repo/src/anneal/simulated_annealer.cc" "src/CMakeFiles/qqo_anneal.dir/anneal/simulated_annealer.cc.o" "gcc" "src/CMakeFiles/qqo_anneal.dir/anneal/simulated_annealer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qqo_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_anneal.dir/anneal/chimera.cc.o"
+  "CMakeFiles/qqo_anneal.dir/anneal/chimera.cc.o.d"
+  "CMakeFiles/qqo_anneal.dir/anneal/embedding.cc.o"
+  "CMakeFiles/qqo_anneal.dir/anneal/embedding.cc.o.d"
+  "CMakeFiles/qqo_anneal.dir/anneal/embedding_composite.cc.o"
+  "CMakeFiles/qqo_anneal.dir/anneal/embedding_composite.cc.o.d"
+  "CMakeFiles/qqo_anneal.dir/anneal/minor_embedder.cc.o"
+  "CMakeFiles/qqo_anneal.dir/anneal/minor_embedder.cc.o.d"
+  "CMakeFiles/qqo_anneal.dir/anneal/pegasus.cc.o"
+  "CMakeFiles/qqo_anneal.dir/anneal/pegasus.cc.o.d"
+  "CMakeFiles/qqo_anneal.dir/anneal/simulated_annealer.cc.o"
+  "CMakeFiles/qqo_anneal.dir/anneal/simulated_annealer.cc.o.d"
+  "libqqo_anneal.a"
+  "libqqo_anneal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

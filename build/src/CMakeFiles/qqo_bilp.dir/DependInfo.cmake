@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bilp/bilp_branch_and_bound.cc" "src/CMakeFiles/qqo_bilp.dir/bilp/bilp_branch_and_bound.cc.o" "gcc" "src/CMakeFiles/qqo_bilp.dir/bilp/bilp_branch_and_bound.cc.o.d"
+  "/root/repo/src/bilp/bilp_problem.cc" "src/CMakeFiles/qqo_bilp.dir/bilp/bilp_problem.cc.o" "gcc" "src/CMakeFiles/qqo_bilp.dir/bilp/bilp_problem.cc.o.d"
+  "/root/repo/src/bilp/bilp_to_qubo.cc" "src/CMakeFiles/qqo_bilp.dir/bilp/bilp_to_qubo.cc.o" "gcc" "src/CMakeFiles/qqo_bilp.dir/bilp/bilp_to_qubo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qqo_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_bilp.dir/bilp/bilp_branch_and_bound.cc.o"
+  "CMakeFiles/qqo_bilp.dir/bilp/bilp_branch_and_bound.cc.o.d"
+  "CMakeFiles/qqo_bilp.dir/bilp/bilp_problem.cc.o"
+  "CMakeFiles/qqo_bilp.dir/bilp/bilp_problem.cc.o.d"
+  "CMakeFiles/qqo_bilp.dir/bilp/bilp_to_qubo.cc.o"
+  "CMakeFiles/qqo_bilp.dir/bilp/bilp_to_qubo.cc.o.d"
+  "libqqo_bilp.a"
+  "libqqo_bilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_bilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

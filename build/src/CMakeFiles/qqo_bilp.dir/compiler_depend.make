@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qqo_bilp.
+# This may be replaced when dependencies are built.

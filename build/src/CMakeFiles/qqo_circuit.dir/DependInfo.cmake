@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/gate.cc" "src/CMakeFiles/qqo_circuit.dir/circuit/gate.cc.o" "gcc" "src/CMakeFiles/qqo_circuit.dir/circuit/gate.cc.o.d"
+  "/root/repo/src/circuit/noise_model.cc" "src/CMakeFiles/qqo_circuit.dir/circuit/noise_model.cc.o" "gcc" "src/CMakeFiles/qqo_circuit.dir/circuit/noise_model.cc.o.d"
+  "/root/repo/src/circuit/qasm_exporter.cc" "src/CMakeFiles/qqo_circuit.dir/circuit/qasm_exporter.cc.o" "gcc" "src/CMakeFiles/qqo_circuit.dir/circuit/qasm_exporter.cc.o.d"
+  "/root/repo/src/circuit/quantum_circuit.cc" "src/CMakeFiles/qqo_circuit.dir/circuit/quantum_circuit.cc.o" "gcc" "src/CMakeFiles/qqo_circuit.dir/circuit/quantum_circuit.cc.o.d"
+  "/root/repo/src/circuit/statevector.cc" "src/CMakeFiles/qqo_circuit.dir/circuit/statevector.cc.o" "gcc" "src/CMakeFiles/qqo_circuit.dir/circuit/statevector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_circuit.dir/circuit/gate.cc.o"
+  "CMakeFiles/qqo_circuit.dir/circuit/gate.cc.o.d"
+  "CMakeFiles/qqo_circuit.dir/circuit/noise_model.cc.o"
+  "CMakeFiles/qqo_circuit.dir/circuit/noise_model.cc.o.d"
+  "CMakeFiles/qqo_circuit.dir/circuit/qasm_exporter.cc.o"
+  "CMakeFiles/qqo_circuit.dir/circuit/qasm_exporter.cc.o.d"
+  "CMakeFiles/qqo_circuit.dir/circuit/quantum_circuit.cc.o"
+  "CMakeFiles/qqo_circuit.dir/circuit/quantum_circuit.cc.o.d"
+  "CMakeFiles/qqo_circuit.dir/circuit/statevector.cc.o"
+  "CMakeFiles/qqo_circuit.dir/circuit/statevector.cc.o.d"
+  "libqqo_circuit.a"
+  "libqqo_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_common.dir/common/json.cc.o"
+  "CMakeFiles/qqo_common.dir/common/json.cc.o.d"
+  "CMakeFiles/qqo_common.dir/common/random.cc.o"
+  "CMakeFiles/qqo_common.dir/common/random.cc.o.d"
+  "CMakeFiles/qqo_common.dir/common/stats.cc.o"
+  "CMakeFiles/qqo_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/qqo_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/qqo_common.dir/common/table_printer.cc.o.d"
+  "libqqo_common.a"
+  "libqqo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

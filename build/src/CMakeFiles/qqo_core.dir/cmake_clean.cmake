@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_core.dir/core/device_model.cc.o"
+  "CMakeFiles/qqo_core.dir/core/device_model.cc.o.d"
+  "CMakeFiles/qqo_core.dir/core/quantum_optimizer.cc.o"
+  "CMakeFiles/qqo_core.dir/core/quantum_optimizer.cc.o.d"
+  "CMakeFiles/qqo_core.dir/core/reliability.cc.o"
+  "CMakeFiles/qqo_core.dir/core/reliability.cc.o.d"
+  "CMakeFiles/qqo_core.dir/core/resource_estimator.cc.o"
+  "CMakeFiles/qqo_core.dir/core/resource_estimator.cc.o.d"
+  "libqqo_core.a"
+  "libqqo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

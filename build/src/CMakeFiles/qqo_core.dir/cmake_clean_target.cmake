@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqqo_core.a"
+)

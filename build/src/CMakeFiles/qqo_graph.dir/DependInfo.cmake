@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/edge_coloring.cc" "src/CMakeFiles/qqo_graph.dir/graph/edge_coloring.cc.o" "gcc" "src/CMakeFiles/qqo_graph.dir/graph/edge_coloring.cc.o.d"
+  "/root/repo/src/graph/shortest_paths.cc" "src/CMakeFiles/qqo_graph.dir/graph/shortest_paths.cc.o" "gcc" "src/CMakeFiles/qqo_graph.dir/graph/shortest_paths.cc.o.d"
+  "/root/repo/src/graph/simple_graph.cc" "src/CMakeFiles/qqo_graph.dir/graph/simple_graph.cc.o" "gcc" "src/CMakeFiles/qqo_graph.dir/graph/simple_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_graph.dir/graph/edge_coloring.cc.o"
+  "CMakeFiles/qqo_graph.dir/graph/edge_coloring.cc.o.d"
+  "CMakeFiles/qqo_graph.dir/graph/shortest_paths.cc.o"
+  "CMakeFiles/qqo_graph.dir/graph/shortest_paths.cc.o.d"
+  "CMakeFiles/qqo_graph.dir/graph/simple_graph.cc.o"
+  "CMakeFiles/qqo_graph.dir/graph/simple_graph.cc.o.d"
+  "libqqo_graph.a"
+  "libqqo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/workload_io.cc" "src/CMakeFiles/qqo_io.dir/io/workload_io.cc.o" "gcc" "src/CMakeFiles/qqo_io.dir/io/workload_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_mqo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_joinorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_bilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

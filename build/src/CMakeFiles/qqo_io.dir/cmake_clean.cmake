@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_io.dir/io/workload_io.cc.o"
+  "CMakeFiles/qqo_io.dir/io/workload_io.cc.o.d"
+  "libqqo_io.a"
+  "libqqo_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

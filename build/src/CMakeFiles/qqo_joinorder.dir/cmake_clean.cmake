@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_joinorder.dir/joinorder/join_order.cc.o"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/join_order.cc.o.d"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/join_order_baselines.cc.o"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/join_order_baselines.cc.o.d"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/join_order_bilp_encoder.cc.o"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/join_order_bilp_encoder.cc.o.d"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/join_order_randomized.cc.o"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/join_order_randomized.cc.o.d"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/join_tree.cc.o"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/join_tree.cc.o.d"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/query_graph.cc.o"
+  "CMakeFiles/qqo_joinorder.dir/joinorder/query_graph.cc.o.d"
+  "libqqo_joinorder.a"
+  "libqqo_joinorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_joinorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mqo/mqo_baselines.cc" "src/CMakeFiles/qqo_mqo.dir/mqo/mqo_baselines.cc.o" "gcc" "src/CMakeFiles/qqo_mqo.dir/mqo/mqo_baselines.cc.o.d"
+  "/root/repo/src/mqo/mqo_bilp_encoder.cc" "src/CMakeFiles/qqo_mqo.dir/mqo/mqo_bilp_encoder.cc.o" "gcc" "src/CMakeFiles/qqo_mqo.dir/mqo/mqo_bilp_encoder.cc.o.d"
+  "/root/repo/src/mqo/mqo_generator.cc" "src/CMakeFiles/qqo_mqo.dir/mqo/mqo_generator.cc.o" "gcc" "src/CMakeFiles/qqo_mqo.dir/mqo/mqo_generator.cc.o.d"
+  "/root/repo/src/mqo/mqo_problem.cc" "src/CMakeFiles/qqo_mqo.dir/mqo/mqo_problem.cc.o" "gcc" "src/CMakeFiles/qqo_mqo.dir/mqo/mqo_problem.cc.o.d"
+  "/root/repo/src/mqo/mqo_qubo_encoder.cc" "src/CMakeFiles/qqo_mqo.dir/mqo/mqo_qubo_encoder.cc.o" "gcc" "src/CMakeFiles/qqo_mqo.dir/mqo/mqo_qubo_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qqo_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_bilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_mqo.dir/mqo/mqo_baselines.cc.o"
+  "CMakeFiles/qqo_mqo.dir/mqo/mqo_baselines.cc.o.d"
+  "CMakeFiles/qqo_mqo.dir/mqo/mqo_bilp_encoder.cc.o"
+  "CMakeFiles/qqo_mqo.dir/mqo/mqo_bilp_encoder.cc.o.d"
+  "CMakeFiles/qqo_mqo.dir/mqo/mqo_generator.cc.o"
+  "CMakeFiles/qqo_mqo.dir/mqo/mqo_generator.cc.o.d"
+  "CMakeFiles/qqo_mqo.dir/mqo/mqo_problem.cc.o"
+  "CMakeFiles/qqo_mqo.dir/mqo/mqo_problem.cc.o.d"
+  "CMakeFiles/qqo_mqo.dir/mqo/mqo_qubo_encoder.cc.o"
+  "CMakeFiles/qqo_mqo.dir/mqo/mqo_qubo_encoder.cc.o.d"
+  "libqqo_mqo.a"
+  "libqqo_mqo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_mqo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

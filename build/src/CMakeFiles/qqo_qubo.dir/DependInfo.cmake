@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qubo/brute_force_solver.cc" "src/CMakeFiles/qqo_qubo.dir/qubo/brute_force_solver.cc.o" "gcc" "src/CMakeFiles/qqo_qubo.dir/qubo/brute_force_solver.cc.o.d"
+  "/root/repo/src/qubo/conversions.cc" "src/CMakeFiles/qqo_qubo.dir/qubo/conversions.cc.o" "gcc" "src/CMakeFiles/qqo_qubo.dir/qubo/conversions.cc.o.d"
+  "/root/repo/src/qubo/ising_model.cc" "src/CMakeFiles/qqo_qubo.dir/qubo/ising_model.cc.o" "gcc" "src/CMakeFiles/qqo_qubo.dir/qubo/ising_model.cc.o.d"
+  "/root/repo/src/qubo/qubo_model.cc" "src/CMakeFiles/qqo_qubo.dir/qubo/qubo_model.cc.o" "gcc" "src/CMakeFiles/qqo_qubo.dir/qubo/qubo_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

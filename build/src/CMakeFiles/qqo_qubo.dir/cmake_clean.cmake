@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_qubo.dir/qubo/brute_force_solver.cc.o"
+  "CMakeFiles/qqo_qubo.dir/qubo/brute_force_solver.cc.o.d"
+  "CMakeFiles/qqo_qubo.dir/qubo/conversions.cc.o"
+  "CMakeFiles/qqo_qubo.dir/qubo/conversions.cc.o.d"
+  "CMakeFiles/qqo_qubo.dir/qubo/ising_model.cc.o"
+  "CMakeFiles/qqo_qubo.dir/qubo/ising_model.cc.o.d"
+  "CMakeFiles/qqo_qubo.dir/qubo/qubo_model.cc.o"
+  "CMakeFiles/qqo_qubo.dir/qubo/qubo_model.cc.o.d"
+  "libqqo_qubo.a"
+  "libqqo_qubo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_qubo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

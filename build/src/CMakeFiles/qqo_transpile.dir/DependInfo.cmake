@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpile/basis_decomposer.cc" "src/CMakeFiles/qqo_transpile.dir/transpile/basis_decomposer.cc.o" "gcc" "src/CMakeFiles/qqo_transpile.dir/transpile/basis_decomposer.cc.o.d"
+  "/root/repo/src/transpile/coupling_map.cc" "src/CMakeFiles/qqo_transpile.dir/transpile/coupling_map.cc.o" "gcc" "src/CMakeFiles/qqo_transpile.dir/transpile/coupling_map.cc.o.d"
+  "/root/repo/src/transpile/heavy_hex.cc" "src/CMakeFiles/qqo_transpile.dir/transpile/heavy_hex.cc.o" "gcc" "src/CMakeFiles/qqo_transpile.dir/transpile/heavy_hex.cc.o.d"
+  "/root/repo/src/transpile/ibm_topologies.cc" "src/CMakeFiles/qqo_transpile.dir/transpile/ibm_topologies.cc.o" "gcc" "src/CMakeFiles/qqo_transpile.dir/transpile/ibm_topologies.cc.o.d"
+  "/root/repo/src/transpile/layout.cc" "src/CMakeFiles/qqo_transpile.dir/transpile/layout.cc.o" "gcc" "src/CMakeFiles/qqo_transpile.dir/transpile/layout.cc.o.d"
+  "/root/repo/src/transpile/swap_router.cc" "src/CMakeFiles/qqo_transpile.dir/transpile/swap_router.cc.o" "gcc" "src/CMakeFiles/qqo_transpile.dir/transpile/swap_router.cc.o.d"
+  "/root/repo/src/transpile/transpiler.cc" "src/CMakeFiles/qqo_transpile.dir/transpile/transpiler.cc.o" "gcc" "src/CMakeFiles/qqo_transpile.dir/transpile/transpiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qqo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_transpile.dir/transpile/basis_decomposer.cc.o"
+  "CMakeFiles/qqo_transpile.dir/transpile/basis_decomposer.cc.o.d"
+  "CMakeFiles/qqo_transpile.dir/transpile/coupling_map.cc.o"
+  "CMakeFiles/qqo_transpile.dir/transpile/coupling_map.cc.o.d"
+  "CMakeFiles/qqo_transpile.dir/transpile/heavy_hex.cc.o"
+  "CMakeFiles/qqo_transpile.dir/transpile/heavy_hex.cc.o.d"
+  "CMakeFiles/qqo_transpile.dir/transpile/ibm_topologies.cc.o"
+  "CMakeFiles/qqo_transpile.dir/transpile/ibm_topologies.cc.o.d"
+  "CMakeFiles/qqo_transpile.dir/transpile/layout.cc.o"
+  "CMakeFiles/qqo_transpile.dir/transpile/layout.cc.o.d"
+  "CMakeFiles/qqo_transpile.dir/transpile/swap_router.cc.o"
+  "CMakeFiles/qqo_transpile.dir/transpile/swap_router.cc.o.d"
+  "CMakeFiles/qqo_transpile.dir/transpile/transpiler.cc.o"
+  "CMakeFiles/qqo_transpile.dir/transpile/transpiler.cc.o.d"
+  "libqqo_transpile.a"
+  "libqqo_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

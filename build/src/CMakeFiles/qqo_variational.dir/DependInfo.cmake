@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variational/adiabatic.cc" "src/CMakeFiles/qqo_variational.dir/variational/adiabatic.cc.o" "gcc" "src/CMakeFiles/qqo_variational.dir/variational/adiabatic.cc.o.d"
+  "/root/repo/src/variational/optimizers.cc" "src/CMakeFiles/qqo_variational.dir/variational/optimizers.cc.o" "gcc" "src/CMakeFiles/qqo_variational.dir/variational/optimizers.cc.o.d"
+  "/root/repo/src/variational/qaoa.cc" "src/CMakeFiles/qqo_variational.dir/variational/qaoa.cc.o" "gcc" "src/CMakeFiles/qqo_variational.dir/variational/qaoa.cc.o.d"
+  "/root/repo/src/variational/variational_solver.cc" "src/CMakeFiles/qqo_variational.dir/variational/variational_solver.cc.o" "gcc" "src/CMakeFiles/qqo_variational.dir/variational/variational_solver.cc.o.d"
+  "/root/repo/src/variational/vqe_ansatz.cc" "src/CMakeFiles/qqo_variational.dir/variational/vqe_ansatz.cc.o" "gcc" "src/CMakeFiles/qqo_variational.dir/variational/vqe_ansatz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qqo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_variational.dir/variational/adiabatic.cc.o"
+  "CMakeFiles/qqo_variational.dir/variational/adiabatic.cc.o.d"
+  "CMakeFiles/qqo_variational.dir/variational/optimizers.cc.o"
+  "CMakeFiles/qqo_variational.dir/variational/optimizers.cc.o.d"
+  "CMakeFiles/qqo_variational.dir/variational/qaoa.cc.o"
+  "CMakeFiles/qqo_variational.dir/variational/qaoa.cc.o.d"
+  "CMakeFiles/qqo_variational.dir/variational/variational_solver.cc.o"
+  "CMakeFiles/qqo_variational.dir/variational/variational_solver.cc.o.d"
+  "CMakeFiles/qqo_variational.dir/variational/vqe_ansatz.cc.o"
+  "CMakeFiles/qqo_variational.dir/variational/vqe_ansatz.cc.o.d"
+  "libqqo_variational.a"
+  "libqqo_variational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_variational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiabatic_test.dir/adiabatic_test.cc.o"
+  "CMakeFiles/adiabatic_test.dir/adiabatic_test.cc.o.d"
+  "adiabatic_test"
+  "adiabatic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiabatic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqo_test.dir/mqo_test.cc.o"
+  "CMakeFiles/mqo_test.dir/mqo_test.cc.o.d"
+  "mqo_test"
+  "mqo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_facts_test.dir/paper_facts_test.cc.o"
+  "CMakeFiles/paper_facts_test.dir/paper_facts_test.cc.o.d"
+  "paper_facts_test"
+  "paper_facts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_facts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qubo_test.dir/qubo_test.cc.o"
+  "CMakeFiles/qubo_test.dir/qubo_test.cc.o.d"
+  "qubo_test"
+  "qubo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qubo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

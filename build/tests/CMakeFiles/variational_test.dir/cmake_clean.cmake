@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variational_test.dir/variational_test.cc.o"
+  "CMakeFiles/variational_test.dir/variational_test.cc.o.d"
+  "variational_test"
+  "variational_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qqo_cli.dir/qqo_cli.cc.o"
+  "CMakeFiles/qqo_cli.dir/qqo_cli.cc.o.d"
+  "qqo"
+  "qqo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qqo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
