@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "mqo/mqo_generator.h"
 #include "mqo/mqo_qubo_encoder.h"
 #include "qubo/conversions.h"
@@ -27,25 +28,29 @@ using namespace qopt;
 /// (nullptr = optimal/all-to-all).
 double MeanQaoaDepth(int num_queries, int ppq, int samples,
                      const CouplingMap* device) {
-  std::vector<double> depths;
-  for (int i = 0; i < samples; ++i) {
-    MqoGeneratorOptions gen;
-    gen.num_queries = num_queries;
-    gen.plans_per_query = ppq;
-    gen.saving_density = 0.1;
-    gen.seed = 1000 + static_cast<std::uint64_t>(i) * 31 + ppq;
-    const MqoQuboEncoding encoding = EncodeMqoAsQubo(GenerateMqoProblem(gen));
-    const QuantumCircuit qaoa =
-        BuildQaoaTemplate(QuboToIsing(encoding.qubo));
-    if (device == nullptr) {
-      const CouplingMap full = MakeFullyConnected(qaoa.NumQubits());
-      depths.push_back(TranspiledDepthStats(qaoa, full, 1).mean);
-    } else {
-      TranspileOptions options;
-      options.seed = static_cast<std::uint64_t>(i);
-      depths.push_back(Transpile(qaoa, *device, options).depth);
-    }
-  }
+  // Instances are independent (one generator seed and one routing seed
+  // each), so the sweep fans out on the default pool; every depth lands in
+  // the slot of its instance, keeping the mean identical at any
+  // QQO_THREADS setting.
+  std::vector<double> depths(static_cast<std::size_t>(samples));
+  ThreadPool::Default().ParallelFor(
+      static_cast<std::size_t>(samples), [&](std::size_t i) {
+        MqoGeneratorOptions gen;
+        gen.num_queries = num_queries;
+        gen.plans_per_query = ppq;
+        gen.saving_density = 0.1;
+        gen.seed = 1000 + static_cast<std::uint64_t>(i) * 31 + ppq;
+        const MqoQuboEncoding encoding =
+            EncodeMqoAsQubo(GenerateMqoProblem(gen));
+        const QuantumCircuit qaoa =
+            BuildQaoaTemplate(QuboToIsing(encoding.qubo));
+        if (device == nullptr) {
+          const CouplingMap full = MakeFullyConnected(qaoa.NumQubits());
+          depths[i] = qopt_bench::MeanTranspiledDepth(qaoa, full, 1);
+        } else {
+          depths[i] = TranspileManySeeds(qaoa, *device, {i})[0].depth;
+        }
+      });
   return Mean(depths);
 }
 

@@ -27,7 +27,7 @@ using namespace qopt;
 
 double MeanDepth(const QuantumCircuit& circuit, const CouplingMap& coupling,
                  int trials) {
-  return TranspiledDepthStats(circuit, coupling, trials).mean;
+  return qopt_bench::MeanTranspiledDepth(circuit, coupling, trials);
 }
 
 double MeanQaoaDepth(int num_queries, int ppq, int samples,

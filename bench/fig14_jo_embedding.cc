@@ -16,6 +16,7 @@
 // 20 embeddings per point; default here is 3 (QQO_BENCH_SAMPLES to raise).
 
 #include <cstdio>
+#include <optional>
 
 #include "anneal/minor_embedder.h"
 #include "anneal/pegasus.h"
@@ -63,13 +64,21 @@ EmbedPoint MeasurePoint(const SimpleGraph& target, int relations,
                "(%d logical qubits)...\n",
                relations, predicates, thresholds, decimals,
                point.logical);
-  std::vector<double> physical;
+  // The attempts are independent (one seed each), so they run as one
+  // parallel sweep; results come back indexed by seed, and the seed-order
+  // scan below keeps success counts and means identical to the old loop.
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(samples));
   for (int s = 0; s < samples; ++s) {
-    EmbedOptions embed;
-    embed.tries = 1;  // each sample is one independent attempt
-    embed.seed = 100 + static_cast<std::uint64_t>(s) * 7919;
+    seeds.push_back(100 + static_cast<std::uint64_t>(s) * 7919);
+  }
+  EmbedOptions embed;
+  embed.tries = 1;  // each sample is one independent attempt
+  const std::vector<std::optional<Embedding>> embeddings =
+      FindMinorEmbeddingManySeeds(source, target, seeds, embed);
+  std::vector<double> physical;
+  for (const std::optional<Embedding>& embedding : embeddings) {
     ++point.attempts;
-    const auto embedding = FindMinorEmbedding(source, target, embed);
     if (embedding.has_value()) {
       ++point.successes;
       physical.push_back(

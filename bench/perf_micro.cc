@@ -19,6 +19,7 @@
 #include "transpile/ibm_topologies.h"
 #include "transpile/transpiler.h"
 #include "variational/qaoa.h"
+#include "variational/variational_solver.h"
 
 namespace {
 
@@ -123,6 +124,40 @@ void BM_TranspileToMumbai(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TranspileToMumbai)->Arg(3)->Arg(5)->Arg(6);
+
+void BM_TranspileManySeeds(benchmark::State& state) {
+  MqoGeneratorOptions gen;
+  gen.num_queries = 5;
+  gen.plans_per_query = 4;
+  gen.seed = 1;
+  const MqoQuboEncoding encoding = EncodeMqoAsQubo(GenerateMqoProblem(gen));
+  const QuantumCircuit qaoa = BuildQaoaTemplate(QuboToIsing(encoding.qubo));
+  const CouplingMap mumbai = MakeMumbai27();
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < static_cast<std::uint64_t>(state.range(0));
+       ++s) {
+    seeds.push_back(s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TranspileManySeeds(qaoa, mumbai, seeds));
+  }
+}
+BENCHMARK(BM_TranspileManySeeds)->Arg(4)->Arg(20)->UseRealTime();
+
+void BM_QaoaSolveEndToEnd(benchmark::State& state) {
+  MqoGeneratorOptions gen;
+  gen.num_queries = static_cast<int>(state.range(0)) / 4;
+  gen.plans_per_query = 4;
+  gen.seed = 1;
+  const MqoQuboEncoding encoding = EncodeMqoAsQubo(GenerateMqoProblem(gen));
+  VariationalOptions options;
+  options.seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveQuboWithQaoa(encoding.qubo, options));
+  }
+}
+BENCHMARK(BM_QaoaSolveEndToEnd)->Arg(12)->Arg(16)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MakePegasus(benchmark::State& state) {
   for (auto _ : state) {

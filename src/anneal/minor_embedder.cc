@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace qopt {
 namespace {
@@ -521,6 +522,18 @@ std::optional<Embedding> FindMinorEmbedding(const SimpleGraph& source,
     }
   }
   return std::nullopt;
+}
+
+std::vector<std::optional<Embedding>> FindMinorEmbeddingManySeeds(
+    const SimpleGraph& source, const SimpleGraph& target,
+    const std::vector<std::uint64_t>& seeds, const EmbedOptions& base) {
+  std::vector<std::optional<Embedding>> results(seeds.size());
+  ThreadPool::Default().ParallelFor(seeds.size(), [&](std::size_t i) {
+    EmbedOptions options = base;
+    options.seed = seeds[i];
+    results[i] = FindMinorEmbedding(source, target, options);
+  });
+  return results;
 }
 
 }  // namespace qopt

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "anneal/embedding.h"
 #include "graph/simple_graph.h"
@@ -46,6 +47,15 @@ struct EmbedOptions {
 std::optional<Embedding> FindMinorEmbedding(const SimpleGraph& source,
                                             const SimpleGraph& target,
                                             const EmbedOptions& options = {});
+
+/// Runs one FindMinorEmbedding per entry of `seeds` (with `base.seed`
+/// replaced by the entry) and returns the outcomes indexed like `seeds` —
+/// the multi-seed sweep behind the paper's embedding-reliability figures.
+/// Attempts run on ThreadPool::Default(); results are independent of the
+/// QQO_THREADS setting because each attempt has its own seed and slot.
+std::vector<std::optional<Embedding>> FindMinorEmbeddingManySeeds(
+    const SimpleGraph& source, const SimpleGraph& target,
+    const std::vector<std::uint64_t>& seeds, const EmbedOptions& base = {});
 
 }  // namespace qopt
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace qopt {
 namespace {
@@ -40,6 +41,18 @@ std::pair<double, double> DefaultBetaRange(
   return {beta_min, std::max(beta_max, beta_min * 2.0)};
 }
 
+/// Independent RNG stream per read (splitmix64 finalizer over seed and
+/// read index). Decoupling the reads from one shared sequential stream is
+/// what lets them run in parallel while staying deterministic: read r sees
+/// the same randomness no matter how many threads execute the sweep.
+std::uint64_t ReadSeed(std::uint64_t seed, int read) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL *
+                               (static_cast<std::uint64_t>(read) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
@@ -62,10 +75,6 @@ AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
                      1.0 / static_cast<double>(options.num_sweeps - 1))
           : 1.0;
 
-  Rng rng(options.seed);
-  AnnealResult result;
-  result.read_energies.reserve(static_cast<std::size_t>(options.num_reads));
-
   for (const auto& group : options.flip_groups) {
     for (int i : group) QOPT_CHECK(i >= 0 && i < n);
   }
@@ -86,8 +95,15 @@ AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
     return 0.0;
   };
 
-  std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
-  for (int read = 0; read < options.num_reads; ++read) {
+  // One fully independent read per slot: its own RNG stream, its own
+  // state, results indexed by read. Reads then run on the default pool
+  // with identical output at any thread count.
+  const std::size_t num_reads = static_cast<std::size_t>(options.num_reads);
+  std::vector<std::vector<std::uint8_t>> read_bits(num_reads);
+  std::vector<double> read_energies(num_reads);
+  ThreadPool::Default().ParallelFor(num_reads, [&](std::size_t read) {
+    Rng rng(ReadSeed(options.seed, static_cast<int>(read)));
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
     for (auto& b : bits) b = rng.NextBool() ? 1 : 0;
     double energy = qubo.Energy(bits);
     double beta = beta_min;
@@ -130,12 +146,19 @@ AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
         }
       }
     }
-    result.read_energies.push_back(energy);
-    if (read == 0 || energy < result.best_energy) {
-      result.best_energy = energy;
-      result.best_bits = bits;
+    read_energies[read] = energy;
+    read_bits[read] = std::move(bits);
+  });
+
+  AnnealResult result;
+  result.read_energies = std::move(read_energies);
+  std::size_t best_read = 0;
+  for (std::size_t read = 1; read < num_reads; ++read) {
+    if (result.read_energies[read] < result.read_energies[best_read]) {
+      best_read = read;
     }
   }
+  result.best_bits = std::move(read_bits[best_read]);
   // Recompute exactly to clear accumulated floating-point drift.
   result.best_energy = qubo.Energy(result.best_bits);
   return result;

@@ -1,15 +1,50 @@
 #include "circuit/statevector.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
+#include <map>
+#include <numbers>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace qopt {
 
 namespace {
 using Complex = std::complex<double>;
 constexpr Complex kI{0.0, 1.0};
+
+/// States below this width are too small for threading to pay off; every
+/// elementwise pass on them stays on the calling thread.
+constexpr int kParallelMinQubits = 14;
+/// Elementwise passes are split into blocks of this many iterations. The
+/// block size is independent of the pool size, so any blockwise arithmetic
+/// is reproducible across QQO_THREADS settings.
+constexpr std::size_t kParallelBlock = std::size_t{1} << 12;
+
+/// Spreads the bits of `k` apart so that bit position q (with
+/// stride = 1 << q) becomes zero: the standard index expansion that
+/// enumerates exactly the basis states with a fixed 0 at one qubit.
+inline std::size_t InsertZeroBit(std::size_t k, std::size_t stride) {
+  return ((k & ~(stride - 1)) << 1) | (k & (stride - 1));
+}
+
+/// Runs fn over [0, n) in fixed-size blocks, on the default pool when the
+/// pass is large enough. fn must only touch slots derived from its own
+/// indices (all callers below write disjoint amplitudes).
+template <typename Fn>
+void ForEachBlock(std::size_t n, int num_qubits, const Fn& fn) {
+  if (num_qubits >= kParallelMinQubits &&
+      ThreadPool::Default().NumThreads() > 1) {
+    ThreadPool::Default().ParallelForRange(
+        n, kParallelBlock,
+        [&fn](std::size_t begin, std::size_t end) { fn(begin, end); });
+  } else {
+    fn(0, n);
+  }
+}
+
 }  // namespace
 
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
@@ -19,19 +54,26 @@ Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
   amplitudes_[0] = Complex{1.0, 0.0};
 }
 
+void Statevector::Reset() {
+  std::fill(amplitudes_.begin(), amplitudes_.end(), Complex{0.0, 0.0});
+  amplitudes_[0] = Complex{1.0, 0.0};
+}
+
 void Statevector::ApplySingleQubit(int q, const Complex m[2][2]) {
   const std::size_t stride = std::size_t{1} << q;
-  const std::size_t size = amplitudes_.size();
-  for (std::size_t base = 0; base < size; base += 2 * stride) {
-    for (std::size_t offset = 0; offset < stride; ++offset) {
-      const std::size_t i0 = base + offset;
+  const std::size_t pairs = amplitudes_.size() / 2;
+  Complex* amp = amplitudes_.data();
+  const Complex m00 = m[0][0], m01 = m[0][1], m10 = m[1][0], m11 = m[1][1];
+  ForEachBlock(pairs, num_qubits_, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i0 = InsertZeroBit(k, stride);
       const std::size_t i1 = i0 + stride;
-      const Complex a0 = amplitudes_[i0];
-      const Complex a1 = amplitudes_[i1];
-      amplitudes_[i0] = m[0][0] * a0 + m[0][1] * a1;
-      amplitudes_[i1] = m[1][0] * a0 + m[1][1] * a1;
+      const Complex a0 = amp[i0];
+      const Complex a1 = amp[i1];
+      amp[i0] = m00 * a0 + m01 * a1;
+      amp[i1] = m10 * a0 + m11 * a1;
     }
-  }
+  });
 }
 
 void Statevector::ApplyGate(const Gate& gate) {
@@ -91,20 +133,40 @@ void Statevector::ApplyGate(const Gate& gate) {
       QOPT_CHECK(gate.qubit1 >= 0 && gate.qubit1 < num_qubits_);
       const std::size_t control = std::size_t{1} << gate.qubit0;
       const std::size_t target = std::size_t{1} << gate.qubit1;
-      for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-        if ((i & control) != 0 && (i & target) == 0) {
-          std::swap(amplitudes_[i], amplitudes_[i | target]);
-        }
-      }
+      const std::size_t low = std::min(control, target);
+      const std::size_t high = std::max(control, target);
+      const std::size_t quarter = amplitudes_.size() / 4;
+      Complex* amp = amplitudes_.data();
+      // Enumerate the quarter of basis states with control = 1, target = 0
+      // directly instead of scanning and branching over all 2^n.
+      ForEachBlock(quarter, num_qubits_,
+                   [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t k = begin; k < end; ++k) {
+                       const std::size_t base =
+                           InsertZeroBit(InsertZeroBit(k, low), high);
+                       const std::size_t i0 = base | control;
+                       std::swap(amp[i0], amp[i0 | target]);
+                     }
+                   });
       return;
     }
     case GateKind::kCz: {
       QOPT_CHECK(gate.qubit1 >= 0 && gate.qubit1 < num_qubits_);
-      const std::size_t mask = (std::size_t{1} << gate.qubit0) |
-                               (std::size_t{1} << gate.qubit1);
-      for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-        if ((i & mask) == mask) amplitudes_[i] = -amplitudes_[i];
-      }
+      const std::size_t b0 = std::size_t{1} << gate.qubit0;
+      const std::size_t b1 = std::size_t{1} << gate.qubit1;
+      const std::size_t low = std::min(b0, b1);
+      const std::size_t high = std::max(b0, b1);
+      const std::size_t quarter = amplitudes_.size() / 4;
+      Complex* amp = amplitudes_.data();
+      ForEachBlock(quarter, num_qubits_,
+                   [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t k = begin; k < end; ++k) {
+                       const std::size_t i =
+                           InsertZeroBit(InsertZeroBit(k, low), high) | b0 |
+                           b1;
+                       amp[i] = -amp[i];
+                     }
+                   });
       return;
     }
     case GateKind::kRzz: {
@@ -115,31 +177,160 @@ void Statevector::ApplyGate(const Gate& gate) {
       const Complex diff_phase = std::exp(kI * half);
       const std::size_t b0 = std::size_t{1} << gate.qubit0;
       const std::size_t b1 = std::size_t{1} << gate.qubit1;
-      for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-        const bool v0 = (i & b0) != 0;
-        const bool v1 = (i & b1) != 0;
-        amplitudes_[i] *= (v0 == v1) ? equal_phase : diff_phase;
-      }
+      const std::size_t low = std::min(b0, b1);
+      const std::size_t high = std::max(b0, b1);
+      const std::size_t quarter = amplitudes_.size() / 4;
+      Complex* amp = amplitudes_.data();
+      ForEachBlock(quarter, num_qubits_,
+                   [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t k = begin; k < end; ++k) {
+                       const std::size_t base =
+                           InsertZeroBit(InsertZeroBit(k, low), high);
+                       amp[base] *= equal_phase;
+                       amp[base | b0 | b1] *= equal_phase;
+                       amp[base | b0] *= diff_phase;
+                       amp[base | b1] *= diff_phase;
+                     }
+                   });
       return;
     }
     case GateKind::kSwap: {
       QOPT_CHECK(gate.qubit1 >= 0 && gate.qubit1 < num_qubits_);
       const std::size_t b0 = std::size_t{1} << gate.qubit0;
       const std::size_t b1 = std::size_t{1} << gate.qubit1;
-      for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-        const bool v0 = (i & b0) != 0;
-        const bool v1 = (i & b1) != 0;
-        if (v0 && !v1) std::swap(amplitudes_[i], amplitudes_[(i ^ b0) | b1]);
-      }
+      const std::size_t low = std::min(b0, b1);
+      const std::size_t high = std::max(b0, b1);
+      const std::size_t quarter = amplitudes_.size() / 4;
+      Complex* amp = amplitudes_.data();
+      ForEachBlock(quarter, num_qubits_,
+                   [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t k = begin; k < end; ++k) {
+                       const std::size_t base =
+                           InsertZeroBit(InsertZeroBit(k, low), high);
+                       std::swap(amp[base | b0], amp[base | b1]);
+                     }
+                   });
       return;
     }
   }
   QOPT_CHECK_MSG(false, "unknown gate kind");
 }
 
+bool IsDiagonalGate(GateKind kind) {
+  return kind == GateKind::kZ || kind == GateKind::kRz ||
+         kind == GateKind::kCz || kind == GateKind::kRzz;
+}
+
+void Statevector::ApplyFusedDiagonal(const std::vector<Gate>& gates,
+                                     std::size_t begin, std::size_t end) {
+  const int n = num_qubits_;
+  constexpr double kPi = std::numbers::pi;
+  // A run of diagonal gates multiplies each basis state |b> by
+  // e^{i angle(b)} with angle(b) = c + sum_i f_i s_i + sum_{i<j} J_ij
+  // s_i s_j over spins s = 2b - 1 — an Ising energy function. Accumulate
+  // its coefficients, then fill the angle table with the same Gray-code
+  // walk IsingEnergyTable uses: O(2^n) total instead of one 2^n pass per
+  // gate.
+  double constant = 0.0;
+  std::vector<double> field(static_cast<std::size_t>(n), 0.0);
+  std::map<std::pair<int, int>, double> coupling;  // ordered => reproducible
+  for (std::size_t g = begin; g < end; ++g) {
+    const Gate& gate = gates[g];
+    QOPT_CHECK(gate.qubit0 >= 0 && gate.qubit0 < n);
+    const std::size_t q0 = static_cast<std::size_t>(gate.qubit0);
+    switch (gate.kind) {
+      case GateKind::kRz:
+        // diag(e^{-i t/2}, e^{+i t/2}): angle = (t/2) s.
+        field[q0] += gate.param / 2.0;
+        break;
+      case GateKind::kZ:
+        // diag(1, -1): angle = pi b = (pi/2)(1 + s).
+        constant += kPi / 2.0;
+        field[q0] += kPi / 2.0;
+        break;
+      case GateKind::kCz: {
+        QOPT_CHECK(gate.qubit1 >= 0 && gate.qubit1 < n);
+        // angle = pi b0 b1 = (pi/4)(1 + s0)(1 + s1).
+        const auto [a, b] = std::minmax(gate.qubit0, gate.qubit1);
+        constant += kPi / 4.0;
+        field[static_cast<std::size_t>(a)] += kPi / 4.0;
+        field[static_cast<std::size_t>(b)] += kPi / 4.0;
+        coupling[{a, b}] += kPi / 4.0;
+        break;
+      }
+      case GateKind::kRzz: {
+        QOPT_CHECK(gate.qubit1 >= 0 && gate.qubit1 < n);
+        // e^{-i t/2} on equal bits, e^{+i t/2} otherwise: angle =
+        // -(t/2) s0 s1.
+        const auto [a, b] = std::minmax(gate.qubit0, gate.qubit1);
+        coupling[{a, b}] -= gate.param / 2.0;
+        break;
+      }
+      default:
+        QOPT_CHECK_MSG(false, "non-diagonal gate in fused run");
+    }
+  }
+
+  std::vector<std::vector<std::pair<int, double>>> adjacency(
+      static_cast<std::size_t>(n));
+  for (const auto& [edge, j] : coupling) {
+    adjacency[static_cast<std::size_t>(edge.first)].emplace_back(edge.second,
+                                                                 j);
+    adjacency[static_cast<std::size_t>(edge.second)].emplace_back(edge.first,
+                                                                  j);
+  }
+
+  const std::size_t total = amplitudes_.size();
+  phase_scratch_.resize(total);
+  // State 0 has every spin -1.
+  double angle = constant;
+  for (int q = 0; q < n; ++q) angle -= field[static_cast<std::size_t>(q)];
+  for (const auto& [edge, j] : coupling) {
+    (void)edge;
+    angle += j;
+  }
+  std::vector<int> spins(static_cast<std::size_t>(n), -1);
+  phase_scratch_[0] = angle;
+  std::size_t gray = 0;
+  for (std::size_t k = 1; k < total; ++k) {
+    const int flip = std::countr_zero(k);
+    const int s = spins[static_cast<std::size_t>(flip)];
+    double local = field[static_cast<std::size_t>(flip)];
+    for (const auto& [j, coeff] : adjacency[static_cast<std::size_t>(flip)]) {
+      local += coeff * spins[static_cast<std::size_t>(j)];
+    }
+    angle -= 2.0 * s * local;
+    spins[static_cast<std::size_t>(flip)] = -s;
+    gray ^= std::size_t{1} << flip;
+    phase_scratch_[gray] = angle;
+  }
+
+  Complex* amp = amplitudes_.data();
+  const double* phase = phase_scratch_.data();
+  ForEachBlock(total, num_qubits_, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      amp[i] *= Complex(std::cos(phase[i]), std::sin(phase[i]));
+    }
+  });
+}
+
 void Statevector::ApplyCircuit(const QuantumCircuit& circuit) {
   QOPT_CHECK(circuit.NumQubits() == num_qubits_);
-  for (const Gate& g : circuit.Gates()) ApplyGate(g);
+  const std::vector<Gate>& gates = circuit.Gates();
+  std::size_t i = 0;
+  while (i < gates.size()) {
+    if (IsDiagonalGate(gates[i].kind)) {
+      std::size_t j = i + 1;
+      while (j < gates.size() && IsDiagonalGate(gates[j].kind)) ++j;
+      if (j - i >= 2) {
+        ApplyFusedDiagonal(gates, i, j);
+        i = j;
+        continue;
+      }
+    }
+    ApplyGate(gates[i]);
+    ++i;
+  }
 }
 
 std::vector<double> Statevector::Probabilities() const {
@@ -150,6 +341,16 @@ std::vector<double> Statevector::Probabilities() const {
   return probs;
 }
 
+std::vector<double> Statevector::CumulativeProbabilities() const {
+  std::vector<double> cdf(amplitudes_.size());
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    cumulative += std::norm(amplitudes_[i]);
+    cdf[i] = cumulative;
+  }
+  return cdf;
+}
+
 double Statevector::NormSquared() const {
   double norm = 0.0;
   for (const Complex& a : amplitudes_) norm += std::norm(a);
@@ -158,7 +359,12 @@ double Statevector::NormSquared() const {
 
 double Statevector::IsingExpectation(const IsingModel& ising) const {
   QOPT_CHECK(ising.NumSpins() == num_qubits_);
-  const std::vector<double> energies = IsingEnergyTable(ising);
+  return EnergyExpectation(IsingEnergyTable(ising));
+}
+
+double Statevector::EnergyExpectation(
+    const std::vector<double>& energies) const {
+  QOPT_CHECK(energies.size() == amplitudes_.size());
   double expectation = 0.0;
   for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
     expectation += std::norm(amplitudes_[i]) * energies[i];
@@ -177,6 +383,24 @@ std::vector<std::uint8_t> Statevector::Sample(Rng* rng) const {
       break;
     }
   }
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(num_qubits_));
+  for (int q = 0; q < num_qubits_; ++q) {
+    bits[static_cast<std::size_t>(q)] =
+        static_cast<std::uint8_t>((chosen >> q) & 1u);
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> Statevector::SampleFromCdf(
+    const std::vector<double>& cdf, Rng* rng) const {
+  QOPT_CHECK(cdf.size() == amplitudes_.size());
+  const double r = rng->NextDouble();
+  // First index with r < cdf[i] — the same state the linear scan in
+  // Sample() picks, because cdf holds the identical partial sums.
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+  const std::size_t chosen = it == cdf.end()
+                                 ? cdf.size() - 1
+                                 : static_cast<std::size_t>(it - cdf.begin());
   std::vector<std::uint8_t> bits(static_cast<std::size_t>(num_qubits_));
   for (int q = 0; q < num_qubits_; ++q) {
     bits[static_cast<std::size_t>(q)] =

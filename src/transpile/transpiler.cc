@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "transpile/basis_decomposer.h"
 #include "transpile/layout.h"
 #include "transpile/swap_router.h"
@@ -33,19 +34,35 @@ TranspileResult Transpile(const QuantumCircuit& circuit,
   return result;
 }
 
+std::vector<TranspileResult> TranspileManySeeds(
+    const QuantumCircuit& circuit, const CouplingMap& coupling,
+    const std::vector<std::uint64_t>& seeds, const TranspileOptions& base) {
+  std::vector<TranspileResult> results(seeds.size());
+  ThreadPool::Default().ParallelFor(seeds.size(), [&](std::size_t i) {
+    TranspileOptions options = base;
+    options.seed = seeds[i];
+    results[i] = Transpile(circuit, coupling, options);
+  });
+  return results;
+}
+
 Summary TranspiledDepthStats(const QuantumCircuit& circuit,
                              const CouplingMap& coupling, int num_trials,
                              std::uint64_t seed0) {
   QOPT_CHECK(num_trials >= 1);
-  std::vector<double> depths;
-  depths.reserve(static_cast<std::size_t>(num_trials));
+  // A fully connected device is deterministic; one trial suffices.
+  if (coupling.IsFullyConnected()) num_trials = 1;
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(num_trials));
   for (int t = 0; t < num_trials; ++t) {
-    TranspileOptions options;
-    options.seed = seed0 + static_cast<std::uint64_t>(t);
-    depths.push_back(
-        static_cast<double>(Transpile(circuit, coupling, options).depth));
-    // A fully connected device is deterministic; one trial suffices.
-    if (coupling.IsFullyConnected()) break;
+    seeds[static_cast<std::size_t>(t)] =
+        seed0 + static_cast<std::uint64_t>(t);
+  }
+  const std::vector<TranspileResult> results =
+      TranspileManySeeds(circuit, coupling, seeds);
+  std::vector<double> depths;
+  depths.reserve(results.size());
+  for (const TranspileResult& result : results) {
+    depths.push_back(static_cast<double>(result.depth));
   }
   return Summarize(depths);
 }

@@ -41,9 +41,19 @@ TranspileResult Transpile(const QuantumCircuit& circuit,
                           const CouplingMap& coupling,
                           const TranspileOptions& options = {});
 
+/// Transpiles once per entry of `seeds` (with `base.seed` replaced by the
+/// entry) and returns the results indexed like `seeds`. The sweeps run on
+/// ThreadPool::Default(); because every result lands in the slot of its
+/// seed, the output is identical for any QQO_THREADS setting.
+std::vector<TranspileResult> TranspileManySeeds(
+    const QuantumCircuit& circuit, const CouplingMap& coupling,
+    const std::vector<std::uint64_t>& seeds,
+    const TranspileOptions& base = {});
+
 /// Transpiles `num_trials` times with seeds seed0, seed0+1, ... and
 /// summarizes the resulting depths — the "mean circuit depth over 20
 /// transpilations" statistic reported throughout the paper's evaluation.
+/// Runs the trials through TranspileManySeeds (i.e. in parallel).
 Summary TranspiledDepthStats(const QuantumCircuit& circuit,
                              const CouplingMap& coupling, int num_trials,
                              std::uint64_t seed0 = 0);

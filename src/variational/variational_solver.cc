@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <numbers>
+#include <unordered_map>
 
 #include "circuit/statevector.h"
 #include "common/check.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "qubo/conversions.h"
 #include "variational/optimizers.h"
 #include "variational/qaoa.h"
@@ -30,22 +32,41 @@ OptimizeResult RunOuterLoop(const Objective& objective,
   return {};
 }
 
-/// Simulates `circuit`, samples `shots` bit strings and returns the one
-/// with the lowest QUBO energy together with the state expectation.
+/// Simulates `circuit` into `state` (reusing its buffer), samples `shots`
+/// bit strings via a cumulative-distribution binary search and returns the
+/// one with the lowest QUBO energy together with the state expectation.
+/// `energies` is the precomputed IsingEnergyTable of `ising`.
 VariationalResult FinalizeFromCircuit(const QuboModel& qubo,
-                                      const IsingModel& ising,
                                       QuantumCircuit circuit,
+                                      const std::vector<double>& energies,
                                       const VariationalOptions& options,
-                                      int evaluations) {
-  Statevector state = SimulateCircuit(circuit);
+                                      int evaluations, Statevector* state) {
+  state->Reset();
+  state->ApplyCircuit(circuit);
   VariationalResult result;
-  result.expectation = state.IsingExpectation(ising);
-  Rng rng(options.seed + 0x5EED);
-  result.best_bits = state.Sample(&rng);
-  result.best_energy = qubo.Energy(result.best_bits);
-  for (int s = 1; s < options.shots; ++s) {
-    const std::vector<std::uint8_t> bits = state.Sample(&rng);
+  result.expectation = state->EnergyExpectation(energies);
+  // The cumulative distribution is built once; each shot then costs one
+  // RNG draw plus a binary search instead of a 2^n scan. Shots landing on
+  // an already-scored basis state reuse its energy.
+  const std::vector<double> cdf = state->CumulativeProbabilities();
+  std::unordered_map<std::size_t, double> energy_of_state;
+  auto score = [&](const std::vector<std::uint8_t>& bits) {
+    std::size_t index = 0;
+    for (std::size_t q = 0; q < bits.size(); ++q) {
+      index |= static_cast<std::size_t>(bits[q]) << q;
+    }
+    const auto it = energy_of_state.find(index);
+    if (it != energy_of_state.end()) return it->second;
     const double energy = qubo.Energy(bits);
+    energy_of_state.emplace(index, energy);
+    return energy;
+  };
+  Rng rng(options.seed + 0x5EED);
+  result.best_bits = state->SampleFromCdf(cdf, &rng);
+  result.best_energy = score(result.best_bits);
+  for (int s = 1; s < options.shots; ++s) {
+    const std::vector<std::uint8_t> bits = state->SampleFromCdf(cdf, &rng);
+    const double energy = score(bits);
     if (energy < result.best_energy) {
       result.best_energy = energy;
       result.best_bits = bits;
@@ -64,6 +85,7 @@ VariationalResult SolveQuboWithQaoa(const QuboModel& qubo,
   QOPT_CHECK(options.qaoa_reps >= 1);
   const IsingModel ising = QuboToIsing(qubo);
   const std::vector<double> energies = IsingEnergyTable(ising);
+  const int n = qubo.NumVariables();
   const int p = options.qaoa_reps;
 
   // theta = (gamma_1..gamma_p, beta_1..beta_p); initialized with zeros as
@@ -73,16 +95,16 @@ VariationalResult SolveQuboWithQaoa(const QuboModel& qubo,
     const std::vector<double> betas(theta.begin() + p, theta.end());
     return std::make_pair(gammas, betas);
   };
-  Objective objective = [&](const std::vector<double>& theta) {
-    const auto [gammas, betas] = split(theta);
-    Statevector state =
-        SimulateCircuit(BuildQaoaCircuit(ising, gammas, betas));
-    const std::vector<double> probs = state.Probabilities();
-    double expectation = 0.0;
-    for (std::size_t i = 0; i < probs.size(); ++i) {
-      expectation += probs[i] * energies[i];
-    }
-    return expectation;
+  // Each objective owns one statevector buffer and reuses it (plus the
+  // shared energy table) across every evaluation of the outer loop — no
+  // 2^n reallocation or energy-table rebuild per call.
+  auto make_objective = [&](Statevector* state) {
+    return Objective([&, state](const std::vector<double>& theta) {
+      const auto [gammas, betas] = split(theta);
+      state->Reset();
+      state->ApplyCircuit(BuildQaoaCircuit(ising, gammas, betas));
+      return state->EnergyExpectation(energies);
+    });
   };
 
   // Multi-start: the all-zero start of the paper's setup, the INTERP-style
@@ -105,21 +127,28 @@ VariationalResult SolveQuboWithQaoa(const QuboModel& qubo,
     for (double& v : random_start) v = rng.NextDouble(-0.5, 0.5);
     starts.push_back(std::move(random_start));
   }
-  OptimizeResult opt;
-  bool first = true;
-  for (const auto& x0 : starts) {
-    OptimizeResult candidate = RunOuterLoop(objective, x0, options);
-    if (first || candidate.fval < opt.fval) {
-      candidate.evaluations += first ? 0 : opt.evaluations;
-      opt = std::move(candidate);
-      first = false;
-    } else {
-      opt.evaluations += candidate.evaluations;
-    }
+
+  // The starts are independent outer-loop runs; results land in the slot
+  // of their start, and the winner is picked by scanning slots in order,
+  // so the outcome matches the serial sweep at any thread count.
+  std::vector<OptimizeResult> candidates(starts.size());
+  ThreadPool::Default().ParallelFor(starts.size(), [&](std::size_t s) {
+    Statevector state(n);
+    const Objective objective = make_objective(&state);
+    candidates[s] = RunOuterLoop(objective, starts[s], options);
+  });
+  OptimizeResult opt = candidates[0];
+  int total_evaluations = candidates[0].evaluations;
+  for (std::size_t s = 1; s < candidates.size(); ++s) {
+    total_evaluations += candidates[s].evaluations;
+    if (candidates[s].fval < opt.fval) opt = candidates[s];
   }
+  opt.evaluations = total_evaluations;
+
   const auto [gammas, betas] = split(opt.x);
-  return FinalizeFromCircuit(qubo, ising, BuildQaoaCircuit(ising, gammas, betas),
-                             options, opt.evaluations);
+  Statevector state(n);
+  return FinalizeFromCircuit(qubo, BuildQaoaCircuit(ising, gammas, betas),
+                             energies, options, opt.evaluations, &state);
 }
 
 VariationalResult SolveQuboWithVqe(const QuboModel& qubo,
@@ -130,15 +159,12 @@ VariationalResult SolveQuboWithVqe(const QuboModel& qubo,
   const int n = qubo.NumVariables();
   const int num_params = RealAmplitudesNumParameters(n, options.vqe_reps);
 
+  Statevector state(n);
   Objective objective = [&](const std::vector<double>& theta) {
-    Statevector state = SimulateCircuit(BuildRealAmplitudes(
-        n, options.vqe_reps, theta, options.vqe_entanglement));
-    const std::vector<double> probs = state.Probabilities();
-    double expectation = 0.0;
-    for (std::size_t i = 0; i < probs.size(); ++i) {
-      expectation += probs[i] * energies[i];
-    }
-    return expectation;
+    state.Reset();
+    state.ApplyCircuit(BuildRealAmplitudes(n, options.vqe_reps, theta,
+                                           options.vqe_entanglement));
+    return state.EnergyExpectation(energies);
   };
 
   // Small random angles break the symmetry of the all-zero start (an RY(0)
@@ -150,9 +176,9 @@ VariationalResult SolveQuboWithVqe(const QuboModel& qubo,
   }
   OptimizeResult opt = RunOuterLoop(objective, x0, options);
   return FinalizeFromCircuit(
-      qubo, ising,
+      qubo,
       BuildRealAmplitudes(n, options.vqe_reps, opt.x, options.vqe_entanglement),
-      options, opt.evaluations);
+      energies, options, opt.evaluations, &state);
 }
 
 }  // namespace qopt

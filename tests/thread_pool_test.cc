@@ -1,0 +1,119 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace qopt {
+namespace {
+
+TEST(ThreadPoolTest, PoolOfSizeOneRunsSeriallyInIndexOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.NumThreads(), 1);
+  std::vector<std::size_t> order;
+  pool.ParallelFor(100, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRangeChunksCoverWithoutOverlap) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelForRange(hits.size(), 256,
+                        [&](std::size_t begin, std::size_t end) {
+                          EXPECT_LE(end - begin, 256u);
+                          for (std::size_t i = begin; i < end; ++i) {
+                            hits[i].fetch_add(1);
+                          }
+                        });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(128,
+                                [](std::size_t i) {
+                                  if (i == 37) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromSerialPool) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(10,
+                                [](std::size_t i) {
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSeriallyAndCompletes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> grid(64);
+  pool.ParallelFor(8, [&](std::size_t outer) {
+    pool.ParallelFor(8, [&](std::size_t inner) {
+      grid[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& cell : grid) EXPECT_EQ(cell.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndReportsCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  std::future<void> done = pool.Submit([&value] { value.store(42); });
+  done.wait();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> done =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(done.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolSizeFromEnvPrefersQqoThreads) {
+  setenv("QQO_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::PoolSizeFromEnv(), 3);
+  setenv("QQO_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::PoolSizeFromEnv(), 1);  // falls back to hardware
+  unsetenv("QQO_THREADS");
+  EXPECT_GE(ThreadPool::PoolSizeFromEnv(), 1);
+}
+
+TEST(ThreadPoolTest, ScopedDefaultPoolOverridesAndRestores) {
+  ThreadPool replacement(2);
+  ThreadPool& original = ThreadPool::Default();
+  {
+    ScopedDefaultPool guard(&replacement);
+    EXPECT_EQ(&ThreadPool::Default(), &replacement);
+  }
+  EXPECT_EQ(&ThreadPool::Default(), &original);
+}
+
+TEST(ThreadPoolTest, LargeFanOutAccumulatesCorrectSum) {
+  ThreadPool pool(8);
+  std::vector<long long> partial(100000);
+  pool.ParallelFor(partial.size(),
+                   [&](std::size_t i) { partial[i] = static_cast<long long>(i); });
+  const long long total =
+      std::accumulate(partial.begin(), partial.end(), 0LL);
+  EXPECT_EQ(total, 99999LL * 100000 / 2);
+}
+
+}  // namespace
+}  // namespace qopt

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs the perf_micro google-benchmark suite and captures the results as
+# JSON for before/after comparisons of the simulation hot paths.
+#
+# Usage: tools/perf_baseline.sh [build-dir] [output.json]
+#
+# The suite runs twice — once pinned to a single thread (QQO_THREADS=1)
+# and once with the default pool — so the JSON records both the serial
+# baseline and the parallel sweep numbers. Extra benchmark flags can be
+# passed via QQO_BENCH_FILTER (a --benchmark_filter regex).
+
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_json="${2:-BENCH_perf.json}"
+perf_bin="${build_dir}/bench/perf_micro"
+
+if [[ ! -x "${perf_bin}" ]]; then
+  echo "error: ${perf_bin} not found; build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+filter_args=()
+if [[ -n "${QQO_BENCH_FILTER:-}" ]]; then
+  filter_args+=("--benchmark_filter=${QQO_BENCH_FILTER}")
+fi
+
+serial_json="$(mktemp)"
+parallel_json="$(mktemp)"
+trap 'rm -f "${serial_json}" "${parallel_json}"' EXIT
+
+echo "== perf_micro, QQO_THREADS=1 (serial baseline) =="
+QQO_THREADS=1 "${perf_bin}" \
+  --benchmark_out="${serial_json}" --benchmark_out_format=json \
+  "${filter_args[@]}"
+
+echo
+echo "== perf_micro, default thread pool =="
+"${perf_bin}" \
+  --benchmark_out="${parallel_json}" --benchmark_out_format=json \
+  "${filter_args[@]}"
+
+# Merge the two runs into one file keyed by thread setting.
+{
+  echo '{'
+  echo '  "serial":'
+  sed 's/^/  /' "${serial_json}"
+  echo '  ,'
+  echo '  "parallel":'
+  sed 's/^/  /' "${parallel_json}"
+  echo '}'
+} > "${out_json}"
+
+echo
+echo "wrote ${out_json}"
