@@ -11,6 +11,22 @@
 namespace qopt {
 namespace {
 
+/// Renders a byte offset as "line L, column C" (1-based) so parse errors
+/// in workload files point at the offending spot.
+std::string DescribePosition(std::string_view text, std::size_t pos) {
+  std::size_t line = 1;
+  std::size_t column = 1;
+  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return StrFormat("line %zu, column %zu", line, column);
+}
+
 /// Recursive-descent JSON parser over a string_view with position state.
 class Parser {
  public:
@@ -25,7 +41,8 @@ class Parser {
     SkipWhitespace();
     if (pos_ != text_.size()) {
       if (error != nullptr) {
-        *error = StrFormat("trailing characters at offset %zu", pos_);
+        *error = StrFormat("trailing characters at %s",
+                           DescribePosition(text_, pos_).c_str());
       }
       return std::nullopt;
     }
@@ -43,7 +60,8 @@ class Parser {
 
   bool Fail(const std::string& message) {
     if (error_.empty()) {
-      error_ = StrFormat("%s at offset %zu", message.c_str(), pos_);
+      error_ = StrFormat("%s at %s", message.c_str(),
+                         DescribePosition(text_, pos_).c_str());
     }
     return false;
   }
@@ -283,6 +301,66 @@ const std::string& JsonValue::AsString() const {
   return string_;
 }
 
+std::string_view JsonValue::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kNumber:
+      return "number";
+    case Kind::kString:
+      return "string";
+    case Kind::kArray:
+      return "array";
+    case Kind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status KindMismatch(std::string_view wanted, JsonValue::Kind got) {
+  return InvalidArgumentError(
+      StrFormat("expected a %.*s, got a %.*s",
+                static_cast<int>(wanted.size()), wanted.data(),
+                static_cast<int>(JsonValue::KindName(got).size()),
+                JsonValue::KindName(got).data()));
+}
+
+}  // namespace
+
+StatusOr<bool> JsonValue::GetBool() const {
+  if (!IsBool()) return KindMismatch("bool", kind_);
+  return bool_;
+}
+
+StatusOr<double> JsonValue::GetNumber() const {
+  if (!IsNumber()) return KindMismatch("number", kind_);
+  if (!std::isfinite(number_)) {
+    return OutOfRangeError("number is not finite");
+  }
+  return number_;
+}
+
+StatusOr<int> JsonValue::GetInt() const {
+  QOPT_ASSIGN_OR_RETURN(const double value, GetNumber());
+  if (value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return OutOfRangeError(StrFormat("%g does not fit in an int", value));
+  }
+  if (value != std::floor(value)) {
+    return InvalidArgumentError(StrFormat("%g is not an integer", value));
+  }
+  return static_cast<int>(value);
+}
+
+StatusOr<std::string> JsonValue::GetString() const {
+  if (!IsString()) return KindMismatch("string", kind_);
+  return string_;
+}
+
 std::size_t JsonValue::Size() const {
   if (IsArray()) return array_.size();
   if (IsObject()) return object_.size();
@@ -321,6 +399,13 @@ std::optional<JsonValue> JsonValue::Parse(std::string_view text,
                                           std::string* error) {
   Parser parser(text);
   return parser.ParseDocument(error);
+}
+
+StatusOr<JsonValue> JsonValue::ParseOrStatus(std::string_view text) {
+  std::string error;
+  std::optional<JsonValue> value = Parse(text, &error);
+  if (!value.has_value()) return InvalidArgumentError(std::move(error));
+  return *std::move(value);
 }
 
 void JsonValue::DumpTo(std::string* out, int indent, int depth) const {

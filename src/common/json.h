@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
+
 namespace qopt {
 
 /// Minimal JSON document model (null, bool, number, string, array,
@@ -34,11 +36,28 @@ class JsonValue {
   bool IsArray() const { return kind_ == Kind::kArray; }
   bool IsObject() const { return kind_ == Kind::kObject; }
 
-  /// Value accessors; abort on kind mismatch (validate first).
+  /// Value accessors; abort on kind mismatch (validate first). These are
+  /// for code that has already validated the document shape — input paths
+  /// handling untrusted documents use the Get* accessors below instead.
   bool AsBool() const;
   double AsNumber() const;
   int AsInt() const;  ///< AsNumber() cast with range check.
   const std::string& AsString() const;
+
+  /// Checked accessors for untrusted documents: kind mismatches and range
+  /// violations come back as Status instead of aborting the process.
+  StatusOr<bool> GetBool() const;
+  /// Rejects non-finite values (NaN / Inf cannot appear in JSON text but
+  /// can in hand-built documents).
+  StatusOr<double> GetNumber() const;
+  /// GetNumber() plus an integrality and int-range check, so workload
+  /// indices like 0.5 or 1e20 are rejected rather than aborting.
+  StatusOr<int> GetInt() const;
+  StatusOr<std::string> GetString() const;
+
+  /// Readable kind name ("null", "bool", "number", "string", "array",
+  /// "object") for diagnostics.
+  static std::string_view KindName(Kind kind);
 
   /// Array access.
   std::size_t Size() const;  ///< Elements (array) or members (object).
@@ -52,9 +71,13 @@ class JsonValue {
   const std::map<std::string, JsonValue>& Members() const;
 
   /// Parses a complete JSON document; returns nullopt and sets `error`
-  /// (if non-null) on malformed input or trailing garbage.
+  /// (if non-null) on malformed input or trailing garbage. Errors carry
+  /// line/column context.
   static std::optional<JsonValue> Parse(std::string_view text,
                                         std::string* error = nullptr);
+
+  /// Status flavour of Parse (kInvalidArgument on malformed input).
+  static StatusOr<JsonValue> ParseOrStatus(std::string_view text);
 
   /// Serializes; indent < 0 produces compact output, otherwise
   /// `indent`-space pretty printing.

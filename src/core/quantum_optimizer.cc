@@ -1,13 +1,38 @@
 #include "core/quantum_optimizer.h"
 
 #include "anneal/pegasus.h"
-#include "common/check.h"
 #include "bilp/bilp_to_qubo.h"
+#include "common/check.h"
+#include "common/table_printer.h"
 #include "mqo/mqo_qubo_encoder.h"
 #include "qubo/brute_force_solver.h"
 
 namespace qopt {
 namespace {
+
+/// Simulation budgets that turn an over-sized request into a recoverable
+/// error instead of an unbounded (or aborting) computation. They mirror
+/// the hard CHECKs of the underlying kernels.
+constexpr int kMaxBruteForceQubits = 26;    // brute_force_solver.h
+constexpr int kMaxStatevectorQubits = 26;   // statevector.cc
+constexpr int kMaxAdiabaticQubits = 20;     // adiabatic.cc
+/// Above this size the classical fallback uses SA instead of the exact
+/// oracle (2^n enumeration stays sub-second up to here).
+constexpr int kMaxExactFallbackQubits = 20;
+
+bool IsQuantumBackend(Backend backend) {
+  switch (backend) {
+    case Backend::kQaoa:
+    case Backend::kVqe:
+    case Backend::kAdiabatic:
+    case Backend::kAnnealerEmulation:
+      return true;
+    case Backend::kExact:
+    case Backend::kSimulatedAnnealing:
+      return false;
+  }
+  return false;
+}
 
 /// Dispatches a QUBO to the selected backend and returns the bit string it
 /// found (plus its energy).
@@ -16,11 +41,19 @@ struct BackendResult {
   double energy = 0.0;
 };
 
-BackendResult SolveQuboWithBackend(const QuboModel& qubo,
-                                   const OptimizerOptions& options) {
+StatusOr<BackendResult> TrySolveQuboWithBackend(
+    const QuboModel& qubo, const OptimizerOptions& options, Backend backend) {
+  const int n = qubo.NumVariables();
+  if (n < 1) return InvalidArgumentError("QUBO has no variables");
   BackendResult result;
-  switch (options.backend) {
+  switch (backend) {
     case Backend::kExact: {
+      if (n > kMaxBruteForceQubits) {
+        return ResourceExhaustedError(StrFormat(
+            "exact oracle enumerates 2^%d assignments; limit is %d "
+            "variables",
+            n, kMaxBruteForceQubits));
+      }
       BruteForceResult exact = SolveQuboBruteForce(qubo);
       result.bits = std::move(exact.best_bits);
       result.energy = exact.best_energy;
@@ -28,6 +61,12 @@ BackendResult SolveQuboWithBackend(const QuboModel& qubo,
     }
     case Backend::kSimulatedAnnealing: {
       AnnealOptions anneal = options.anneal;
+      if (anneal.num_reads < 1 || anneal.num_sweeps < 1) {
+        return InvalidArgumentError(
+            StrFormat("SA needs num_reads >= 1 and num_sweeps >= 1, got "
+                      "%d / %d",
+                      anneal.num_reads, anneal.num_sweeps));
+      }
       if (anneal.seed == 0) anneal.seed = options.seed;
       AnnealResult sa = SolveQuboWithAnnealing(qubo, anneal);
       result.bits = std::move(sa.best_bits);
@@ -36,9 +75,22 @@ BackendResult SolveQuboWithBackend(const QuboModel& qubo,
     }
     case Backend::kQaoa:
     case Backend::kVqe: {
+      if (n > kMaxStatevectorQubits) {
+        return ResourceExhaustedError(StrFormat(
+            "%s circuit needs %d qubits; the statevector simulator "
+            "supports at most %d",
+            backend == Backend::kQaoa ? "QAOA" : "VQE", n,
+            kMaxStatevectorQubits));
+      }
       VariationalOptions variational = options.variational;
+      if (variational.qaoa_reps < 1 || variational.vqe_reps < 0 ||
+          variational.max_iterations < 1 || variational.shots < 1) {
+        return InvalidArgumentError(
+            "variational options out of range (need qaoa_reps >= 1, "
+            "vqe_reps >= 0, max_iterations >= 1, shots >= 1)");
+      }
       if (variational.seed == 0) variational.seed = options.seed;
-      VariationalResult hybrid = options.backend == Backend::kQaoa
+      VariationalResult hybrid = backend == Backend::kQaoa
                                      ? SolveQuboWithQaoa(qubo, variational)
                                      : SolveQuboWithVqe(qubo, variational);
       result.bits = std::move(hybrid.best_bits);
@@ -46,7 +98,19 @@ BackendResult SolveQuboWithBackend(const QuboModel& qubo,
       return result;
     }
     case Backend::kAdiabatic: {
+      if (n > kMaxAdiabaticQubits) {
+        return ResourceExhaustedError(StrFormat(
+            "adiabatic evolution needs %d qubits; the dense propagator "
+            "supports at most %d",
+            n, kMaxAdiabaticQubits));
+      }
       AdiabaticOptions adiabatic = options.adiabatic;
+      if (adiabatic.steps < 1 || !(adiabatic.total_time > 0.0) ||
+          adiabatic.shots < 1) {
+        return InvalidArgumentError(
+            "adiabatic options out of range (need steps >= 1, "
+            "total_time > 0, shots >= 1)");
+      }
       if (adiabatic.seed == 0) adiabatic.seed = options.seed;
       AdiabaticResult evolved = SolveQuboAdiabatically(qubo, adiabatic);
       result.bits = std::move(evolved.best_bits);
@@ -54,21 +118,79 @@ BackendResult SolveQuboWithBackend(const QuboModel& qubo,
       return result;
     }
     case Backend::kAnnealerEmulation: {
+      if (options.pegasus_m < 2) {
+        return InvalidArgumentError(StrFormat(
+            "pegasus_m must be >= 2, got %d", options.pegasus_m));
+      }
       EmbeddedSolveOptions embedded = options.embedded;
+      if (embedded.anneal.num_reads < 1 || embedded.anneal.num_sweeps < 1) {
+        return InvalidArgumentError(
+            "embedded SA needs num_reads >= 1 and num_sweeps >= 1");
+      }
       if (embedded.embed.seed == 0) embedded.embed.seed = options.seed;
       if (embedded.anneal.seed == 0) embedded.anneal.seed = options.seed;
       const SimpleGraph topology = MakePegasus(options.pegasus_m);
+      if (n > topology.NumVertices()) {
+        return UnavailableError(StrFormat(
+            "QUBO has %d variables but the Pegasus P%d fabric offers only "
+            "%d qubits; use a larger pegasus_m",
+            n, options.pegasus_m, topology.NumVertices()));
+      }
       std::optional<EmbeddedSolveResult> embedded_result =
           SolveQuboOnTopology(qubo, topology, embedded);
-      QOPT_CHECK_MSG(embedded_result.has_value(),
-                     "no embedding found; use a larger pegasus_m");
+      if (!embedded_result.has_value()) {
+        return UnavailableError(StrFormat(
+            "no minor embedding of the %d-variable QUBO into Pegasus P%d "
+            "was found; use a larger pegasus_m",
+            n, options.pegasus_m));
+      }
       result.bits = std::move(embedded_result->bits);
       result.energy = embedded_result->energy;
       return result;
     }
   }
-  QOPT_CHECK_MSG(false, "unknown backend");
-  return result;
+  return InternalError("unknown backend");
+}
+
+/// Backend dispatch with graceful degradation: a failed quantum backend
+/// falls back to a classical one (exact for small problems, SA otherwise)
+/// when options.classical_fallback is set.
+struct DispatchOutcome {
+  BackendResult result;
+  Backend backend_used = Backend::kSimulatedAnnealing;
+  bool degraded = false;
+  std::string degradation_reason;
+};
+
+StatusOr<DispatchOutcome> DispatchWithFallback(
+    const QuboModel& qubo, const OptimizerOptions& options) {
+  StatusOr<BackendResult> primary =
+      TrySolveQuboWithBackend(qubo, options, options.backend);
+  if (primary.ok()) {
+    DispatchOutcome outcome;
+    outcome.result = *std::move(primary);
+    outcome.backend_used = options.backend;
+    return outcome;
+  }
+  if (!options.classical_fallback || !IsQuantumBackend(options.backend) ||
+      primary.status().code() == StatusCode::kInvalidArgument) {
+    // Invalid caller input is reported, not papered over by a fallback.
+    return primary.status();
+  }
+  const Backend fallback = qubo.NumVariables() <= kMaxExactFallbackQubits
+                               ? Backend::kExact
+                               : Backend::kSimulatedAnnealing;
+  StatusOr<BackendResult> secondary =
+      TrySolveQuboWithBackend(qubo, options, fallback);
+  if (!secondary.ok()) return primary.status();
+  DispatchOutcome outcome;
+  outcome.result = *std::move(secondary);
+  outcome.backend_used = fallback;
+  outcome.degraded = true;
+  outcome.degradation_reason =
+      StrFormat("%s backend failed (%s)", BackendName(options.backend).c_str(),
+                primary.status().ToString().c_str());
+  return outcome;
 }
 
 }  // namespace
@@ -91,16 +213,21 @@ std::string BackendName(Backend backend) {
   return "unknown";
 }
 
-MqoSolveReport SolveMqo(const MqoProblem& problem,
-                        const OptimizerOptions& options) {
-  const MqoQuboEncoding encoding = EncodeMqoAsQubo(problem);
+StatusOr<MqoSolveReport> TrySolveMqo(const MqoProblem& problem,
+                                     const OptimizerOptions& options) {
+  QOPT_ASSIGN_OR_RETURN(const MqoQuboEncoding encoding,
+                        TryEncodeMqoAsQubo(problem));
   MqoSolveReport report;
   report.qubits = encoding.qubo.NumVariables();
   report.quadratic_terms = encoding.qubo.NumQuadraticTerms();
-  BackendResult backend = SolveQuboWithBackend(encoding.qubo, options);
-  report.qubo_energy = backend.energy;
+  QOPT_ASSIGN_OR_RETURN(DispatchOutcome outcome,
+                        DispatchWithFallback(encoding.qubo, options));
+  report.backend_used = outcome.backend_used;
+  report.degraded = outcome.degraded;
+  report.degradation_reason = std::move(outcome.degradation_reason);
+  report.qubo_energy = outcome.result.energy;
   std::vector<int> selection;
-  report.valid = problem.DecodeBits(backend.bits, &selection);
+  report.valid = problem.DecodeBits(outcome.result.bits, &selection);
   if (report.valid) {
     report.solution.cost = problem.SelectionCost(selection);
     report.solution.selection = std::move(selection);
@@ -108,24 +235,44 @@ MqoSolveReport SolveMqo(const MqoProblem& problem,
   return report;
 }
 
-JoinOrderSolveReport SolveJoinOrder(
+MqoSolveReport SolveMqo(const MqoProblem& problem,
+                        const OptimizerOptions& options) {
+  StatusOr<MqoSolveReport> report = TrySolveMqo(problem, options);
+  QOPT_CHECK_MSG(report.ok(), report.status().ToString().c_str());
+  return *std::move(report);
+}
+
+StatusOr<JoinOrderSolveReport> TrySolveJoinOrder(
     const QueryGraph& graph, const JoinOrderEncoderOptions& encoder_options,
     const OptimizerOptions& options) {
-  const JoinOrderEncoding encoding =
-      EncodeJoinOrderAsBilp(graph, encoder_options);
+  QOPT_ASSIGN_OR_RETURN(const JoinOrderEncoding encoding,
+                        TryEncodeJoinOrderAsBilp(graph, encoder_options));
   const BilpQuboEncoding qubo_encoding = EncodeBilpAsQubo(encoding.bilp);
   JoinOrderSolveReport report;
   report.qubits = qubo_encoding.qubo.NumVariables();
   report.quadratic_terms = qubo_encoding.qubo.NumQuadraticTerms();
-  BackendResult backend = SolveQuboWithBackend(qubo_encoding.qubo, options);
-  report.qubo_energy = backend.energy;
+  QOPT_ASSIGN_OR_RETURN(DispatchOutcome outcome,
+                        DispatchWithFallback(qubo_encoding.qubo, options));
+  report.backend_used = outcome.backend_used;
+  report.degraded = outcome.degraded;
+  report.degradation_reason = std::move(outcome.degradation_reason);
+  report.qubo_energy = outcome.result.energy;
   std::vector<int> order;
-  report.valid = DecodeJoinOrder(encoding, backend.bits, &order);
+  report.valid = DecodeJoinOrder(encoding, outcome.result.bits, &order);
   if (report.valid) {
     report.solution.cost = CoutCost(graph, order);
     report.solution.order = std::move(order);
   }
   return report;
+}
+
+JoinOrderSolveReport SolveJoinOrder(
+    const QueryGraph& graph, const JoinOrderEncoderOptions& encoder_options,
+    const OptimizerOptions& options) {
+  StatusOr<JoinOrderSolveReport> report =
+      TrySolveJoinOrder(graph, encoder_options, options);
+  QOPT_CHECK_MSG(report.ok(), report.status().ToString().c_str());
+  return *std::move(report);
 }
 
 }  // namespace qopt

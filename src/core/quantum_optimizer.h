@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "anneal/embedding_composite.h"
 #include "anneal/simulated_annealer.h"
 #include "joinorder/join_order.h"
@@ -43,6 +44,12 @@ struct OptimizerOptions {
   /// fabrics keep demos fast).
   int pegasus_m = 4;
   std::uint64_t seed = 0;
+  /// Graceful degradation: when a *quantum* backend fails recoverably
+  /// (no minor embedding, circuit exceeds the simulable qubit budget,
+  /// ...), retry with a classical backend (exact for small problems,
+  /// simulated annealing otherwise) and mark the report as degraded
+  /// instead of failing the whole solve.
+  bool classical_fallback = true;
 };
 
 /// Outcome of solving an MQO problem through the QUBO pipeline.
@@ -52,10 +59,21 @@ struct MqoSolveReport {
   double qubo_energy = 0.0; ///< Energy of the returned bit string.
   int qubits = 0;
   int quadratic_terms = 0;
+  /// Backend that actually produced the bits (differs from
+  /// options.backend after a degraded fallback).
+  Backend backend_used = Backend::kSimulatedAnnealing;
+  bool degraded = false;  ///< Quantum backend failed; classical stood in.
+  std::string degradation_reason;  ///< Why, when degraded.
 };
 
 /// Encodes `problem` as a QUBO (Sec. 5.1), solves it with the selected
-/// backend and decodes the plan selection.
+/// backend and decodes the plan selection. Recoverable failures (invalid
+/// problem/options, backend budget exceeded with fallback disabled) come
+/// back as a Status instead of aborting.
+StatusOr<MqoSolveReport> TrySolveMqo(const MqoProblem& problem,
+                                     const OptimizerOptions& options = {});
+
+/// Abort-on-error flavour for internal callers with trusted input.
 MqoSolveReport SolveMqo(const MqoProblem& problem,
                         const OptimizerOptions& options = {});
 
@@ -67,10 +85,19 @@ struct JoinOrderSolveReport {
   double qubo_energy = 0.0;
   int qubits = 0;
   int quadratic_terms = 0;
+  Backend backend_used = Backend::kSimulatedAnnealing;
+  bool degraded = false;
+  std::string degradation_reason;
 };
 
 /// Encodes `graph` as BILP (Sec. 6.1.2/6.1.3), then QUBO (Sec. 6.1.4),
-/// solves with the selected backend and decodes the join order.
+/// solves with the selected backend and decodes the join order. Same
+/// error/degradation contract as TrySolveMqo.
+StatusOr<JoinOrderSolveReport> TrySolveJoinOrder(
+    const QueryGraph& graph, const JoinOrderEncoderOptions& encoder_options,
+    const OptimizerOptions& options = {});
+
+/// Abort-on-error flavour for internal callers with trusted input.
 JoinOrderSolveReport SolveJoinOrder(
     const QueryGraph& graph, const JoinOrderEncoderOptions& encoder_options,
     const OptimizerOptions& options = {});

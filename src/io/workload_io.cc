@@ -1,33 +1,66 @@
 #include "io/workload_io.h"
 
+#include <cmath>
+
 #include "common/table_printer.h"
 
 namespace qopt {
 namespace {
 
-bool SetError(std::string* error, std::string message) {
-  if (error != nullptr) *error = std::move(message);
-  return false;
-}
-
-/// Fetches an object member of the expected kind; false + error if
-/// missing or mismatched.
-const JsonValue* Require(const JsonValue& object, const std::string& key,
-                         JsonValue::Kind kind, std::string* error) {
+/// Fetches a required object member of the expected kind, or explains
+/// what is wrong with it (missing / wrong container / wrong kind).
+StatusOr<const JsonValue*> Require(const JsonValue& object,
+                                   const std::string& key,
+                                   JsonValue::Kind kind) {
   if (!object.IsObject()) {
-    SetError(error, "expected a JSON object");
-    return nullptr;
+    return InvalidArgumentError(
+        StrFormat("expected a JSON object, got a %.*s",
+                  static_cast<int>(JsonValue::KindName(object.kind()).size()),
+                  JsonValue::KindName(object.kind()).data()));
   }
   const JsonValue* value = object.Find(key);
   if (value == nullptr) {
-    SetError(error, StrFormat("missing field \"%s\"", key.c_str()));
-    return nullptr;
+    return InvalidArgumentError(StrFormat("missing field \"%s\"", key.c_str()));
   }
   if (value->kind() != kind) {
-    SetError(error, StrFormat("field \"%s\" has the wrong type", key.c_str()));
-    return nullptr;
+    return InvalidArgumentError(StrFormat(
+        "field \"%s\": expected a %.*s, got a %.*s", key.c_str(),
+        static_cast<int>(JsonValue::KindName(kind).size()),
+        JsonValue::KindName(kind).data(),
+        static_cast<int>(JsonValue::KindName(value->kind()).size()),
+        JsonValue::KindName(value->kind()).data()));
   }
   return value;
+}
+
+/// Required finite number member; `context` names the enclosing entry.
+StatusOr<double> RequireFiniteNumber(const JsonValue& object,
+                                     const std::string& key,
+                                     const std::string& context) {
+  const StatusOr<const JsonValue*> value =
+      Require(object, key, JsonValue::Kind::kNumber);
+  if (!value.ok()) return Annotate(value.status(), context);
+  StatusOr<double> number = (*value)->GetNumber();
+  if (!number.ok()) {
+    return Annotate(number.status(),
+                    StrFormat("%s.%s", context.c_str(), key.c_str()));
+  }
+  return *number;
+}
+
+/// Required integer member (rejects fractional and out-of-int-range
+/// values that the abort-on-CHECK AsInt() would have died on).
+StatusOr<int> RequireInt(const JsonValue& object, const std::string& key,
+                         const std::string& context) {
+  const StatusOr<const JsonValue*> value =
+      Require(object, key, JsonValue::Kind::kNumber);
+  if (!value.ok()) return Annotate(value.status(), context);
+  StatusOr<int> integer = (*value)->GetInt();
+  if (!integer.ok()) {
+    return Annotate(integer.status(),
+                    StrFormat("%s.%s", context.c_str(), key.c_str()));
+  }
+  return *integer;
 }
 
 }  // namespace
@@ -59,58 +92,61 @@ JsonValue MqoProblemToJson(const MqoProblem& problem) {
   return root;
 }
 
-std::optional<MqoProblem> MqoProblemFromJson(const JsonValue& json,
-                                             std::string* error) {
-  const JsonValue* queries =
-      Require(json, "queries", JsonValue::Kind::kArray, error);
-  if (queries == nullptr) return std::nullopt;
+StatusOr<MqoProblem> MqoProblemFromJson(const JsonValue& json) {
+  QOPT_ASSIGN_OR_RETURN(const JsonValue* queries,
+                        Require(json, "queries", JsonValue::Kind::kArray));
   MqoProblem problem;
   for (std::size_t q = 0; q < queries->Size(); ++q) {
-    const JsonValue* plans =
-        Require(queries->At(q), "plans", JsonValue::Kind::kArray, error);
-    if (plans == nullptr) return std::nullopt;
-    if (plans->Size() == 0) {
-      SetError(error, StrFormat("query %zu has no plans", q));
-      return std::nullopt;
+    const std::string query_context = StrFormat("queries[%zu]", q);
+    StatusOr<const JsonValue*> plans =
+        Require(queries->At(q), "plans", JsonValue::Kind::kArray);
+    if (!plans.ok()) return Annotate(plans.status(), query_context);
+    if ((*plans)->Size() == 0) {
+      return InvalidArgumentError(
+          StrFormat("%s has no plans", query_context.c_str()));
     }
     std::vector<double> costs;
-    for (std::size_t p = 0; p < plans->Size(); ++p) {
-      const JsonValue* cost =
-          Require(plans->At(p), "cost", JsonValue::Kind::kNumber, error);
-      if (cost == nullptr) return std::nullopt;
-      if (cost->AsNumber() < 0.0) {
-        SetError(error, "plan costs must be non-negative");
-        return std::nullopt;
+    for (std::size_t p = 0; p < (*plans)->Size(); ++p) {
+      const std::string plan_context =
+          StrFormat("%s.plans[%zu]", query_context.c_str(), p);
+      QOPT_ASSIGN_OR_RETURN(
+          const double cost,
+          RequireFiniteNumber((*plans)->At(p), "cost", plan_context));
+      if (cost < 0.0) {
+        return OutOfRangeError(StrFormat(
+            "%s.cost: plan costs must be non-negative, got %g",
+            plan_context.c_str(), cost));
       }
-      costs.push_back(cost->AsNumber());
+      costs.push_back(cost);
     }
     problem.AddQuery(costs);
   }
   if (json.Has("savings")) {
-    const JsonValue* savings =
-        Require(json, "savings", JsonValue::Kind::kArray, error);
-    if (savings == nullptr) return std::nullopt;
+    QOPT_ASSIGN_OR_RETURN(const JsonValue* savings,
+                          Require(json, "savings", JsonValue::Kind::kArray));
     for (std::size_t s = 0; s < savings->Size(); ++s) {
+      const std::string context = StrFormat("savings[%zu]", s);
       const JsonValue& entry = savings->At(s);
-      const JsonValue* plan1 =
-          Require(entry, "plan1", JsonValue::Kind::kNumber, error);
-      const JsonValue* plan2 =
-          Require(entry, "plan2", JsonValue::Kind::kNumber, error);
-      const JsonValue* value =
-          Require(entry, "saving", JsonValue::Kind::kNumber, error);
-      if (plan1 == nullptr || plan2 == nullptr || value == nullptr) {
-        return std::nullopt;
-      }
-      const int p1 = plan1->AsInt();
-      const int p2 = plan2->AsInt();
+      QOPT_ASSIGN_OR_RETURN(const int p1, RequireInt(entry, "plan1", context));
+      QOPT_ASSIGN_OR_RETURN(const int p2, RequireInt(entry, "plan2", context));
+      QOPT_ASSIGN_OR_RETURN(const double value,
+                            RequireFiniteNumber(entry, "saving", context));
       if (p1 < 0 || p1 >= problem.NumPlans() || p2 < 0 ||
-          p2 >= problem.NumPlans() || p1 == p2 ||
-          problem.QueryOfPlan(p1) == problem.QueryOfPlan(p2) ||
-          value->AsNumber() <= 0.0) {
-        SetError(error, StrFormat("invalid saving entry %zu", s));
-        return std::nullopt;
+          p2 >= problem.NumPlans()) {
+        return OutOfRangeError(StrFormat(
+            "%s: plan index out of range (have %d plans)", context.c_str(),
+            problem.NumPlans()));
       }
-      problem.AddSaving(p1, p2, value->AsNumber());
+      if (p1 == p2 || problem.QueryOfPlan(p1) == problem.QueryOfPlan(p2)) {
+        return InvalidArgumentError(StrFormat(
+            "%s: savings must join plans of two distinct queries",
+            context.c_str()));
+      }
+      if (!(value > 0.0)) {
+        return OutOfRangeError(StrFormat("%s.saving: must be > 0, got %g",
+                                         context.c_str(), value));
+      }
+      problem.AddSaving(p1, p2, value);
     }
   }
   return problem;
@@ -137,51 +173,55 @@ JsonValue QueryGraphToJson(const QueryGraph& graph) {
   return root;
 }
 
-std::optional<QueryGraph> QueryGraphFromJson(const JsonValue& json,
-                                             std::string* error) {
-  const JsonValue* relations =
-      Require(json, "relations", JsonValue::Kind::kArray, error);
-  if (relations == nullptr) return std::nullopt;
+StatusOr<QueryGraph> QueryGraphFromJson(const JsonValue& json) {
+  QOPT_ASSIGN_OR_RETURN(const JsonValue* relations,
+                        Require(json, "relations", JsonValue::Kind::kArray));
   if (relations->Size() == 0) {
-    SetError(error, "need at least one relation");
-    return std::nullopt;
+    return InvalidArgumentError("need at least one relation");
   }
   std::vector<double> cardinalities;
   for (std::size_t r = 0; r < relations->Size(); ++r) {
-    const JsonValue* card = Require(relations->At(r), "cardinality",
-                                    JsonValue::Kind::kNumber, error);
-    if (card == nullptr) return std::nullopt;
-    if (card->AsNumber() < 1.0) {
-      SetError(error, "cardinalities must be >= 1");
-      return std::nullopt;
+    const std::string context = StrFormat("relations[%zu]", r);
+    QOPT_ASSIGN_OR_RETURN(
+        const double cardinality,
+        RequireFiniteNumber(relations->At(r), "cardinality", context));
+    if (cardinality < 1.0) {
+      return OutOfRangeError(
+          StrFormat("%s.cardinality: must be >= 1, got %g", context.c_str(),
+                    cardinality));
     }
-    cardinalities.push_back(card->AsNumber());
+    cardinalities.push_back(cardinality);
   }
   QueryGraph graph(std::move(cardinalities));
   if (json.Has("predicates")) {
-    const JsonValue* predicates =
-        Require(json, "predicates", JsonValue::Kind::kArray, error);
-    if (predicates == nullptr) return std::nullopt;
+    QOPT_ASSIGN_OR_RETURN(
+        const JsonValue* predicates,
+        Require(json, "predicates", JsonValue::Kind::kArray));
     for (std::size_t p = 0; p < predicates->Size(); ++p) {
+      const std::string context = StrFormat("predicates[%zu]", p);
       const JsonValue& entry = predicates->At(p);
-      const JsonValue* rel1 =
-          Require(entry, "rel1", JsonValue::Kind::kNumber, error);
-      const JsonValue* rel2 =
-          Require(entry, "rel2", JsonValue::Kind::kNumber, error);
-      const JsonValue* sel =
-          Require(entry, "selectivity", JsonValue::Kind::kNumber, error);
-      if (rel1 == nullptr || rel2 == nullptr || sel == nullptr) {
-        return std::nullopt;
-      }
-      const int r1 = rel1->AsInt();
-      const int r2 = rel2->AsInt();
+      QOPT_ASSIGN_OR_RETURN(const int r1, RequireInt(entry, "rel1", context));
+      QOPT_ASSIGN_OR_RETURN(const int r2, RequireInt(entry, "rel2", context));
+      QOPT_ASSIGN_OR_RETURN(
+          const double selectivity,
+          RequireFiniteNumber(entry, "selectivity", context));
       if (r1 < 0 || r1 >= graph.NumRelations() || r2 < 0 ||
-          r2 >= graph.NumRelations() || r1 == r2 || sel->AsNumber() <= 0.0 ||
-          sel->AsNumber() > 1.0) {
-        SetError(error, StrFormat("invalid predicate entry %zu", p));
-        return std::nullopt;
+          r2 >= graph.NumRelations()) {
+        return OutOfRangeError(StrFormat(
+            "%s: relation index out of range (have %d relations)",
+            context.c_str(), graph.NumRelations()));
       }
-      graph.AddPredicate(r1, r2, sel->AsNumber());
+      if (r1 == r2) {
+        return InvalidArgumentError(StrFormat(
+            "%s: a predicate must join two distinct relations",
+            context.c_str()));
+      }
+      if (!(selectivity > 0.0) || selectivity > 1.0) {
+        return OutOfRangeError(StrFormat(
+            "%s.selectivity: must be in (0, 1], got %g", context.c_str(),
+            selectivity));
+      }
+      graph.AddPredicate(r1, r2, selectivity);
     }
   }
   return graph;
@@ -190,42 +230,41 @@ std::optional<QueryGraph> QueryGraphFromJson(const JsonValue& json,
 namespace {
 
 template <typename T>
-std::optional<T> LoadWorkload(
-    const std::string& path, std::string* error,
-    std::optional<T> (*from_json)(const JsonValue&, std::string*)) {
+StatusOr<T> LoadWorkload(const std::string& path,
+                         StatusOr<T> (*from_json)(const JsonValue&)) {
   const std::optional<std::string> content = ReadFileToString(path);
   if (!content.has_value()) {
-    SetError(error, StrFormat("cannot read %s", path.c_str()));
-    return std::nullopt;
+    return NotFoundError(StrFormat("cannot read %s", path.c_str()));
   }
-  std::string parse_error;
-  const std::optional<JsonValue> json =
-      JsonValue::Parse(*content, &parse_error);
-  if (!json.has_value()) {
-    SetError(error, StrFormat("%s: %s", path.c_str(), parse_error.c_str()));
-    return std::nullopt;
-  }
-  return from_json(*json, error);
+  StatusOr<JsonValue> json = JsonValue::ParseOrStatus(*content);
+  if (!json.ok()) return Annotate(json.status(), path);
+  StatusOr<T> workload = from_json(*json);
+  if (!workload.ok()) return Annotate(workload.status(), path);
+  return workload;
 }
 
 }  // namespace
 
-std::optional<MqoProblem> LoadMqoProblem(const std::string& path,
-                                         std::string* error) {
-  return LoadWorkload<MqoProblem>(path, error, &MqoProblemFromJson);
+StatusOr<MqoProblem> LoadMqoProblem(const std::string& path) {
+  return LoadWorkload<MqoProblem>(path, &MqoProblemFromJson);
 }
 
-bool SaveMqoProblem(const MqoProblem& problem, const std::string& path) {
-  return WriteStringToFile(path, MqoProblemToJson(problem).Dump(2) + "\n");
+Status SaveMqoProblem(const MqoProblem& problem, const std::string& path) {
+  if (!WriteStringToFile(path, MqoProblemToJson(problem).Dump(2) + "\n")) {
+    return UnavailableError(StrFormat("cannot write %s", path.c_str()));
+  }
+  return OkStatus();
 }
 
-std::optional<QueryGraph> LoadQueryGraph(const std::string& path,
-                                         std::string* error) {
-  return LoadWorkload<QueryGraph>(path, error, &QueryGraphFromJson);
+StatusOr<QueryGraph> LoadQueryGraph(const std::string& path) {
+  return LoadWorkload<QueryGraph>(path, &QueryGraphFromJson);
 }
 
-bool SaveQueryGraph(const QueryGraph& graph, const std::string& path) {
-  return WriteStringToFile(path, QueryGraphToJson(graph).Dump(2) + "\n");
+Status SaveQueryGraph(const QueryGraph& graph, const std::string& path) {
+  if (!WriteStringToFile(path, QueryGraphToJson(graph).Dump(2) + "\n")) {
+    return UnavailableError(StrFormat("cannot write %s", path.c_str()));
+  }
+  return OkStatus();
 }
 
 }  // namespace qopt

@@ -1,10 +1,10 @@
 #ifndef QQO_IO_WORKLOAD_IO_H_
 #define QQO_IO_WORKLOAD_IO_H_
 
-#include <optional>
 #include <string>
 
 #include "common/json.h"
+#include "common/status.h"
 #include "joinorder/query_graph.h"
 #include "mqo/mqo_problem.h"
 
@@ -22,27 +22,28 @@ namespace qopt {
 /// Query-graph format:
 ///   {"relations": [{"cardinality": 10}, ...],
 ///    "predicates": [{"rel1": 0, "rel2": 1, "selectivity": 0.1}, ...]}
+///
+/// These functions handle untrusted input: malformed documents (wrong
+/// types, out-of-range indices, negative costs, non-finite numbers)
+/// come back as a Status naming the offending field — they never abort.
 
 JsonValue MqoProblemToJson(const MqoProblem& problem);
 
-/// Returns nullopt and sets `error` (if non-null) on malformed documents.
-std::optional<MqoProblem> MqoProblemFromJson(const JsonValue& json,
-                                             std::string* error = nullptr);
+/// kInvalidArgument / kOutOfRange on malformed documents, with the
+/// offending field path (e.g. queries[2].plans[0].cost) in the message.
+StatusOr<MqoProblem> MqoProblemFromJson(const JsonValue& json);
 
 JsonValue QueryGraphToJson(const QueryGraph& graph);
 
-std::optional<QueryGraph> QueryGraphFromJson(const JsonValue& json,
-                                             std::string* error = nullptr);
+StatusOr<QueryGraph> QueryGraphFromJson(const JsonValue& json);
 
-/// File convenience wrappers (parse errors and I/O errors both yield
-/// nullopt with a message).
-std::optional<MqoProblem> LoadMqoProblem(const std::string& path,
-                                         std::string* error = nullptr);
-bool SaveMqoProblem(const MqoProblem& problem, const std::string& path);
+/// File convenience wrappers. I/O errors, parse errors (with line/column
+/// context) and validation errors are all annotated with the file path.
+StatusOr<MqoProblem> LoadMqoProblem(const std::string& path);
+Status SaveMqoProblem(const MqoProblem& problem, const std::string& path);
 
-std::optional<QueryGraph> LoadQueryGraph(const std::string& path,
-                                         std::string* error = nullptr);
-bool SaveQueryGraph(const QueryGraph& graph, const std::string& path);
+StatusOr<QueryGraph> LoadQueryGraph(const std::string& path);
+Status SaveQueryGraph(const QueryGraph& graph, const std::string& path);
 
 }  // namespace qopt
 

@@ -40,6 +40,42 @@ int ExpansionBits(double bound, double omega, bool exact) {
 
 }  // namespace
 
+Status ValidateJoinOrderEncoderInput(const QueryGraph& graph,
+                                     const JoinOrderEncoderOptions& options) {
+  if (graph.NumRelations() < 2) {
+    return InvalidArgumentError(
+        StrFormat("need at least two relations to join, got %d",
+                  graph.NumRelations()));
+  }
+  // 0.1^p underflows to 0 near p = 323 (breaking the omega > 0 invariant)
+  // and the binary slack expansions grow linearly in p; 16 decimals is
+  // already far beyond the paper's precision sweep (<= 4).
+  if (options.precision_decimals < 0 || options.precision_decimals > 16) {
+    return OutOfRangeError(
+        StrFormat("precision_decimals must be in [0, 16], got %d",
+                  options.precision_decimals));
+  }
+  for (std::size_t r = 0; r < options.thresholds.size(); ++r) {
+    const double threshold = options.thresholds[r];
+    if (!std::isfinite(threshold) || threshold < 1.0) {
+      return OutOfRangeError(StrFormat(
+          "thresholds[%zu]: must be a finite value >= 1, got %g", r,
+          threshold));
+    }
+    if (r > 0 && threshold <= options.thresholds[r - 1]) {
+      return InvalidArgumentError(StrFormat(
+          "thresholds[%zu]: thresholds must be strictly ascending", r));
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<JoinOrderEncoding> TryEncodeJoinOrderAsBilp(
+    const QueryGraph& graph, const JoinOrderEncoderOptions& options) {
+  QOPT_RETURN_IF_ERROR(ValidateJoinOrderEncoderInput(graph, options));
+  return EncodeJoinOrderAsBilp(graph, options);
+}
+
 JoinOrderEncoding EncodeJoinOrderAsBilp(const QueryGraph& graph,
                                         const JoinOrderEncoderOptions& options) {
   const int num_relations = graph.NumRelations();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bilp/bilp_problem.h"
+#include "common/status.h"
 #include "joinorder/query_graph.h"
 
 namespace qopt {
@@ -51,8 +52,21 @@ struct JoinOrderEncoding {
 };
 
 /// Builds the BILP model: variables tio/tii/pao/cto plus slack variables,
-/// constraint types 1-7, and the threshold objective (Eq. 38).
+/// constraint types 1-7, and the threshold objective (Eq. 38). Aborts on
+/// invalid input — internal callers only; external input (workload files,
+/// CLI thresholds/precision flags) goes through TryEncodeJoinOrderAsBilp.
 JoinOrderEncoding EncodeJoinOrderAsBilp(
+    const QueryGraph& graph, const JoinOrderEncoderOptions& options = {});
+
+/// Input validation of the encoder as a recoverable error: at least two
+/// relations, thresholds finite / >= 1 / strictly ascending, precision in
+/// a range that keeps omega = 0.1^p positive and the slack expansions
+/// bounded.
+Status ValidateJoinOrderEncoderInput(
+    const QueryGraph& graph, const JoinOrderEncoderOptions& options = {});
+
+/// Validates, then encodes. Never aborts on bad input.
+StatusOr<JoinOrderEncoding> TryEncodeJoinOrderAsBilp(
     const QueryGraph& graph, const JoinOrderEncoderOptions& options = {});
 
 /// Reads the join order out of a BILP assignment: order[0] is the relation

@@ -3,8 +3,26 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/table_printer.h"
 
 namespace qopt {
+
+Status ValidateMqoEncodingInput(const MqoProblem& problem, double slack) {
+  if (problem.NumQueries() < 1) {
+    return InvalidArgumentError("MQO problem has no queries");
+  }
+  if (!(slack > 0.0)) {
+    return InvalidArgumentError(
+        StrFormat("penalty slack must be > 0, got %g", slack));
+  }
+  return OkStatus();
+}
+
+StatusOr<MqoQuboEncoding> TryEncodeMqoAsQubo(const MqoProblem& problem,
+                                             double slack) {
+  QOPT_RETURN_IF_ERROR(ValidateMqoEncodingInput(problem, slack));
+  return EncodeMqoAsQubo(problem, slack);
+}
 
 MqoQuboEncoding EncodeMqoAsQubo(const MqoProblem& problem, double slack) {
   QOPT_CHECK(problem.NumQueries() >= 1);

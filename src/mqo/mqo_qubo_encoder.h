@@ -1,6 +1,7 @@
 #ifndef QQO_MQO_MQO_QUBO_ENCODER_H_
 #define QQO_MQO_MQO_QUBO_ENCODER_H_
 
+#include "common/status.h"
 #include "mqo/mqo_problem.h"
 #include "qubo/qubo_model.h"
 
@@ -23,9 +24,18 @@ struct MqoQuboEncoding {
 
 /// Encodes `problem`; the variable of plan p is QUBO variable p.
 /// `slack` (> 0) is how much the penalty-weight inequalities are exceeded
-/// by.
+/// by. Aborts on invalid input — internal callers only; external input
+/// goes through TryEncodeMqoAsQubo.
 MqoQuboEncoding EncodeMqoAsQubo(const MqoProblem& problem,
                                 double slack = 1.0);
+
+/// Input validation of the encoder as a recoverable error (the boundary
+/// flavour for problems built from external workload files / CLI flags).
+Status ValidateMqoEncodingInput(const MqoProblem& problem, double slack = 1.0);
+
+/// Validates, then encodes. Never aborts on bad input.
+StatusOr<MqoQuboEncoding> TryEncodeMqoAsQubo(const MqoProblem& problem,
+                                             double slack = 1.0);
 
 }  // namespace qopt
 

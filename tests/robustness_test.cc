@@ -8,6 +8,8 @@
 
 #include "anneal/chimera.h"
 #include "anneal/embedding_composite.h"
+#include "bilp/bilp_to_qubo.h"
+#include "core/quantum_optimizer.h"
 #include "anneal/simulated_annealer.h"
 #include "bilp/bilp_branch_and_bound.h"
 #include "circuit/statevector.h"
@@ -290,6 +292,126 @@ TEST(EdgeCaseTest, StatevectorSingleQubitDevice) {
   // Two SX = X up to phase: probability of |1> is 1.
   const auto probs = SimulateCircuit(c).Probabilities();
   EXPECT_NEAR(probs[1], 1.0, 1e-12);
+}
+
+// --- Graceful degradation of the optimizer facade ---------------------------------
+
+/// MQO instance whose QUBO interaction graph is a complete graph on
+/// `queries * plans_per_query` vertices: one-hot penalties couple plans
+/// within a query, dense cross-query savings couple everything else.
+MqoProblem MakeDenseMqo(int queries, int plans_per_query) {
+  MqoProblem problem;
+  for (int q = 0; q < queries; ++q) {
+    std::vector<double> costs;
+    for (int p = 0; p < plans_per_query; ++p) {
+      costs.push_back(5.0 + q + 0.25 * p);
+    }
+    problem.AddQuery(costs);
+  }
+  for (int p1 = 0; p1 < problem.NumPlans(); ++p1) {
+    for (int p2 = p1 + 1; p2 < problem.NumPlans(); ++p2) {
+      if (problem.QueryOfPlan(p1) != problem.QueryOfPlan(p2)) {
+        problem.AddSaving(p1, p2, 0.3);
+      }
+    }
+  }
+  return problem;
+}
+
+TEST(DegradationTest, AnnealerEmbeddingFailureFallsBackToExactOptimum) {
+  // A K20 interaction graph cannot be minor-embedded into a Pegasus P2
+  // fabric (40 qubits, largest clique minor ~K14), so the annealer
+  // emulation must fail recoverably and the facade fall back to the
+  // exact classical solver (20 qubits is within its budget).
+  const MqoProblem problem = MakeDenseMqo(5, 4);
+  OptimizerOptions options;
+  options.backend = Backend::kAnnealerEmulation;
+  options.pegasus_m = 2;
+  options.seed = 5;
+  const auto report = TrySolveMqo(problem, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->degraded);
+  EXPECT_EQ(report->backend_used, Backend::kExact);
+  EXPECT_FALSE(report->degradation_reason.empty());
+  ASSERT_TRUE(report->valid);
+
+  OptimizerOptions oracle_options;
+  oracle_options.backend = Backend::kExact;
+  const auto oracle = TrySolveMqo(problem, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_FALSE(oracle->degraded);
+  EXPECT_NEAR(report->solution.cost, oracle->solution.cost, 1e-9);
+}
+
+TEST(DegradationTest, AdiabaticBudgetOverflowFallsBackToAnnealing) {
+  // 24 variables exceed the 20-qubit adiabatic simulation budget; the
+  // problem is also too large for the exact fallback, so simulated
+  // annealing stands in.
+  const MqoProblem problem = MakeDenseMqo(6, 4);
+  OptimizerOptions options;
+  options.backend = Backend::kAdiabatic;
+  options.anneal.num_reads = 30;
+  options.anneal.num_sweeps = 2000;
+  options.seed = 3;
+  const auto report = TrySolveMqo(problem, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->degraded);
+  EXPECT_EQ(report->backend_used, Backend::kSimulatedAnnealing);
+  EXPECT_TRUE(report->valid);
+}
+
+TEST(DegradationTest, NoFallbackSurfacesBackendError) {
+  const MqoProblem problem = MakeDenseMqo(5, 4);
+  OptimizerOptions options;
+  options.backend = Backend::kAnnealerEmulation;
+  options.pegasus_m = 2;
+  options.classical_fallback = false;
+  const auto report = TrySolveMqo(problem, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(report.status().message().empty());
+}
+
+TEST(DegradationTest, InvalidOptionsAreNeverMaskedByFallback) {
+  // Bad caller input (pegasus_m = 1 is not a valid fabric) must be
+  // reported, not silently papered over by the classical fallback.
+  const MqoProblem problem = MakeDenseMqo(2, 2);
+  OptimizerOptions options;
+  options.backend = Backend::kAnnealerEmulation;
+  options.pegasus_m = 1;
+  const auto report = TrySolveMqo(problem, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DegradationTest, JoinOrderDegradesLikeMqo) {
+  QueryGeneratorOptions gen;
+  gen.num_relations = 4;
+  gen.num_predicates = 4;
+  gen.cardinality_min = 10.0;
+  gen.cardinality_max = 1000.0;
+  gen.selectivity_min = 0.1;
+  gen.seed = 2;
+  const QueryGraph graph = GenerateRandomQuery(gen);
+  JoinOrderEncoderOptions encoder;
+  encoder.thresholds = {10.0, 1000.0};
+  encoder.safe_slack_bounds = true;
+  // Self-check: the instance must actually exceed the adiabatic budget
+  // for the degradation below to be exercised.
+  const auto encoding = TryEncodeJoinOrderAsBilp(graph, encoder);
+  ASSERT_TRUE(encoding.ok()) << encoding.status().ToString();
+  ASSERT_GT(EncodeBilpAsQubo(encoding->bilp).qubo.NumVariables(), 20);
+
+  OptimizerOptions options;
+  options.backend = Backend::kAdiabatic;
+  options.anneal.num_reads = 30;
+  options.anneal.num_sweeps = 3000;
+  options.seed = 4;
+  const auto report = TrySolveJoinOrder(graph, encoder, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->degraded);
+  EXPECT_EQ(report->backend_used, Backend::kSimulatedAnnealing);
+  EXPECT_FALSE(report->degradation_reason.empty());
 }
 
 TEST(EdgeCaseTest, QaoaOnFieldOnlyHamiltonian) {

@@ -10,9 +10,8 @@ namespace {
 TEST(MqoIoTest, JsonRoundTripPreservesProblem) {
   const MqoProblem original = MakePaperExampleMqo();
   const JsonValue json = MqoProblemToJson(original);
-  std::string error;
-  const auto restored = MqoProblemFromJson(json, &error);
-  ASSERT_TRUE(restored.has_value()) << error;
+  const auto restored = MqoProblemFromJson(json);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored->NumQueries(), original.NumQueries());
   EXPECT_EQ(restored->NumPlans(), original.NumPlans());
   EXPECT_EQ(restored->NumSavings(), original.NumSavings());
@@ -31,16 +30,14 @@ TEST(MqoIoTest, FileRoundTrip) {
   gen.seed = 7;
   const MqoProblem original = GenerateMqoProblem(gen);
   const std::string path = ::testing::TempDir() + "/qqo_mqo_test.json";
-  ASSERT_TRUE(SaveMqoProblem(original, path));
-  std::string error;
-  const auto restored = LoadMqoProblem(path, &error);
-  ASSERT_TRUE(restored.has_value()) << error;
+  ASSERT_TRUE(SaveMqoProblem(original, path).ok());
+  const auto restored = LoadMqoProblem(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored->NumPlans(), original.NumPlans());
   EXPECT_EQ(restored->NumSavings(), original.NumSavings());
 }
 
 TEST(MqoIoTest, RejectsMalformedDocuments) {
-  std::string error;
   for (const char* bad : {
            R"({})",                                             // no queries
            R"({"queries": [{}]})",                              // no plans
@@ -50,28 +47,60 @@ TEST(MqoIoTest, RejectsMalformedDocuments) {
        }) {
     const auto json = JsonValue::Parse(bad);
     ASSERT_TRUE(json.has_value()) << bad;
-    EXPECT_FALSE(MqoProblemFromJson(*json, &error).has_value()) << bad;
-    EXPECT_FALSE(error.empty());
+    const auto problem = MqoProblemFromJson(*json);
+    EXPECT_FALSE(problem.ok()) << bad;
+    EXPECT_FALSE(problem.status().message().empty()) << bad;
   }
 }
 
 TEST(MqoIoTest, RejectsInvalidSavings) {
-  std::string error;
   // Saving between two plans of the same query.
   const char* doc =
       R"({"queries": [{"plans": [{"cost": 1}, {"cost": 2}]}],
           "savings": [{"plan1": 0, "plan2": 1, "saving": 0.5}]})";
   const auto json = JsonValue::Parse(doc);
   ASSERT_TRUE(json.has_value());
-  EXPECT_FALSE(MqoProblemFromJson(*json, &error).has_value());
+  EXPECT_FALSE(MqoProblemFromJson(*json).ok());
+}
+
+TEST(MqoIoTest, RejectsFractionalAndHugePlanIndices) {
+  // These used to hit the abort-on-CHECK AsInt(); they must be Status
+  // errors naming the field now.
+  for (const char* bad : {
+           R"({"queries": [{"plans": [{"cost": 1}]},
+                           {"plans": [{"cost": 2}]}],
+               "savings": [{"plan1": 0.5, "plan2": 1, "saving": 1}]})",
+           R"({"queries": [{"plans": [{"cost": 1}]},
+                           {"plans": [{"cost": 2}]}],
+               "savings": [{"plan1": 0, "plan2": 1e20, "saving": 1}]})",
+       }) {
+    const auto json = JsonValue::Parse(bad);
+    ASSERT_TRUE(json.has_value()) << bad;
+    const auto problem = MqoProblemFromJson(*json);
+    EXPECT_FALSE(problem.ok()) << bad;
+    EXPECT_NE(problem.status().message().find("savings[0]"),
+              std::string::npos)
+        << problem.status().ToString();
+  }
+}
+
+TEST(MqoIoTest, ErrorsNameTheOffendingField) {
+  const char* doc = R"({"queries": [{"plans": [{"cost": 1}]},
+                                    {"plans": [{"cost": "x"}]}]})";
+  const auto json = JsonValue::Parse(doc);
+  ASSERT_TRUE(json.has_value());
+  const auto problem = MqoProblemFromJson(*json);
+  ASSERT_FALSE(problem.ok());
+  EXPECT_NE(problem.status().message().find("queries[1].plans[0]"),
+            std::string::npos)
+      << problem.status().ToString();
 }
 
 TEST(QueryGraphIoTest, JsonRoundTripPreservesGraph) {
   const QueryGraph original = MakePaperExampleQuery();
   const JsonValue json = QueryGraphToJson(original);
-  std::string error;
-  const auto restored = QueryGraphFromJson(json, &error);
-  ASSERT_TRUE(restored.has_value()) << error;
+  const auto restored = QueryGraphFromJson(json);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored->NumRelations(), original.NumRelations());
   EXPECT_EQ(restored->NumPredicates(), original.NumPredicates());
   for (int r = 0; r < original.NumRelations(); ++r) {
@@ -90,15 +119,13 @@ TEST(QueryGraphIoTest, FileRoundTrip) {
   gen.seed = 11;
   const QueryGraph original = GenerateRandomQuery(gen);
   const std::string path = ::testing::TempDir() + "/qqo_graph_test.json";
-  ASSERT_TRUE(SaveQueryGraph(original, path));
-  std::string error;
-  const auto restored = LoadQueryGraph(path, &error);
-  ASSERT_TRUE(restored.has_value()) << error;
+  ASSERT_TRUE(SaveQueryGraph(original, path).ok());
+  const auto restored = LoadQueryGraph(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored->NumPredicates(), original.NumPredicates());
 }
 
 TEST(QueryGraphIoTest, RejectsMalformedDocuments) {
-  std::string error;
   for (const char* bad : {
            R"({})",
            R"({"relations": []})",
@@ -110,14 +137,22 @@ TEST(QueryGraphIoTest, RejectsMalformedDocuments) {
        }) {
     const auto json = JsonValue::Parse(bad);
     ASSERT_TRUE(json.has_value()) << bad;
-    EXPECT_FALSE(QueryGraphFromJson(*json, &error).has_value()) << bad;
+    EXPECT_FALSE(QueryGraphFromJson(*json).ok()) << bad;
   }
 }
 
 TEST(QueryGraphIoTest, LoadReportsMissingFile) {
-  std::string error;
-  EXPECT_FALSE(LoadQueryGraph("/no/such/file.json", &error).has_value());
-  EXPECT_NE(error.find("cannot read"), std::string::npos);
+  const auto graph = LoadQueryGraph("/no/such/file.json");
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(graph.status().message().find("cannot read"), std::string::npos);
+}
+
+TEST(QueryGraphIoTest, SaveReportsUnwritablePath) {
+  const Status status =
+      SaveQueryGraph(MakePaperExampleQuery(), "/no/such/dir/graph.json");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cannot write"), std::string::npos);
 }
 
 }  // namespace

@@ -6,34 +6,42 @@
 //   qqo join <graph.json>         [--backend=...] [--thresholds=a,b,...]
 //                                 [--precision=P]
 //   qqo estimate mqo|join <file>  [--device=mumbai|brooklyn]
-//   qqo qasm mqo|join <file>      [--algorithm=qaoa|vqe] [--device=...]
+//   qqo qasm mqo|join <file>      [--algorithm=qaoa|vqe]
 //
-// Workload file formats are documented in src/io/workload_io.h.
+// Workload file formats are documented in src/io/workload_io.h. All
+// external input (flags and files) is validated up front: unknown flags,
+// non-numeric or out-of-range values and malformed workload files are
+// rejected with a one-line diagnostic and a non-zero exit code — the
+// process never aborts on bad input. Exit codes: 0 success, 1 input /
+// runtime error, 2 command-line misuse.
 
+#include "qqo_cli.h"
+
+#include <charconv>
+#include <cmath>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 
 #include "bilp/bilp_to_qubo.h"
 #include "circuit/qasm_exporter.h"
+#include "common/status.h"
 #include "common/table_printer.h"
 #include "core/device_model.h"
 #include "core/quantum_optimizer.h"
-#include "core/reliability.h"
 #include "core/resource_estimator.h"
 #include "io/workload_io.h"
 #include "mqo/mqo_generator.h"
 #include "mqo/mqo_qubo_encoder.h"
 #include "qubo/conversions.h"
 #include "transpile/ibm_topologies.h"
-#include "transpile/transpiler.h"
 #include "variational/qaoa.h"
 #include "variational/vqe_ansatz.h"
 
+namespace qopt::cli {
 namespace {
-
-using namespace qopt;
 
 int Usage() {
   std::fprintf(
@@ -43,44 +51,138 @@ int Usage() {
       "  qqo generate join <out.json> [--relations=N] [--predicates=N]"
       " [--seed=N]\n"
       "  qqo mqo <workload.json>      [--backend=exact|sa|qaoa|vqe|adiabatic|annealer]"
-      " [--seed=N]\n"
+      " [--seed=N] [--pegasus=M] [--no-fallback]\n"
       "  qqo join <graph.json>        [--backend=...] [--thresholds=a,b,..]"
-      " [--precision=P]\n"
-      "  qqo estimate mqo|join <file> [--device=mumbai|brooklyn]\n"
-      "  qqo qasm mqo|join <file>     [--algorithm=qaoa|vqe]\n");
-  return 2;
+      " [--precision=P] [--seed=N] [--pegasus=M] [--no-fallback]\n"
+      "  qqo estimate mqo|join <file> [--device=mumbai|brooklyn] [--trials=N]"
+      " [--thresholds=a,b,..] [--precision=P]\n"
+      "  qqo qasm mqo|join <file>     [--algorithm=qaoa|vqe]"
+      " [--thresholds=a,b,..] [--precision=P]\n");
+  return kExitUsage;
 }
 
-/// Parses trailing --key=value flags into a map.
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int first) {
-  std::map<std::string, std::string> flags;
+/// One-line diagnostic on stderr; returns the exit code for convenience
+/// (`return Fail(kExitUsage, status);`).
+int Fail(int exit_code, const Status& status) {
+  std::fprintf(stderr, "qqo: error: %s\n", status.ToString().c_str());
+  return exit_code;
+}
+
+using FlagMap = std::map<std::string, std::string>;
+
+/// Splits arguments after `first` into --key[=value] flags and bare
+/// positionals. Flags are validated against `allowed` (a typo like
+/// --sed=5 must not silently run with the default seed), duplicates are
+/// rejected, and the caller states how many positionals it expects (so a
+/// stray non-flag token is an error rather than silently ignored).
+StatusOr<FlagMap> ParseFlags(int argc, const char* const* argv, int first,
+                             const std::set<std::string>& allowed,
+                             int expected_positionals = 0) {
+  FlagMap flags;
+  int positionals = 0;
   for (int i = first; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
-    const std::size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      flags[arg.substr(2)] = "1";
-    } else {
-      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      ++positionals;
+      if (positionals > expected_positionals) {
+        return InvalidArgumentError(
+            StrFormat("unexpected argument \"%s\"", arg.c_str()));
+      }
+      continue;
     }
+    const std::size_t eq = arg.find('=');
+    const std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+    if (key.empty()) {
+      return InvalidArgumentError(
+          StrFormat("malformed flag \"%s\"", arg.c_str()));
+    }
+    if (allowed.find(key) == allowed.end()) {
+      std::string known;
+      for (const std::string& name : allowed) {
+        known += known.empty() ? "--" : ", --";
+        known += name;
+      }
+      return InvalidArgumentError(StrFormat(
+          "unknown flag --%s for this subcommand (known: %s)", key.c_str(),
+          known.empty() ? "none" : known.c_str()));
+    }
+    if (flags.count(key) != 0) {
+      return InvalidArgumentError(
+          StrFormat("duplicate flag --%s", key.c_str()));
+    }
+    flags[key] = eq == std::string::npos ? "1" : arg.substr(eq + 1);
+  }
+  if (positionals != expected_positionals) {
+    return InvalidArgumentError(
+        StrFormat("expected %d positional argument(s), got %d",
+                  expected_positionals, positionals));
   }
   return flags;
 }
 
-std::string FlagOr(const std::map<std::string, std::string>& flags,
-                   const std::string& key, const std::string& fallback) {
+std::string FlagOr(const FlagMap& flags, const std::string& key,
+                   const std::string& fallback) {
   auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
 }
 
-int IntFlag(const std::map<std::string, std::string>& flags,
-            const std::string& key, int fallback) {
-  auto it = flags.find(key);
-  return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+/// Strict integer flag: full-token std::from_chars parse with range
+/// check, so --queries=abc and --seed=9999999999999 are hard errors
+/// instead of silently becoming 0 / overflowing.
+StatusOr<long long> ParseIntToken(const std::string& key,
+                                  const std::string& text, long long min,
+                                  long long max) {
+  long long value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range || value < min || value > max) {
+    return OutOfRangeError(
+        StrFormat("flag --%s: value %s is out of range [%lld, %lld]",
+                  key.c_str(), text.c_str(), min, max));
+  }
+  if (ec != std::errc() || ptr != end || text.empty()) {
+    return InvalidArgumentError(
+        StrFormat("flag --%s: expected an integer, got \"%s\"", key.c_str(),
+                  text.c_str()));
+  }
+  return value;
 }
 
-bool ParseBackend(const std::string& name, Backend* backend) {
+StatusOr<int> IntFlag(const FlagMap& flags, const std::string& key,
+                      int fallback, int min, int max) {
+  auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  QOPT_ASSIGN_OR_RETURN(const long long value,
+                        ParseIntToken(key, it->second, min, max));
+  return static_cast<int>(value);
+}
+
+StatusOr<std::uint64_t> Uint64Flag(const FlagMap& flags,
+                                   const std::string& key,
+                                   std::uint64_t fallback) {
+  auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  const std::string& text = it->second;
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    return OutOfRangeError(StrFormat(
+        "flag --%s: value %s does not fit in 64 bits", key.c_str(),
+        text.c_str()));
+  }
+  if (ec != std::errc() || ptr != end || text.empty()) {
+    return InvalidArgumentError(StrFormat(
+        "flag --%s: expected a non-negative integer, got \"%s\"",
+        key.c_str(), text.c_str()));
+  }
+  return value;
+}
+
+StatusOr<Backend> ParseBackend(const std::string& name) {
   static const std::map<std::string, Backend> kBackends = {
       {"exact", Backend::kExact},
       {"sa", Backend::kSimulatedAnnealing},
@@ -89,98 +191,166 @@ bool ParseBackend(const std::string& name, Backend* backend) {
       {"adiabatic", Backend::kAdiabatic},
       {"annealer", Backend::kAnnealerEmulation}};
   auto it = kBackends.find(name);
-  if (it == kBackends.end()) return false;
-  *backend = it->second;
-  return true;
+  if (it == kBackends.end()) {
+    return InvalidArgumentError(StrFormat(
+        "unknown backend \"%s\" (known: exact, sa, qaoa, vqe, adiabatic, "
+        "annealer)",
+        name.c_str()));
+  }
+  return it->second;
 }
 
-std::vector<double> ParseThresholds(const std::string& spec) {
+/// Comma-separated doubles; empty tokens and non-numeric garbage are
+/// errors (std::atof would have silently read them as 0).
+StatusOr<std::vector<double>> ParseThresholds(const std::string& spec) {
   std::vector<double> thresholds;
   std::size_t start = 0;
-  while (start < spec.size()) {
+  while (start <= spec.size()) {
     std::size_t comma = spec.find(',', start);
     if (comma == std::string::npos) comma = spec.size();
-    thresholds.push_back(std::atof(spec.substr(start, comma - start).c_str()));
+    const std::string token = spec.substr(start, comma - start);
+    char* parse_end = nullptr;
+    const double value = std::strtod(token.c_str(), &parse_end);
+    if (token.empty() || parse_end != token.c_str() + token.size() ||
+        !std::isfinite(value)) {
+      return InvalidArgumentError(StrFormat(
+          "flag --thresholds: expected a comma-separated list of numbers, "
+          "got \"%s\"",
+          spec.c_str()));
+    }
+    thresholds.push_back(value);
+    if (comma == spec.size()) break;
     start = comma + 1;
   }
   return thresholds;
 }
 
-OptimizerOptions MakeOptions(const std::map<std::string, std::string>& flags,
-                             Backend backend) {
+StatusOr<OptimizerOptions> MakeOptions(const FlagMap& flags,
+                                       Backend backend) {
   OptimizerOptions options;
   options.backend = backend;
-  options.seed = static_cast<std::uint64_t>(IntFlag(flags, "seed", 7));
+  QOPT_ASSIGN_OR_RETURN(options.seed, Uint64Flag(flags, "seed", 7));
   options.anneal.num_reads = 50;
   options.anneal.num_sweeps = 2000;
   options.variational.max_iterations = 250;
   options.variational.shots = 4096;
-  options.pegasus_m = IntFlag(flags, "pegasus", 4);
+  QOPT_ASSIGN_OR_RETURN(options.pegasus_m,
+                        IntFlag(flags, "pegasus", 4, 2, 16));
   options.embedded.anneal.num_reads = 100;
   options.embedded.anneal.num_sweeps = 4000;
+  options.classical_fallback = flags.count("no-fallback") == 0;
   return options;
 }
 
-int RunGenerate(int argc, char** argv) {
+StatusOr<JoinOrderEncoderOptions> MakeJoinEncoderOptions(
+    const FlagMap& flags) {
+  JoinOrderEncoderOptions encoder;
+  QOPT_ASSIGN_OR_RETURN(encoder.thresholds,
+                        ParseThresholds(FlagOr(flags, "thresholds",
+                                               "10,100")));
+  QOPT_ASSIGN_OR_RETURN(encoder.precision_decimals,
+                        IntFlag(flags, "precision", 0, 0, 16));
+  encoder.safe_slack_bounds = true;
+  return encoder;
+}
+
+/// The path positional must not look like a flag (catches
+/// `qqo mqo --backend=sa` with the workload file forgotten).
+bool LooksLikeFlag(const std::string& arg) {
+  return arg.rfind("--", 0) == 0;
+}
+
+void PrintDegradation(const std::string& reason, Backend backend_used) {
+  std::fprintf(stderr,
+               "qqo: warning: degraded to classical fallback \"%s\": %s\n",
+               BackendName(backend_used).c_str(), reason.c_str());
+}
+
+int RunGenerate(int argc, const char* const* argv) {
   if (argc < 4) return Usage();
   const std::string what = argv[2];
   const std::string path = argv[3];
-  const auto flags = ParseFlags(argc, argv, 4);
+  if (LooksLikeFlag(what) || LooksLikeFlag(path)) return Usage();
   if (what == "mqo") {
+    StatusOr<FlagMap> flags =
+        ParseFlags(argc, argv, 4, {"queries", "ppq", "seed"});
+    if (!flags.ok()) return Fail(kExitUsage, flags.status());
     MqoGeneratorOptions gen;
-    gen.num_queries = IntFlag(flags, "queries", 4);
-    gen.plans_per_query = IntFlag(flags, "ppq", 4);
-    gen.seed = static_cast<std::uint64_t>(IntFlag(flags, "seed", 1));
+    StatusOr<int> queries = IntFlag(*flags, "queries", 4, 1, 1000);
+    if (!queries.ok()) return Fail(kExitUsage, queries.status());
+    gen.num_queries = *queries;
+    StatusOr<int> ppq = IntFlag(*flags, "ppq", 4, 1, 1000);
+    if (!ppq.ok()) return Fail(kExitUsage, ppq.status());
+    gen.plans_per_query = *ppq;
+    StatusOr<std::uint64_t> seed = Uint64Flag(*flags, "seed", 1);
+    if (!seed.ok()) return Fail(kExitUsage, seed.status());
+    gen.seed = *seed;
     const MqoProblem problem = GenerateMqoProblem(gen);
-    if (!SaveMqoProblem(problem, path)) {
-      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-      return 1;
+    if (const Status saved = SaveMqoProblem(problem, path); !saved.ok()) {
+      return Fail(kExitError, saved);
     }
     std::printf("wrote MQO workload: %d queries, %d plans, %d savings -> %s\n",
                 problem.NumQueries(), problem.NumPlans(),
                 problem.NumSavings(), path.c_str());
-    return 0;
+    return kExitOk;
   }
   if (what == "join") {
+    StatusOr<FlagMap> flags =
+        ParseFlags(argc, argv, 4, {"relations", "predicates", "seed"});
+    if (!flags.ok()) return Fail(kExitUsage, flags.status());
     QueryGeneratorOptions gen;
-    gen.num_relations = IntFlag(flags, "relations", 5);
-    gen.num_predicates =
-        IntFlag(flags, "predicates", gen.num_relations - 1);
+    StatusOr<int> relations = IntFlag(*flags, "relations", 5, 2, 1000);
+    if (!relations.ok()) return Fail(kExitUsage, relations.status());
+    gen.num_relations = *relations;
+    StatusOr<int> predicates =
+        IntFlag(*flags, "predicates", gen.num_relations - 1,
+                gen.num_relations - 1,
+                gen.num_relations * (gen.num_relations - 1) / 2);
+    if (!predicates.ok()) return Fail(kExitUsage, predicates.status());
+    gen.num_predicates = *predicates;
     gen.cardinality_min = 10.0;
     gen.cardinality_max = 100000.0;
     gen.selectivity_min = 0.001;
-    gen.seed = static_cast<std::uint64_t>(IntFlag(flags, "seed", 1));
+    StatusOr<std::uint64_t> seed = Uint64Flag(*flags, "seed", 1);
+    if (!seed.ok()) return Fail(kExitUsage, seed.status());
+    gen.seed = *seed;
     const QueryGraph graph = GenerateRandomQuery(gen);
-    if (!SaveQueryGraph(graph, path)) {
-      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-      return 1;
+    if (const Status saved = SaveQueryGraph(graph, path); !saved.ok()) {
+      return Fail(kExitError, saved);
     }
     std::printf("wrote query graph: %d relations, %d predicates -> %s\n",
                 graph.NumRelations(), graph.NumPredicates(), path.c_str());
-    return 0;
+    return kExitOk;
   }
   return Usage();
 }
 
-int RunMqo(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const auto flags = ParseFlags(argc, argv, 3);
-  std::string error;
-  const auto problem = LoadMqoProblem(argv[2], &error);
-  if (!problem.has_value()) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+int RunMqo(int argc, const char* const* argv) {
+  if (argc < 3 || LooksLikeFlag(argv[2])) return Usage();
+  StatusOr<FlagMap> flags = ParseFlags(
+      argc, argv, 3, {"backend", "seed", "pegasus", "no-fallback"});
+  if (!flags.ok()) return Fail(kExitUsage, flags.status());
+  // Validate every flag value before touching the file: a usage error is
+  // diagnosed the same way whether or not the workload path exists.
+  StatusOr<Backend> backend = ParseBackend(FlagOr(*flags, "backend", "sa"));
+  if (!backend.ok()) return Fail(kExitUsage, backend.status());
+  StatusOr<OptimizerOptions> options = MakeOptions(*flags, *backend);
+  if (!options.ok()) return Fail(kExitUsage, options.status());
+  StatusOr<MqoProblem> problem = LoadMqoProblem(argv[2]);
+  if (!problem.ok()) return Fail(kExitError, problem.status());
+  StatusOr<MqoSolveReport> solved = TrySolveMqo(*problem, *options);
+  if (!solved.ok()) return Fail(kExitError, solved.status());
+  const MqoSolveReport& report = *solved;
+  if (report.degraded) {
+    PrintDegradation(report.degradation_reason, report.backend_used);
   }
-  Backend backend;
-  if (!ParseBackend(FlagOr(flags, "backend", "sa"), &backend)) return Usage();
-  const MqoSolveReport report =
-      SolveMqo(*problem, MakeOptions(flags, backend));
-  std::printf("backend: %s\nqubits: %d\nquadratic terms: %d\n",
-              BackendName(backend).c_str(), report.qubits,
+  std::printf("backend: %s%s\nqubits: %d\nquadratic terms: %d\n",
+              BackendName(report.backend_used).c_str(),
+              report.degraded ? " (degraded)" : "", report.qubits,
               report.quadratic_terms);
   if (!report.valid) {
     std::printf("result: INVALID (backend returned a non-selection)\n");
-    return 1;
+    return kExitError;
   }
   std::printf("cost: %.6g\nselection (query: plan):", report.solution.cost);
   for (int q = 0; q < problem->NumQueries(); ++q) {
@@ -188,79 +358,91 @@ int RunMqo(int argc, char** argv) {
                 report.solution.selection[static_cast<std::size_t>(q)]);
   }
   std::printf("\n");
-  return 0;
+  return kExitOk;
 }
 
-int RunJoin(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const auto flags = ParseFlags(argc, argv, 3);
-  std::string error;
-  const auto graph = LoadQueryGraph(argv[2], &error);
-  if (!graph.has_value()) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+int RunJoin(int argc, const char* const* argv) {
+  if (argc < 3 || LooksLikeFlag(argv[2])) return Usage();
+  StatusOr<FlagMap> flags =
+      ParseFlags(argc, argv, 3,
+                 {"backend", "seed", "pegasus", "thresholds", "precision",
+                  "no-fallback"});
+  if (!flags.ok()) return Fail(kExitUsage, flags.status());
+  StatusOr<Backend> backend = ParseBackend(FlagOr(*flags, "backend", "sa"));
+  if (!backend.ok()) return Fail(kExitUsage, backend.status());
+  StatusOr<JoinOrderEncoderOptions> encoder = MakeJoinEncoderOptions(*flags);
+  if (!encoder.ok()) return Fail(kExitUsage, encoder.status());
+  StatusOr<OptimizerOptions> options = MakeOptions(*flags, *backend);
+  if (!options.ok()) return Fail(kExitUsage, options.status());
+  StatusOr<QueryGraph> graph = LoadQueryGraph(argv[2]);
+  if (!graph.ok()) return Fail(kExitError, graph.status());
+  StatusOr<JoinOrderSolveReport> solved =
+      TrySolveJoinOrder(*graph, *encoder, *options);
+  if (!solved.ok()) return Fail(kExitError, solved.status());
+  const JoinOrderSolveReport& report = *solved;
+  if (report.degraded) {
+    PrintDegradation(report.degradation_reason, report.backend_used);
   }
-  Backend backend;
-  if (!ParseBackend(FlagOr(flags, "backend", "sa"), &backend)) return Usage();
-  JoinOrderEncoderOptions encoder;
-  encoder.thresholds = ParseThresholds(FlagOr(flags, "thresholds", "10,100"));
-  encoder.precision_decimals = IntFlag(flags, "precision", 0);
-  encoder.safe_slack_bounds = true;
-  const JoinOrderSolveReport report =
-      SolveJoinOrder(*graph, encoder, MakeOptions(flags, backend));
-  std::printf("backend: %s\nqubits: %d\nquadratic terms: %d\n",
-              BackendName(backend).c_str(), report.qubits,
+  std::printf("backend: %s%s\nqubits: %d\nquadratic terms: %d\n",
+              BackendName(report.backend_used).c_str(),
+              report.degraded ? " (degraded)" : "", report.qubits,
               report.quadratic_terms);
   if (!report.valid) {
     std::printf("result: INVALID (backend returned a non-permutation)\n");
-    return 1;
+    return kExitError;
   }
   std::printf("C_out cost: %.6g\norder:", report.solution.cost);
   for (int r : report.solution.order) std::printf(" R%d", r);
   std::printf("\n");
-  return 0;
+  return kExitOk;
 }
 
-std::optional<QuboModel> LoadAsQubo(const std::string& what,
-                                    const std::string& path,
-                                    const std::map<std::string, std::string>&
-                                        flags) {
-  std::string error;
+StatusOr<QuboModel> LoadAsQubo(const std::string& what,
+                               const std::string& path,
+                               const FlagMap& flags) {
   if (what == "mqo") {
-    const auto problem = LoadMqoProblem(path, &error);
-    if (!problem.has_value()) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
-      return std::nullopt;
-    }
-    return EncodeMqoAsQubo(*problem).qubo;
+    QOPT_ASSIGN_OR_RETURN(const MqoProblem problem, LoadMqoProblem(path));
+    QOPT_ASSIGN_OR_RETURN(const MqoQuboEncoding encoding,
+                          TryEncodeMqoAsQubo(problem));
+    return encoding.qubo;
   }
   if (what == "join") {
-    const auto graph = LoadQueryGraph(path, &error);
-    if (!graph.has_value()) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
-      return std::nullopt;
-    }
-    JoinOrderEncoderOptions encoder;
-    encoder.thresholds =
-        ParseThresholds(FlagOr(flags, "thresholds", "10,100"));
-    encoder.precision_decimals = IntFlag(flags, "precision", 0);
-    return EncodeBilpAsQubo(EncodeJoinOrderAsBilp(*graph, encoder).bilp).qubo;
+    QOPT_ASSIGN_OR_RETURN(const QueryGraph graph, LoadQueryGraph(path));
+    QOPT_ASSIGN_OR_RETURN(const JoinOrderEncoderOptions encoder,
+                          MakeJoinEncoderOptions(flags));
+    QOPT_ASSIGN_OR_RETURN(const JoinOrderEncoding encoding,
+                          TryEncodeJoinOrderAsBilp(graph, encoder));
+    return EncodeBilpAsQubo(encoding.bilp).qubo;
   }
-  return std::nullopt;
+  return InvalidArgumentError(
+      StrFormat("unknown workload kind \"%s\" (known: mqo, join)",
+                what.c_str()));
 }
 
-int RunEstimate(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  const auto flags = ParseFlags(argc, argv, 4);
-  const auto qubo = LoadAsQubo(argv[2], argv[3], flags);
-  if (!qubo.has_value()) return 1;
-  const std::string device_name = FlagOr(flags, "device", "mumbai");
+int RunEstimate(int argc, const char* const* argv) {
+  if (argc < 4 || LooksLikeFlag(argv[2]) || LooksLikeFlag(argv[3])) {
+    return Usage();
+  }
+  StatusOr<FlagMap> flags = ParseFlags(
+      argc, argv, 4, {"device", "trials", "thresholds", "precision"});
+  if (!flags.ok()) return Fail(kExitUsage, flags.status());
+  StatusOr<QuboModel> qubo = LoadAsQubo(argv[2], argv[3], *flags);
+  if (!qubo.ok()) return Fail(kExitError, qubo.status());
+  const std::string device_name = FlagOr(*flags, "device", "mumbai");
+  if (device_name != "mumbai" && device_name != "brooklyn") {
+    return Fail(kExitUsage,
+                InvalidArgumentError(StrFormat(
+                    "unknown device \"%s\" (known: mumbai, brooklyn)",
+                    device_name.c_str())));
+  }
   const DeviceModel device =
       device_name == "brooklyn" ? BrooklynDevice() : MumbaiDevice();
   const CouplingMap coupling =
       device_name == "brooklyn" ? MakeBrooklyn65() : MakeMumbai27();
   GateEstimateOptions options;
-  options.transpile_trials = IntFlag(flags, "trials", 10);
+  StatusOr<int> trials = IntFlag(*flags, "trials", 10, 1, 1000);
+  if (!trials.ok()) return Fail(kExitUsage, trials.status());
+  options.transpile_trials = *trials;
   const GateResourceEstimate estimate =
       EstimateGateResources(*qubo, coupling, device, options);
   std::printf("device: %s (max reliable depth %d)\n", device.name.c_str(),
@@ -276,30 +458,37 @@ int RunEstimate(int argc, char** argv) {
               estimate.vqe_depth_ideal, estimate.vqe_depth_device,
               estimate.vqe_within_coherence ? "within coherence"
                                             : "EXCEEDS coherence");
-  return 0;
+  return kExitOk;
 }
 
-int RunQasm(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  const auto flags = ParseFlags(argc, argv, 4);
-  const auto qubo = LoadAsQubo(argv[2], argv[3], flags);
-  if (!qubo.has_value()) return 1;
-  const std::string algorithm = FlagOr(flags, "algorithm", "qaoa");
+int RunQasm(int argc, const char* const* argv) {
+  if (argc < 4 || LooksLikeFlag(argv[2]) || LooksLikeFlag(argv[3])) {
+    return Usage();
+  }
+  StatusOr<FlagMap> flags =
+      ParseFlags(argc, argv, 4, {"algorithm", "thresholds", "precision"});
+  if (!flags.ok()) return Fail(kExitUsage, flags.status());
+  StatusOr<QuboModel> qubo = LoadAsQubo(argv[2], argv[3], *flags);
+  if (!qubo.ok()) return Fail(kExitError, qubo.status());
+  const std::string algorithm = FlagOr(*flags, "algorithm", "qaoa");
   QuantumCircuit circuit;
   if (algorithm == "qaoa") {
     circuit = BuildQaoaTemplate(QuboToIsing(*qubo));
   } else if (algorithm == "vqe") {
     circuit = BuildVqeTemplate(qubo->NumVariables(), 3);
   } else {
-    return Usage();
+    return Fail(kExitUsage,
+                InvalidArgumentError(StrFormat(
+                    "unknown algorithm \"%s\" (known: qaoa, vqe)",
+                    algorithm.c_str())));
   }
   std::fputs(ToQasm2(circuit, /*measure_all=*/true).c_str(), stdout);
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int RunQqoCli(int argc, const char* const* argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "generate") return RunGenerate(argc, argv);
@@ -307,5 +496,16 @@ int main(int argc, char** argv) {
   if (command == "join") return RunJoin(argc, argv);
   if (command == "estimate") return RunEstimate(argc, argv);
   if (command == "qasm") return RunQasm(argc, argv);
+  std::fprintf(stderr, "qqo: error: unknown command \"%s\"\n",
+               command.c_str());
   return Usage();
 }
+
+int RunQqoCli(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  return RunQqoCli(static_cast<int>(argv.size()), argv.data());
+}
+
+}  // namespace qopt::cli

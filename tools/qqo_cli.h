@@ -1,0 +1,25 @@
+#ifndef QQO_TOOLS_QQO_CLI_H_
+#define QQO_TOOLS_QQO_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace qopt::cli {
+
+/// Exit codes of the qqo command-line tool (documented in README.md).
+inline constexpr int kExitOk = 0;       ///< Success.
+inline constexpr int kExitError = 1;    ///< Runtime / input-file error.
+inline constexpr int kExitUsage = 2;    ///< Command-line misuse.
+
+/// Entry point of the `qqo` tool, factored out of main() so that tests
+/// can drive the exact CLI code path in-process (fault-injection of
+/// malformed workload files and flags must produce an error exit, never
+/// an abort). `argv[0]` is the program name, as in main().
+int RunQqoCli(int argc, const char* const* argv);
+
+/// Convenience overload for tests: RunQqoCli({"qqo", "mqo", "file.json"}).
+int RunQqoCli(const std::vector<std::string>& args);
+
+}  // namespace qopt::cli
+
+#endif  // QQO_TOOLS_QQO_CLI_H_

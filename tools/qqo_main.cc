@@ -1,0 +1,3 @@
+#include "qqo_cli.h"
+
+int main(int argc, char** argv) { return qopt::cli::RunQqoCli(argc, argv); }
