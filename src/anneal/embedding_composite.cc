@@ -9,14 +9,15 @@
 
 namespace qopt {
 
-std::optional<EmbeddedSolveResult> SolveQuboOnTopology(
+StatusOr<EmbeddedSolveResult> TrySolveQuboOnTopology(
     const QuboModel& qubo, const SimpleGraph& topology,
     const EmbeddedSolveOptions& options) {
   QOPT_CHECK(qubo.NumVariables() >= 1);
   const SimpleGraph source = qubo.InteractionGraph();
-  std::optional<Embedding> embedding =
-      FindMinorEmbedding(source, topology, options.embed);
-  if (!embedding.has_value()) return std::nullopt;
+  StatusOr<Embedding> found =
+      TryFindMinorEmbedding(source, topology, options.embed);
+  if (!found.ok()) return found.status();
+  std::optional<Embedding> embedding(*std::move(found));
 
   const IsingModel logical = QuboToIsing(qubo);
 
@@ -107,8 +108,9 @@ std::optional<EmbeddedSolveResult> SolveQuboOnTopology(
     }
     anneal_options.flip_groups.push_back(std::move(group));
   }
-  const AnnealResult anneal = SolveQuboWithAnnealing(physical_qubo,
-                                                     anneal_options);
+  QOPT_ASSIGN_OR_RETURN(
+      const AnnealResult anneal,
+      TrySolveQuboWithAnnealing(physical_qubo, anneal_options));
 
   // Unembed by majority vote per chain.
   EmbeddedSolveResult result;
@@ -132,7 +134,17 @@ std::optional<EmbeddedSolveResult> SolveQuboOnTopology(
                 static_cast<double>(source.NumVertices())
           : 0.0;
   result.embedding = std::move(*embedding);
+  result.timed_out = anneal.timed_out;
   return result;
+}
+
+std::optional<EmbeddedSolveResult> SolveQuboOnTopology(
+    const QuboModel& qubo, const SimpleGraph& topology,
+    const EmbeddedSolveOptions& options) {
+  StatusOr<EmbeddedSolveResult> result =
+      TrySolveQuboOnTopology(qubo, topology, options);
+  if (!result.ok()) return std::nullopt;
+  return *std::move(result);
 }
 
 }  // namespace qopt

@@ -7,6 +7,7 @@
 #include "anneal/embedding.h"
 #include "anneal/minor_embedder.h"
 #include "anneal/simulated_annealer.h"
+#include "common/status.h"
 #include "graph/simple_graph.h"
 #include "qubo/qubo_model.h"
 
@@ -16,6 +17,10 @@ namespace qopt {
 /// StructureComposite + EmbeddingComposite emulation: the solver only sees
 /// couplers that exist in the annealer topology).
 struct EmbeddedSolveOptions {
+  /// `embed.deadline` bounds the embedding stage, `anneal.deadline` the
+  /// annealing stage; callers with one overall budget set both from the
+  /// same parent Deadline (the min-composition in WithBudget makes that
+  /// safe).
   EmbedOptions embed;
   AnnealOptions anneal;
   /// Ferromagnetic chain coupling strength. <= 0 derives it from the
@@ -31,11 +36,24 @@ struct EmbeddedSolveResult {
   /// Fraction of chains whose physical qubits disagreed in the best
   /// sample (resolved by majority vote).
   double chain_break_fraction = 0.0;
+  /// True when the annealing stage was cut short by its deadline (the
+  /// bits are still the best sample found; see AnnealResult::timed_out).
+  bool timed_out = false;
 };
+
+/// Status-reporting flavour: kUnavailable when no embedding was found
+/// within the embed budget, kDeadlineExceeded / kCancelled when a stage
+/// budget ran out, injected faults verbatim. An annealing stage cut short
+/// by its deadline still returns OK with `timed_out` set (anytime
+/// semantics).
+StatusOr<EmbeddedSolveResult> TrySolveQuboOnTopology(
+    const QuboModel& qubo, const SimpleGraph& topology,
+    const EmbeddedSolveOptions& options = {});
 
 /// Embeds `qubo`'s interaction graph into `topology`, anneals the chained
 /// physical Ising problem, and unembeds by per-chain majority vote.
-/// Returns std::nullopt when no embedding could be found.
+/// Returns std::nullopt when no embedding could be found (or any other
+/// error of TrySolveQuboOnTopology occurred).
 std::optional<EmbeddedSolveResult> SolveQuboOnTopology(
     const QuboModel& qubo, const SimpleGraph& topology,
     const EmbeddedSolveOptions& options = {});

@@ -7,7 +7,10 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/random.h"
+#include "common/retry.h"
+#include "common/table_printer.h"
 #include "common/thread_pool.h"
 
 namespace qopt {
@@ -40,6 +43,10 @@ class Embedder {
     int best_overfill = std::numeric_limits<int>::max();
     int stale_passes = 0;
     for (int pass = 0; pass <= options_.max_passes; ++pass) {
+      // Budget check per improvement pass: an abandoned attempt looks like
+      // an unsuccessful one; the caller re-checks the deadline to tell the
+      // two apart.
+      if (!options_.deadline.Check().ok()) return std::nullopt;
       if (pass == 0) {
         // First pass: breadth-first order from a random vertex, so every
         // node (except component seeds) is placed next to an already
@@ -502,37 +509,65 @@ class Embedder {
 
 }  // namespace
 
-std::optional<Embedding> FindMinorEmbedding(const SimpleGraph& source,
-                                            const SimpleGraph& target,
-                                            const EmbedOptions& options) {
+StatusOr<Embedding> TryFindMinorEmbedding(const SimpleGraph& source,
+                                          const SimpleGraph& target,
+                                          const EmbedOptions& options) {
   QOPT_CHECK(options.tries >= 1);
   QOPT_CHECK(options.penalty_base > 1.0);
   if (source.NumVertices() == 0) return Embedding{};
-  if (target.NumVertices() == 0) return std::nullopt;
-  if (source.NumVertices() > target.NumVertices()) return std::nullopt;
+  if (target.NumVertices() == 0) {
+    return UnavailableError("target graph is empty");
+  }
+  if (source.NumVertices() > target.NumVertices()) {
+    return UnavailableError(
+        "source graph has more vertices than the target");
+  }
   for (int attempt = 0; attempt < options.tries; ++attempt) {
+    QOPT_RETURN_IF_ERROR(options.deadline.Check());
+    if (Status fault = CheckFaultPoint("embedder.attempt"); !fault.ok()) {
+      // A retryable injected fault only consumes this attempt; the next
+      // re-seeded attempt still runs — the recovery path the fault site
+      // exists to exercise.
+      if (IsRetryableStatus(fault.code())) continue;
+      return fault;
+    }
     Embedder embedder(source, target, options,
                       options.seed + 0x9E37u * static_cast<std::uint64_t>(attempt));
     std::optional<Embedding> embedding = embedder.Run();
+    // An attempt abandoned by the deadline is indistinguishable from an
+    // unsuccessful one here; surface the budget as the real cause.
+    QOPT_RETURN_IF_ERROR(options.deadline.Check());
     if (embedding.has_value()) {
       std::string error;
       QOPT_CHECK_MSG(ValidateEmbedding(source, target, *embedding, &error),
                      error.c_str());
-      return embedding;
+      return *std::move(embedding);
     }
   }
-  return std::nullopt;
+  return UnavailableError(StrFormat(
+      "no minor embedding found within %d tries", options.tries));
+}
+
+std::optional<Embedding> FindMinorEmbedding(const SimpleGraph& source,
+                                            const SimpleGraph& target,
+                                            const EmbedOptions& options) {
+  StatusOr<Embedding> embedding = TryFindMinorEmbedding(source, target, options);
+  if (!embedding.ok()) return std::nullopt;
+  return *std::move(embedding);
 }
 
 std::vector<std::optional<Embedding>> FindMinorEmbeddingManySeeds(
     const SimpleGraph& source, const SimpleGraph& target,
     const std::vector<std::uint64_t>& seeds, const EmbedOptions& base) {
   std::vector<std::optional<Embedding>> results(seeds.size());
-  ThreadPool::Default().ParallelFor(seeds.size(), [&](std::size_t i) {
-    EmbedOptions options = base;
-    options.seed = seeds[i];
-    results[i] = FindMinorEmbedding(source, target, options);
-  });
+  ThreadPool::Default()
+      .ParallelFor(seeds.size(), base.deadline,
+                   [&](std::size_t i) {
+                     EmbedOptions options = base;
+                     options.seed = seeds[i];
+                     results[i] = FindMinorEmbedding(source, target, options);
+                   })
+      .IgnoreError();  // skipped seeds simply stay std::nullopt
   return results;
 }
 

@@ -1,9 +1,11 @@
 #include "anneal/simulated_annealer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 
@@ -55,8 +57,8 @@ std::uint64_t ReadSeed(std::uint64_t seed, int read) {
 
 }  // namespace
 
-AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
-                                    const AnnealOptions& options) {
+StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
+                                                 const AnnealOptions& options) {
   QOPT_CHECK(qubo.NumVariables() >= 1);
   QOPT_CHECK(options.num_reads >= 1);
   QOPT_CHECK(options.num_sweeps >= 1);
@@ -97,71 +99,122 @@ AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
 
   // One fully independent read per slot: its own RNG stream, its own
   // state, results indexed by read. Reads then run on the default pool
-  // with identical output at any thread count.
+  // with identical output at any thread count. The deadline is checked
+  // at every sweep boundary and at read claim time; reads cut short keep
+  // their best-so-far state (anytime semantics), reads that never start
+  // stay absent.
   const std::size_t num_reads = static_cast<std::size_t>(options.num_reads);
   std::vector<std::vector<std::uint8_t>> read_bits(num_reads);
   std::vector<double> read_energies(num_reads);
-  ThreadPool::Default().ParallelFor(num_reads, [&](std::size_t read) {
-    Rng rng(ReadSeed(options.seed, static_cast<int>(read)));
-    std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
-    for (auto& b : bits) b = rng.NextBool() ? 1 : 0;
-    double energy = qubo.Energy(bits);
-    double beta = beta_min;
-    for (int sweep = 0; sweep < options.num_sweeps; ++sweep) {
-      for (int i = 0; i < n; ++i) {
-        const double delta = qubo.FlipDelta(bits, i, adjacency);
-        if (delta <= 0.0 || rng.NextDouble() < std::exp(-beta * delta)) {
-          bits[static_cast<std::size_t>(i)] ^= 1;
-          energy += delta;
+  std::vector<std::uint8_t> read_done(num_reads, 0);
+  std::vector<Status> read_status(num_reads);
+  std::atomic<bool> timed_out{false};
+  const Status loop_status = ThreadPool::Default().ParallelFor(
+      num_reads, options.deadline, [&](std::size_t read) {
+        Rng rng(ReadSeed(options.seed, static_cast<int>(read)));
+        std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
+        for (auto& b : bits) b = rng.NextBool() ? 1 : 0;
+        double energy = qubo.Energy(bits);
+        double beta = beta_min;
+        bool cut_short = false;
+        for (int sweep = 0; sweep < options.num_sweeps; ++sweep) {
+          if (Status fault = CheckFaultPoint("annealer.sweep"); !fault.ok()) {
+            read_status[read] = std::move(fault);
+            return;  // this read contributes nothing
+          }
+          if (Status check = options.deadline.Check(); !check.ok()) {
+            if (check.code() == StatusCode::kCancelled) {
+              read_status[read] = std::move(check);
+              return;
+            }
+            timed_out.store(true, std::memory_order_relaxed);
+            cut_short = true;
+            break;  // keep the best-so-far state
+          }
+          for (int i = 0; i < n; ++i) {
+            const double delta = qubo.FlipDelta(bits, i, adjacency);
+            if (delta <= 0.0 || rng.NextDouble() < std::exp(-beta * delta)) {
+              bits[static_cast<std::size_t>(i)] ^= 1;
+              energy += delta;
+            }
+          }
+          for (const auto& group : options.flip_groups) {
+            energy += propose_group_flip(bits, group, beta, &rng);
+          }
+          beta *= beta_ratio;
         }
-      }
-      for (const auto& group : options.flip_groups) {
-        energy += propose_group_flip(bits, group, beta, &rng);
-      }
-      beta *= beta_ratio;
-    }
-    // Greedy descent to the local minimum removes residual thermal noise.
-    bool improved = true;
-    while (improved) {
-      improved = false;
-      for (int i = 0; i < n; ++i) {
-        const double delta = qubo.FlipDelta(bits, i, adjacency);
-        if (delta < -1e-12) {
-          bits[static_cast<std::size_t>(i)] ^= 1;
-          energy += delta;
-          improved = true;
+        // Greedy descent to the local minimum removes residual thermal
+        // noise. Skipped when the deadline already fired — it is the one
+        // unbounded loop here.
+        bool improved = !cut_short;
+        while (improved) {
+          improved = false;
+          for (int i = 0; i < n; ++i) {
+            const double delta = qubo.FlipDelta(bits, i, adjacency);
+            if (delta < -1e-12) {
+              bits[static_cast<std::size_t>(i)] ^= 1;
+              energy += delta;
+              improved = true;
+            }
+          }
+          for (const auto& group : options.flip_groups) {
+            double delta = 0.0;
+            for (int i : group) {
+              delta += qubo.FlipDelta(bits, i, adjacency);
+              bits[static_cast<std::size_t>(i)] ^= 1;
+            }
+            if (delta < -1e-12) {
+              energy += delta;
+              improved = true;
+            } else {
+              for (int i : group) bits[static_cast<std::size_t>(i)] ^= 1;
+            }
+          }
         }
-      }
-      for (const auto& group : options.flip_groups) {
-        double delta = 0.0;
-        for (int i : group) {
-          delta += qubo.FlipDelta(bits, i, adjacency);
-          bits[static_cast<std::size_t>(i)] ^= 1;
-        }
-        if (delta < -1e-12) {
-          energy += delta;
-          improved = true;
-        } else {
-          for (int i : group) bits[static_cast<std::size_t>(i)] ^= 1;
-        }
-      }
-    }
-    read_energies[read] = energy;
-    read_bits[read] = std::move(bits);
-  });
+        read_energies[read] = energy;
+        read_bits[read] = std::move(bits);
+        read_done[read] = 1;
+      });
+
+  // Cancellation and injected faults fail the whole call; a plain expiry
+  // only marks it timed out.
+  for (std::size_t read = 0; read < num_reads; ++read) {
+    if (!read_status[read].ok()) return read_status[read];
+  }
+  if (!loop_status.ok()) {
+    if (loop_status.code() == StatusCode::kCancelled) return loop_status;
+    timed_out.store(true, std::memory_order_relaxed);
+  }
 
   AnnealResult result;
-  result.read_energies = std::move(read_energies);
-  std::size_t best_read = 0;
-  for (std::size_t read = 1; read < num_reads; ++read) {
-    if (result.read_energies[read] < result.read_energies[best_read]) {
+  result.timed_out = timed_out.load(std::memory_order_relaxed);
+  std::size_t best_read = num_reads;
+  for (std::size_t read = 0; read < num_reads; ++read) {
+    if (!read_done[read]) continue;
+    result.read_energies.push_back(read_energies[read]);
+    if (best_read == num_reads ||
+        read_energies[read] < read_energies[best_read]) {
       best_read = read;
     }
   }
-  result.best_bits = std::move(read_bits[best_read]);
+  if (best_read == num_reads) {
+    // The deadline fired before any read finished a single sweep. The
+    // anytime contract still owes the caller a valid state: all-zeros is
+    // the canonical deterministic fallback.
+    result.best_bits.assign(static_cast<std::size_t>(n), 0);
+  } else {
+    result.best_bits = std::move(read_bits[best_read]);
+  }
   // Recompute exactly to clear accumulated floating-point drift.
   result.best_energy = qubo.Energy(result.best_bits);
   return result;
+}
+
+AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
+                                    const AnnealOptions& options) {
+  StatusOr<AnnealResult> result = TrySolveQuboWithAnnealing(qubo, options);
+  QOPT_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
 }
 
 }  // namespace qopt

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "qubo/qubo_model.h"
 
 namespace qopt {
@@ -23,18 +25,37 @@ struct AnnealOptions {
   /// composite passes the chains here so that logical flips remain
   /// possible once strong chain couplings freeze individual qubits.
   std::vector<std::vector<int>> flip_groups;
+  /// Wall-clock budget, checked at every sweep boundary of every read.
+  /// Unbounded by default.
+  Deadline deadline;
 };
 
 /// Result of a simulated-annealing run.
 struct AnnealResult {
   std::vector<std::uint8_t> best_bits;
   double best_energy = 0.0;
-  /// Energy of every read's final state (for distribution studies).
+  /// Energy of every read's final state (for distribution studies). Reads
+  /// that never started because the deadline expired first are absent.
   std::vector<double> read_energies;
+  /// True when the deadline expired mid-run. The result is still the best
+  /// state found so far (anytime semantics) — but it came from fewer
+  /// sweeps/reads than requested, so it is NOT reproducible across
+  /// machines the way a completed run is.
+  bool timed_out = false;
 };
 
+/// Deadline- and fault-aware annealing. Simulated annealing is an anytime
+/// algorithm: when `options.deadline` expires mid-run the best state found
+/// so far is returned with `timed_out = true` and an OK status. Only a
+/// fired CancelToken (kCancelled) or an injected fault at the
+/// "annealer.sweep" site produces a non-OK status.
+StatusOr<AnnealResult> TrySolveQuboWithAnnealing(
+    const QuboModel& qubo, const AnnealOptions& options = {});
+
 /// Samples low-energy states of `qubo` with Metropolis simulated annealing
-/// on a geometric inverse-temperature schedule.
+/// on a geometric inverse-temperature schedule. Infinite-deadline wrapper
+/// around TrySolveQuboWithAnnealing; aborts on cancellation or injected
+/// faults, which cannot occur in normal operation.
 AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
                                     const AnnealOptions& options = {});
 

@@ -315,10 +315,17 @@ void Statevector::ApplyFusedDiagonal(const std::vector<Gate>& gates,
 }
 
 void Statevector::ApplyCircuit(const QuantumCircuit& circuit) {
+  ApplyCircuit(circuit, Deadline::Infinite()).IgnoreError();
+}
+
+Status Statevector::ApplyCircuit(const QuantumCircuit& circuit,
+                                 const Deadline& deadline) {
   QOPT_CHECK(circuit.NumQubits() == num_qubits_);
   const std::vector<Gate>& gates = circuit.Gates();
+  const bool bounded = !deadline.unbounded() || deadline.token() != nullptr;
   std::size_t i = 0;
   while (i < gates.size()) {
+    if (bounded) QOPT_RETURN_IF_ERROR(deadline.Check());
     if (IsDiagonalGate(gates[i].kind)) {
       std::size_t j = i + 1;
       while (j < gates.size() && IsDiagonalGate(gates[j].kind)) ++j;
@@ -331,6 +338,7 @@ void Statevector::ApplyCircuit(const QuantumCircuit& circuit) {
     ApplyGate(gates[i]);
     ++i;
   }
+  return OkStatus();
 }
 
 std::vector<double> Statevector::Probabilities() const {

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "circuit/quantum_circuit.h"
+#include "common/deadline.h"
 #include "common/random.h"
+#include "common/status.h"
 #include "qubo/ising_model.h"
 
 namespace qopt {
@@ -45,6 +47,14 @@ class Statevector {
   /// Applies every gate of the circuit (must match NumQubits()), fusing
   /// runs of consecutive diagonal gates into single phase passes.
   void ApplyCircuit(const QuantumCircuit& circuit);
+
+  /// Deadline-aware flavour: the deadline is checked before every gate (or
+  /// fused diagonal run). On expiry or cancellation the remaining gates
+  /// are NOT applied and kDeadlineExceeded/kCancelled is returned; the
+  /// state is then mid-circuit garbage and the caller must Reset() before
+  /// reuse. Runs that return OK applied exactly the gate sequence of the
+  /// plain overload.
+  Status ApplyCircuit(const QuantumCircuit& circuit, const Deadline& deadline);
 
   /// Measurement probabilities |amplitude|^2 per basis state.
   std::vector<double> Probabilities() const;

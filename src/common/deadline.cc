@@ -1,0 +1,38 @@
+#include "common/deadline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qopt {
+namespace {
+
+Deadline::Clock::duration MillisToDuration(double ms) {
+  if (ms < 0.0) ms = 0.0;
+  return std::chrono::duration_cast<Deadline::Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+Deadline Deadline::AfterMillis(double ms) {
+  return At(Clock::now() + MillisToDuration(ms));
+}
+
+Deadline Deadline::WithBudget(Clock::duration budget) const {
+  const Clock::time_point staged = Clock::now() + budget;
+  return Deadline(std::min(when_, staged), token_);
+}
+
+Deadline Deadline::WithBudgetMillis(double ms) const {
+  return WithBudget(MillisToDuration(ms));
+}
+
+double Deadline::RemainingMillis() const {
+  if (unbounded()) return std::numeric_limits<double>::infinity();
+  const auto left = std::chrono::duration<double, std::milli>(
+      when_ - Clock::now());
+  return std::max(0.0, left.count());
+}
+
+}  // namespace qopt

@@ -1,0 +1,117 @@
+#ifndef QQO_COMMON_DEADLINE_H_
+#define QQO_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace qopt {
+
+/// Cooperative cancellation flag. A caller keeps the token, hands a
+/// pointer to it to a solve (via Deadline::WithToken), and may flip it
+/// from any thread; the solver observes it at its next iteration boundary
+/// and winds down with kCancelled. The token must outlive every Deadline
+/// that references it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  /// Re-arms the token for reuse across solves (tests mostly).
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Wall-clock budget plus optional cancellation, passed by value through
+/// options structs. Steady-clock based, so it is immune to system clock
+/// adjustments. A default-constructed Deadline is unbounded and carries no
+/// token — Check() on it is a branch and nothing more, which is what the
+/// long-running loops rely on to keep the disarmed overhead negligible.
+///
+/// Deadlines compose: WithBudget*() returns the *earlier* of the existing
+/// deadline and a fresh per-stage budget, so a stage can be clamped ("at
+/// most 30 ms for embedding") without ever extending the caller's limit.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unbounded, never cancelled.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  /// Expires `duration` from now.
+  static Deadline After(Clock::duration duration) {
+    return Deadline(Clock::now() + duration, nullptr);
+  }
+  /// Expires `ms` milliseconds from now (ms < 0 is treated as 0).
+  static Deadline AfterMillis(double ms);
+  /// Expires at the given steady-clock instant.
+  static Deadline At(Clock::time_point when) {
+    return Deadline(when, nullptr);
+  }
+
+  /// Same deadline, observing `token` (which must outlive the result).
+  /// A null token detaches.
+  Deadline WithToken(const CancelToken* token) const {
+    return Deadline(when_, token);
+  }
+  /// min(this, now + budget): the composable per-stage clamp. Keeps the
+  /// token.
+  Deadline WithBudget(Clock::duration budget) const;
+  Deadline WithBudgetMillis(double ms) const;
+
+  /// True when no time limit is set (the token may still be set).
+  bool unbounded() const { return when_ == Clock::time_point::max(); }
+  const CancelToken* token() const { return token_; }
+  Clock::time_point when() const { return when_; }
+
+  bool Cancelled() const { return token_ != nullptr && token_->cancelled(); }
+  bool Expired() const { return !unbounded() && Clock::now() >= when_; }
+
+  /// The cooperative check, called at iteration boundaries: kCancelled if
+  /// the token fired (cancellation wins over expiry), kDeadlineExceeded if
+  /// the budget ran out, OK otherwise. Cheap on the happy path: one
+  /// pointer test plus (when bounded) one clock read.
+  Status Check() const {
+    if (Cancelled()) return CancelledError("operation cancelled");
+    if (Expired()) return DeadlineExceededError("deadline exceeded");
+    return OkStatus();
+  }
+
+  /// Milliseconds until expiry: +infinity when unbounded, clamped at 0
+  /// once expired.
+  double RemainingMillis() const;
+
+ private:
+  Deadline(Clock::time_point when, const CancelToken* token)
+      : when_(when), token_(token) {}
+
+  Clock::time_point when_ = Clock::time_point::max();
+  const CancelToken* token_ = nullptr;
+};
+
+/// Steady-clock stopwatch for SolveStats::elapsed_ms and the perf checks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Deadline::Clock::now()) {}
+
+  void Restart() { start_ = Deadline::Clock::now(); }
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(
+               Deadline::Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Deadline::Clock::time_point start_;
+};
+
+}  // namespace qopt
+
+#endif  // QQO_COMMON_DEADLINE_H_

@@ -1,0 +1,169 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace qopt {
+namespace {
+
+StatusOr<StatusCode> CodeFromName(std::string_view name,
+                                  std::string_view site) {
+  if (name == "invalid_argument") return StatusCode::kInvalidArgument;
+  if (name == "not_found") return StatusCode::kNotFound;
+  if (name == "out_of_range") return StatusCode::kOutOfRange;
+  if (name == "failed_precondition") return StatusCode::kFailedPrecondition;
+  if (name == "resource_exhausted") return StatusCode::kResourceExhausted;
+  if (name == "unavailable") return StatusCode::kUnavailable;
+  if (name == "internal") return StatusCode::kInternal;
+  if (name == "deadline_exceeded") return StatusCode::kDeadlineExceeded;
+  if (name == "cancelled") return StatusCode::kCancelled;
+  return InvalidArgumentError(StrFormat(
+      "QQO_FAULTS: unknown status \"%.*s\" for site \"%.*s\"",
+      static_cast<int>(name.size()), name.data(),
+      static_cast<int>(site.size()), site.data()));
+}
+
+// Parse QQO_FAULTS once at startup: the fast path reads only the static
+// counter and never constructs the registry, so without this an armed
+// environment spec would go unnoticed in processes (like the CLI) where
+// no test code touches Instance() first.
+[[maybe_unused]] const bool g_env_armed = [] {
+  FaultInjection::Instance();
+  return true;
+}();
+
+}  // namespace
+
+std::atomic<int> FaultInjection::armed_sites_{0};
+
+FaultInjection& FaultInjection::Instance() {
+  static FaultInjection* instance = [] {
+    auto* created = new FaultInjection();
+    if (const char* env = std::getenv("QQO_FAULTS");
+        env != nullptr && *env != '\0') {
+      const Status armed = created->ArmFromSpec(env);
+      QOPT_CHECK_MSG(armed.ok(), armed.ToString().c_str());
+    }
+    return created;
+  }();
+  return *instance;
+}
+
+void FaultInjection::Arm(std::string site, Status status, int after_n,
+                         int times) {
+  QOPT_CHECK_MSG(!status.ok(), "cannot inject an OK status");
+  QOPT_CHECK(after_n >= 0);
+  QOPT_CHECK(times == -1 || times >= 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Rule& rule = rules_[std::move(site)];
+  if (!rule.armed) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  rule.status = std::move(status);
+  rule.skip_remaining = after_n;
+  rule.fire_remaining = times;
+  rule.passes = 0;
+  rule.armed = true;
+}
+
+void FaultInjection::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rules_.find(site);
+  if (it == rules_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjection::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [site, rule] : rules_) {
+    if (rule.armed) {
+      rule.armed = false;
+      armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status FaultInjection::ArmFromSpec(std::string_view spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view entry = spec.substr(start, comma - start);
+    const std::size_t c1 = entry.find(':');
+    const std::size_t c2 =
+        c1 == std::string_view::npos ? std::string_view::npos
+                                     : entry.find(':', c1 + 1);
+    if (c1 == std::string_view::npos || c2 == std::string_view::npos ||
+        c1 == 0) {
+      return InvalidArgumentError(StrFormat(
+          "QQO_FAULTS: expected site:after_n:status, got \"%.*s\"",
+          static_cast<int>(entry.size()), entry.data()));
+    }
+    const std::string_view site = entry.substr(0, c1);
+    const std::string_view count = entry.substr(c1 + 1, c2 - c1 - 1);
+    const std::string_view status_name = entry.substr(c2 + 1);
+    long long after_n = 0;
+    if (count.empty()) {
+      return InvalidArgumentError(StrFormat(
+          "QQO_FAULTS: missing after_n in \"%.*s\"",
+          static_cast<int>(entry.size()), entry.data()));
+    }
+    for (char c : count) {
+      if (c < '0' || c > '9') {
+        return InvalidArgumentError(StrFormat(
+            "QQO_FAULTS: after_n must be a non-negative integer in "
+            "\"%.*s\"",
+            static_cast<int>(entry.size()), entry.data()));
+      }
+      after_n = after_n * 10 + (c - '0');
+      if (after_n > 1000000000) {
+        return OutOfRangeError("QQO_FAULTS: after_n too large");
+      }
+    }
+    QOPT_ASSIGN_OR_RETURN(const StatusCode code,
+                          CodeFromName(status_name, site));
+    Arm(std::string(site),
+        Status(code, StrFormat("injected fault at %.*s",
+                               static_cast<int>(site.size()), site.data())),
+        static_cast<int>(after_n));
+    if (comma == spec.size()) break;
+    start = comma + 1;
+  }
+  return OkStatus();
+}
+
+Status FaultInjection::Fire(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rules_.find(site);
+  if (it == rules_.end() || !it->second.armed) return OkStatus();
+  Rule& rule = it->second;
+  ++rule.passes;
+  if (rule.skip_remaining > 0) {
+    --rule.skip_remaining;
+    return OkStatus();
+  }
+  if (rule.fire_remaining == 0) return OkStatus();
+  if (rule.fire_remaining > 0 && --rule.fire_remaining == 0) {
+    rule.armed = false;
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return rule.status;
+}
+
+long long FaultInjection::PassCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rules_.find(site);
+  return it == rules_.end() ? 0 : it->second.passes;
+}
+
+std::vector<std::string> FaultInjection::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> sites;
+  for (const auto& [site, rule] : rules_) {
+    if (rule.armed) sites.push_back(site);
+  }
+  return sites;
+}
+
+}  // namespace qopt

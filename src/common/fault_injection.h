@@ -1,0 +1,113 @@
+#ifndef QQO_COMMON_FAULT_INJECTION_H_
+#define QQO_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qopt {
+
+/// Deterministic fault-injection registry. Long-running stages declare
+/// named fault points (QOPT_FAULT_POINT("embedder.attempt")); tests — or
+/// the QQO_FAULTS environment variable — arm a site with a Status to
+/// inject after a given number of passes. Triggering is by pass count, so
+/// a given (site, after_n, times) arming fires on exactly the same global
+/// traversals on every run, which is what lets the recovery tests assert
+/// precise retry/degrade/timeout behavior.
+///
+/// Disarmed cost: QOPT_FAULT_POINT compiles to one relaxed atomic load
+/// and a never-taken branch (verified to stay under the 2% hot-loop
+/// budget by tools/perf_baseline.sh --check). The mutex is only touched
+/// while at least one site is armed.
+///
+/// Fault-site catalog (kept in sync with DESIGN.md):
+///   embedder.attempt   — per minor-embedding attempt (before it runs)
+///   annealer.sweep     — per simulated-annealing Metropolis sweep
+///   transpile.route    — per swap-routing invocation
+///   statevector.alloc  — before a 2^n amplitude buffer is (re)allocated
+class FaultInjection {
+ public:
+  static FaultInjection& Instance();
+
+  /// Fast disarmed check, inlined into every fault point.
+  static bool AnyArmed() {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms `site`: the first `after_n` passes go through untouched, the
+  /// next `times` passes (-1 = every later pass) return `status`, after
+  /// which the site disarms itself. Re-arming a site replaces its rule.
+  /// `status` must not be OK.
+  void Arm(std::string site, Status status, int after_n = 0, int times = 1);
+
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Arms sites from a spec with the QQO_FAULTS grammar:
+  ///   site:after_n:status[,site:after_n:status...]
+  /// where status is one of invalid_argument, not_found, out_of_range,
+  /// failed_precondition, resource_exhausted, unavailable, internal,
+  /// deadline_exceeded, cancelled. Example:
+  ///   QQO_FAULTS=embedder.attempt:2:unavailable,annealer.sweep:0:internal
+  Status ArmFromSpec(std::string_view spec);
+
+  /// Slow path of a fault point: counts the pass and returns the armed
+  /// status when the trigger count is reached. OK when `site` is not
+  /// armed.
+  Status Fire(std::string_view site);
+
+  /// Passes recorded for `site` since it was (last) armed. 0 when never
+  /// armed.
+  long long PassCount(const std::string& site) const;
+
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  FaultInjection() = default;
+
+  struct Rule {
+    Status status;
+    long long skip_remaining = 0;  ///< Passes to let through first.
+    long long fire_remaining = 0;  ///< Injections left (-1 = unlimited).
+    long long passes = 0;          ///< Total passes since armed.
+    bool armed = false;            ///< Disarmed rules keep their counters.
+  };
+
+  static std::atomic<int> armed_sites_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Rule, std::less<>> rules_;
+};
+
+/// Returns the injected Status for `site` if armed and triggered, OK
+/// otherwise. The preferred spelling inside Status-returning functions is
+/// the QOPT_FAULT_POINT macro; loops that cannot return a Status directly
+/// (e.g. ParallelFor bodies) call this and stash the result.
+inline Status CheckFaultPoint(std::string_view site) {
+  if (!FaultInjection::AnyArmed()) return OkStatus();
+  return FaultInjection::Instance().Fire(site);
+}
+
+}  // namespace qopt
+
+/// Declares a named fault point: when the site is armed and its trigger
+/// count is reached, returns the injected Status from the enclosing
+/// function (which must return Status or StatusOr). No-op branch when
+/// nothing is armed.
+#define QOPT_FAULT_POINT(site)                                        \
+  do {                                                                \
+    if (::qopt::FaultInjection::AnyArmed()) {                         \
+      ::qopt::Status qopt_fault_tmp_ =                                \
+          ::qopt::FaultInjection::Instance().Fire(site);              \
+      if (!qopt_fault_tmp_.ok()) {                                    \
+        return qopt_fault_tmp_;                                       \
+      }                                                               \
+    }                                                                 \
+  } while (0)
+
+#endif  // QQO_COMMON_FAULT_INJECTION_H_

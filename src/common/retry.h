@@ -1,0 +1,44 @@
+#ifndef QQO_COMMON_RETRY_H_
+#define QQO_COMMON_RETRY_H_
+
+#include <cstdint>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace qopt {
+
+/// Retry budget with deterministic seeded backoff. Attempt k (k = 1 is
+/// the first retry) waits
+///   initial_backoff_ms * backoff_multiplier^(k-1) * jitter(seed, k)
+/// where jitter is a splitmix-derived factor in [0.5, 1.0] — deterministic
+/// for a given (seed, attempt), so retried runs reproduce their timing
+/// decisions exactly. The nominal wait is clamped to max_backoff_ms.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 1;
+  /// Base wait before the first retry; 0 retries immediately.
+  double initial_backoff_ms = 0.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Jitter stream; combined with the attempt index.
+  std::uint64_t seed = 0;
+};
+
+/// Deterministic backoff before retry attempt `attempt` (1-based).
+double BackoffMillis(const RetryPolicy& policy, int attempt);
+
+/// True for failures worth retrying with a fresh seed: transient
+/// best-effort losses (kUnavailable — e.g. no minor embedding found, an
+/// injected transient fault). Deterministic input errors, size limits and
+/// budget exhaustion are not retryable.
+bool IsRetryableStatus(StatusCode code);
+
+/// Sleeps for `ms`, but never past `deadline`. Returns false (without
+/// sleeping the full duration) when the deadline would be crossed or the
+/// token fired — the caller should stop retrying.
+bool SleepWithDeadline(double ms, const Deadline& deadline);
+
+}  // namespace qopt
+
+#endif  // QQO_COMMON_RETRY_H_

@@ -24,6 +24,8 @@ enum class StatusCode {
   kResourceExhausted,   ///< A size/budget limit would be exceeded.
   kUnavailable,         ///< A best-effort step failed (e.g. no embedding).
   kInternal,            ///< Invariant violation surfaced as an error.
+  kDeadlineExceeded,    ///< The wall-clock budget ran out mid-operation.
+  kCancelled,           ///< A CancelToken fired; the caller gave up.
 };
 
 /// Readable upper-snake name ("INVALID_ARGUMENT", ...).
@@ -46,6 +48,10 @@ class [[nodiscard]] Status {
   /// "OK" or "INVALID_ARGUMENT: <message>".
   std::string ToString() const;
 
+  /// Explicitly discards the status — documents call sites that
+  /// intentionally drop it despite [[nodiscard]].
+  void IgnoreError() const {}
+
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
   }
@@ -63,6 +69,8 @@ Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status UnavailableError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
 
 /// Returns `status` with "<context>: " prefixed to its message (OK passes
 /// through untouched). Used to add file / field context while an error

@@ -34,6 +34,14 @@ struct ThreadPool::ForState {
   std::condition_variable done_cv;
   std::exception_ptr first_exception;
   std::mutex exception_mutex;
+  /// Cancellation support (deadline-aware overloads only). When the
+  /// deadline trips, `stopped` flips and later chunks are skipped — but
+  /// they still count toward `finished`, so the caller's completion wait
+  /// terminates while in-flight chunks drain normally.
+  const Deadline* deadline = nullptr;
+  std::atomic<bool> stopped{false};
+  Status stop_status;
+  std::mutex stop_mutex;
 };
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
@@ -89,14 +97,31 @@ void ThreadPool::RunChunks(ForState* state) {
   t_inside_parallel_for = true;
   std::size_t chunk;
   while ((chunk = state->next_chunk.fetch_add(1)) < state->num_chunks) {
-    const std::size_t begin = chunk * state->grain;
-    const std::size_t end = std::min(begin + state->grain, state->n);
-    try {
-      state->fn(begin, end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(state->exception_mutex);
-      if (!state->first_exception) {
-        state->first_exception = std::current_exception();
+    bool skip = false;
+    if (state->deadline != nullptr) {
+      if (state->stopped.load(std::memory_order_acquire)) {
+        skip = true;
+      } else if (Status check = state->deadline->Check(); !check.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(state->stop_mutex);
+          if (state->stop_status.ok()) {
+            state->stop_status = std::move(check);
+          }
+        }
+        state->stopped.store(true, std::memory_order_release);
+        skip = true;
+      }
+    }
+    if (!skip) {
+      const std::size_t begin = chunk * state->grain;
+      const std::size_t end = std::min(begin + state->grain, state->n);
+      try {
+        state->fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->exception_mutex);
+        if (!state->first_exception) {
+          state->first_exception = std::current_exception();
+        }
       }
     }
     const std::size_t done = state->finished.fetch_add(1) + 1;
@@ -108,20 +133,25 @@ void ThreadPool::RunChunks(ForState* state) {
   t_inside_parallel_for = was_inside;
 }
 
-void ThreadPool::ParallelForRange(
-    std::size_t n, std::size_t grain,
+Status ThreadPool::ParallelForRangeImpl(
+    std::size_t n, std::size_t grain, const Deadline* deadline,
     const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
+  if (n == 0) return OkStatus();
   grain = std::max<std::size_t>(grain, 1);
   // Serial path: pool of size 1, nested call, or nothing to split. The
   // chunk boundaries are the same as in the parallel path so blockwise
   // accumulations agree bit-for-bit across pool sizes.
   if (workers_.empty() || t_inside_parallel_for || n <= grain) {
     std::exception_ptr first_exception;
+    Status stop_status;
     const bool was_inside = t_inside_parallel_for;
     t_inside_parallel_for = true;
     for (std::size_t begin = 0; begin < n && !first_exception;
          begin += grain) {
+      if (deadline != nullptr) {
+        stop_status = deadline->Check();
+        if (!stop_status.ok()) break;
+      }
       try {
         fn(begin, std::min(begin + grain, n));
       } catch (...) {
@@ -130,7 +160,7 @@ void ThreadPool::ParallelForRange(
     }
     t_inside_parallel_for = was_inside;
     if (first_exception) std::rethrow_exception(first_exception);
-    return;
+    return stop_status;
   }
 
   auto state = std::make_shared<ForState>();
@@ -138,6 +168,7 @@ void ThreadPool::ParallelForRange(
   state->n = n;
   state->grain = grain;
   state->num_chunks = (n + grain - 1) / grain;
+  state->deadline = deadline;
   const std::size_t helpers =
       std::min(workers_.size(), state->num_chunks - 1);
   {
@@ -155,6 +186,23 @@ void ThreadPool::ParallelForRange(
     });
   }
   if (state->first_exception) std::rethrow_exception(state->first_exception);
+  if (state->stopped.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(state->stop_mutex);
+    return state->stop_status;
+  }
+  return OkStatus();
+}
+
+void ThreadPool::ParallelForRange(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  ParallelForRangeImpl(n, grain, /*deadline=*/nullptr, fn).IgnoreError();
+}
+
+Status ThreadPool::ParallelForRange(
+    std::size_t n, std::size_t grain, const Deadline& deadline,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  return ParallelForRangeImpl(n, grain, &deadline, fn);
 }
 
 void ThreadPool::ParallelFor(std::size_t n,
@@ -164,6 +212,14 @@ void ThreadPool::ParallelFor(std::size_t n,
   ParallelForRange(n, 1, [&fn](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
   });
+}
+
+Status ThreadPool::ParallelFor(std::size_t n, const Deadline& deadline,
+                               const std::function<void(std::size_t)>& fn) {
+  return ParallelForRange(n, 1, deadline,
+                          [&fn](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) fn(i);
+                          });
 }
 
 int ThreadPool::PoolSizeFromEnv() {

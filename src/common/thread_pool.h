@@ -10,6 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
+
 namespace qopt {
 
 /// Fixed-size worker pool shared by every parallel hot path (multi-seed
@@ -48,16 +51,38 @@ class ThreadPool {
       std::size_t n, std::size_t grain,
       const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Cancellable flavour: the deadline (and its CancelToken) is checked
+  /// once per chunk at the claim boundary. On expiry or cancellation,
+  /// chunks that have not started yet are skipped while in-flight chunks
+  /// drain to completion, then the deadline's Status (kDeadlineExceeded or
+  /// kCancelled) is returned. Returns OK iff every iteration ran — and a
+  /// run that returns OK executed exactly the chunk schedule of the
+  /// deadline-free overload, so completed runs stay bit-for-bit
+  /// deterministic. Iterations themselves are never interrupted mid-call.
+  Status ParallelFor(std::size_t n, const Deadline& deadline,
+                     const std::function<void(std::size_t)>& fn);
+
+  /// Cancellable chunked flavour; see the deadline-aware ParallelFor.
+  Status ParallelForRange(
+      std::size_t n, std::size_t grain, const Deadline& deadline,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Enqueues one task; the future reports completion or the task's
   /// exception. With a pool of size 1 the task runs immediately inline.
   std::future<void> Submit(std::function<void()> task);
 
-  /// Process-wide default pool, sized by PoolSizeFromEnv() at first use.
+  /// Process-wide default pool. Sized exactly once, by the value
+  /// PoolSizeFromEnv() returns at the first Default() call in the process;
+  /// changing QQO_THREADS afterwards does NOT resize it (the pool owns
+  /// running threads and never re-reads the environment). Tests that need
+  /// a different size install one with ScopedDefaultPool instead of
+  /// mutating the environment mid-process.
   static ThreadPool& Default();
 
   /// Pool size requested by the environment: QQO_THREADS if set to a
   /// positive integer, otherwise std::thread::hardware_concurrency()
-  /// (at least 1). Read fresh on every call.
+  /// (at least 1). Read fresh on every call — but note that Default()
+  /// only consults it once (see above).
   static int PoolSizeFromEnv();
 
  private:
@@ -68,6 +93,11 @@ class ThreadPool {
   /// (other claimed chunks may still be running elsewhere).
   struct ForState;
   static void RunChunks(ForState* state);
+  /// Shared body of both ParallelForRange overloads; `deadline` may be
+  /// null (never checked, never returns non-OK).
+  Status ParallelForRangeImpl(
+      std::size_t n, std::size_t grain, const Deadline* deadline,
+      const std::function<void(std::size_t, std::size_t)>& fn);
 
   const int num_threads_;
   std::vector<std::thread> workers_;

@@ -1,5 +1,7 @@
 #include "core/quantum_optimizer.h"
 
+#include <algorithm>
+
 #include "anneal/pegasus.h"
 #include "bilp/bilp_to_qubo.h"
 #include "common/check.h"
@@ -39,10 +41,35 @@ bool IsQuantumBackend(Backend backend) {
 struct BackendResult {
   std::vector<std::uint8_t> bits;
   double energy = 0.0;
+  /// The backend expired mid-run but returned a valid best-so-far state
+  /// (anytime backends: SA and the annealer emulation).
+  bool timed_out = false;
 };
 
+/// Deterministic per-attempt seed stream (splitmix64 finalizer). Attempt 1
+/// keeps the caller's seed so retry-free runs reproduce historical output
+/// bit-for-bit; every retry jumps to an unrelated stream so re-seeded
+/// embedding/annealing attempts explore fresh state instead of repeating
+/// the failure.
+std::uint64_t AttemptSeed(std::uint64_t seed, int attempt) {
+  if (attempt <= 1) return seed;
+  std::uint64_t z =
+      seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(attempt);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// The stage deadline applies only when the sub-options did not already
+/// carry their own (explicitly configured) deadline or token.
+Deadline ComposeStageDeadline(const Deadline& local, const Deadline& stage) {
+  const bool local_unset = local.unbounded() && local.token() == nullptr;
+  return local_unset ? stage : local;
+}
+
 StatusOr<BackendResult> TrySolveQuboWithBackend(
-    const QuboModel& qubo, const OptimizerOptions& options, Backend backend) {
+    const QuboModel& qubo, const OptimizerOptions& options, Backend backend,
+    const Deadline& stage_deadline) {
   const int n = qubo.NumVariables();
   if (n < 1) return InvalidArgumentError("QUBO has no variables");
   BackendResult result;
@@ -54,6 +81,9 @@ StatusOr<BackendResult> TrySolveQuboWithBackend(
             "variables",
             n, kMaxBruteForceQubits));
       }
+      // The 2^n enumeration is not interruptible, but the qubit cap keeps
+      // it sub-second; refuse to even start once the budget is gone.
+      QOPT_RETURN_IF_ERROR(stage_deadline.Check());
       BruteForceResult exact = SolveQuboBruteForce(qubo);
       result.bits = std::move(exact.best_bits);
       result.energy = exact.best_energy;
@@ -68,9 +98,12 @@ StatusOr<BackendResult> TrySolveQuboWithBackend(
                       anneal.num_reads, anneal.num_sweeps));
       }
       if (anneal.seed == 0) anneal.seed = options.seed;
-      AnnealResult sa = SolveQuboWithAnnealing(qubo, anneal);
+      anneal.deadline = ComposeStageDeadline(anneal.deadline, stage_deadline);
+      QOPT_ASSIGN_OR_RETURN(AnnealResult sa,
+                            TrySolveQuboWithAnnealing(qubo, anneal));
       result.bits = std::move(sa.best_bits);
       result.energy = sa.best_energy;
+      result.timed_out = sa.timed_out;
       return result;
     }
     case Backend::kQaoa:
@@ -90,9 +123,12 @@ StatusOr<BackendResult> TrySolveQuboWithBackend(
             "vqe_reps >= 0, max_iterations >= 1, shots >= 1)");
       }
       if (variational.seed == 0) variational.seed = options.seed;
-      VariationalResult hybrid = backend == Backend::kQaoa
-                                     ? SolveQuboWithQaoa(qubo, variational)
-                                     : SolveQuboWithVqe(qubo, variational);
+      variational.deadline =
+          ComposeStageDeadline(variational.deadline, stage_deadline);
+      QOPT_ASSIGN_OR_RETURN(
+          VariationalResult hybrid,
+          backend == Backend::kQaoa ? TrySolveQuboWithQaoa(qubo, variational)
+                                    : TrySolveQuboWithVqe(qubo, variational));
       result.bits = std::move(hybrid.best_bits);
       result.energy = hybrid.best_energy;
       return result;
@@ -112,7 +148,10 @@ StatusOr<BackendResult> TrySolveQuboWithBackend(
             "total_time > 0, shots >= 1)");
       }
       if (adiabatic.seed == 0) adiabatic.seed = options.seed;
-      AdiabaticResult evolved = SolveQuboAdiabatically(qubo, adiabatic);
+      adiabatic.deadline =
+          ComposeStageDeadline(adiabatic.deadline, stage_deadline);
+      QOPT_ASSIGN_OR_RETURN(AdiabaticResult evolved,
+                            TrySolveQuboAdiabatically(qubo, adiabatic));
       result.bits = std::move(evolved.best_bits);
       result.energy = evolved.best_energy;
       return result;
@@ -129,6 +168,10 @@ StatusOr<BackendResult> TrySolveQuboWithBackend(
       }
       if (embedded.embed.seed == 0) embedded.embed.seed = options.seed;
       if (embedded.anneal.seed == 0) embedded.anneal.seed = options.seed;
+      embedded.embed.deadline =
+          ComposeStageDeadline(embedded.embed.deadline, stage_deadline);
+      embedded.anneal.deadline =
+          ComposeStageDeadline(embedded.anneal.deadline, stage_deadline);
       const SimpleGraph topology = MakePegasus(options.pegasus_m);
       if (n > topology.NumVertices()) {
         return UnavailableError(StrFormat(
@@ -136,60 +179,140 @@ StatusOr<BackendResult> TrySolveQuboWithBackend(
             "%d qubits; use a larger pegasus_m",
             n, options.pegasus_m, topology.NumVertices()));
       }
-      std::optional<EmbeddedSolveResult> embedded_result =
-          SolveQuboOnTopology(qubo, topology, embedded);
-      if (!embedded_result.has_value()) {
-        return UnavailableError(StrFormat(
-            "no minor embedding of the %d-variable QUBO into Pegasus P%d "
-            "was found; use a larger pegasus_m",
-            n, options.pegasus_m));
+      StatusOr<EmbeddedSolveResult> embedded_result =
+          TrySolveQuboOnTopology(qubo, topology, embedded);
+      if (!embedded_result.ok()) {
+        if (embedded_result.status().code() == StatusCode::kUnavailable) {
+          return UnavailableError(StrFormat(
+              "no minor embedding of the %d-variable QUBO into Pegasus P%d "
+              "was found; use a larger pegasus_m",
+              n, options.pegasus_m));
+        }
+        return embedded_result.status();
       }
       result.bits = std::move(embedded_result->bits);
       result.energy = embedded_result->energy;
+      result.timed_out = embedded_result->timed_out;
       return result;
     }
   }
   return InternalError("unknown backend");
 }
 
-/// Backend dispatch with graceful degradation: a failed quantum backend
-/// falls back to a classical one (exact for small problems, SA otherwise)
-/// when options.classical_fallback is set.
+/// Backend dispatch with retries and graceful degradation: transient
+/// failures (kUnavailable) are retried with deterministic backoff and a
+/// fresh seed, a failed quantum backend falls back to a classical one
+/// (exact for small problems, SA otherwise) when options.classical_fallback
+/// is set, and a quantum stage that hits the deadline degrades to the
+/// cheapest classical stand-in while overall budget remains.
 struct DispatchOutcome {
   BackendResult result;
   Backend backend_used = Backend::kSimulatedAnnealing;
   bool degraded = false;
   std::string degradation_reason;
+  SolveStats stats;
 };
 
 StatusOr<DispatchOutcome> DispatchWithFallback(
     const QuboModel& qubo, const OptimizerOptions& options) {
-  StatusOr<BackendResult> primary =
-      TrySolveQuboWithBackend(qubo, options, options.backend);
-  if (primary.ok()) {
-    DispatchOutcome outcome;
-    outcome.result = *std::move(primary);
-    outcome.backend_used = options.backend;
+  const SolveBudget& budget = options.budget;
+  Stopwatch watch;
+  // An already-exhausted budget (e.g. --timeout-ms=0) fails fast before
+  // any backend runs.
+  QOPT_RETURN_IF_ERROR(budget.deadline.Check());
+
+  DispatchOutcome outcome;
+  Status failure = OkStatus();
+  const int max_attempts = std::max(1, budget.retry.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    outcome.stats.attempts = attempt;
+    OptimizerOptions attempt_options = options;
+    attempt_options.seed = AttemptSeed(options.seed, attempt);
+    // A quantum stage gets at most 80% of the remaining budget, reserving
+    // slack for a classical fallback if it runs out of time. Classical
+    // backends get the full remainder: there is nothing cheaper to save
+    // time for.
+    Deadline stage = budget.deadline;
+    if (IsQuantumBackend(options.backend) && !budget.deadline.unbounded()) {
+      stage = budget.deadline.WithBudgetMillis(
+          0.8 * budget.deadline.RemainingMillis());
+    }
+    StatusOr<BackendResult> primary =
+        TrySolveQuboWithBackend(qubo, attempt_options, options.backend, stage);
+    if (primary.ok()) {
+      outcome.result = *std::move(primary);
+      outcome.backend_used = options.backend;
+      outcome.stats.timed_out = outcome.result.timed_out;
+      if (outcome.result.timed_out) {
+        // Anytime backends (SA, annealer emulation) can expire mid-run yet
+        // return a valid best-so-far state; mark it degraded so the
+        // timed_out => degraded-or-error invariant holds.
+        outcome.degraded = true;
+        outcome.degradation_reason = StrFormat(
+            "%s backend stopped at the deadline with its best-so-far state",
+            BackendName(options.backend).c_str());
+      }
+      outcome.stats.elapsed_ms = watch.ElapsedMillis();
+      return outcome;
+    }
+    failure = primary.status();
+    // Cancellation is a caller decision: never retried, never degraded.
+    if (failure.code() == StatusCode::kCancelled) return failure;
+    if (failure.code() == StatusCode::kDeadlineExceeded) break;
+    if (attempt == max_attempts || !IsRetryableStatus(failure.code())) break;
+    if (!SleepWithDeadline(BackoffMillis(budget.retry, attempt),
+                           budget.deadline)) {
+      failure = DeadlineExceededError("deadline exceeded during retry backoff");
+      break;
+    }
+  }
+
+  if (!options.classical_fallback || !IsQuantumBackend(options.backend) ||
+      failure.code() == StatusCode::kInvalidArgument) {
+    // Invalid caller input is reported, not papered over by a fallback.
+    return failure;
+  }
+
+  if (failure.code() == StatusCode::kDeadlineExceeded) {
+    // The quantum stage burned its 80% share of the budget. If the
+    // reserved slack is gone too, give up; otherwise degrade to the
+    // cheapest classical stand-in — one deadline-aware anytime SA read,
+    // which always returns a valid state within the remaining budget.
+    if (!budget.deadline.Check().ok()) return failure;
+    AnnealOptions cheap;
+    cheap.num_reads = 1;
+    cheap.num_sweeps = std::max(1, std::min(options.anneal.num_sweeps, 256));
+    cheap.seed = options.seed;
+    cheap.deadline = budget.deadline;
+    StatusOr<AnnealResult> salvage = TrySolveQuboWithAnnealing(qubo, cheap);
+    if (!salvage.ok()) return failure;
+    outcome.result.bits = std::move(salvage->best_bits);
+    outcome.result.energy = salvage->best_energy;
+    outcome.backend_used = Backend::kSimulatedAnnealing;
+    outcome.degraded = true;
+    outcome.degradation_reason =
+        StrFormat("%s backend failed (%s)",
+                  BackendName(options.backend).c_str(),
+                  failure.ToString().c_str());
+    outcome.stats.timed_out = true;
+    outcome.stats.elapsed_ms = watch.ElapsedMillis();
     return outcome;
   }
-  if (!options.classical_fallback || !IsQuantumBackend(options.backend) ||
-      primary.status().code() == StatusCode::kInvalidArgument) {
-    // Invalid caller input is reported, not papered over by a fallback.
-    return primary.status();
-  }
+
   const Backend fallback = qubo.NumVariables() <= kMaxExactFallbackQubits
                                ? Backend::kExact
                                : Backend::kSimulatedAnnealing;
   StatusOr<BackendResult> secondary =
-      TrySolveQuboWithBackend(qubo, options, fallback);
-  if (!secondary.ok()) return primary.status();
-  DispatchOutcome outcome;
+      TrySolveQuboWithBackend(qubo, options, fallback, budget.deadline);
+  if (!secondary.ok()) return failure;
   outcome.result = *std::move(secondary);
   outcome.backend_used = fallback;
   outcome.degraded = true;
   outcome.degradation_reason =
       StrFormat("%s backend failed (%s)", BackendName(options.backend).c_str(),
-                primary.status().ToString().c_str());
+                failure.ToString().c_str());
+  outcome.stats.timed_out = outcome.result.timed_out;
+  outcome.stats.elapsed_ms = watch.ElapsedMillis();
   return outcome;
 }
 
@@ -215,6 +338,7 @@ std::string BackendName(Backend backend) {
 
 StatusOr<MqoSolveReport> TrySolveMqo(const MqoProblem& problem,
                                      const OptimizerOptions& options) {
+  QOPT_RETURN_IF_ERROR(options.budget.deadline.Check());
   QOPT_ASSIGN_OR_RETURN(const MqoQuboEncoding encoding,
                         TryEncodeMqoAsQubo(problem));
   MqoSolveReport report;
@@ -225,6 +349,7 @@ StatusOr<MqoSolveReport> TrySolveMqo(const MqoProblem& problem,
   report.backend_used = outcome.backend_used;
   report.degraded = outcome.degraded;
   report.degradation_reason = std::move(outcome.degradation_reason);
+  report.stats = outcome.stats;
   report.qubo_energy = outcome.result.energy;
   std::vector<int> selection;
   report.valid = problem.DecodeBits(outcome.result.bits, &selection);
@@ -245,6 +370,7 @@ MqoSolveReport SolveMqo(const MqoProblem& problem,
 StatusOr<JoinOrderSolveReport> TrySolveJoinOrder(
     const QueryGraph& graph, const JoinOrderEncoderOptions& encoder_options,
     const OptimizerOptions& options) {
+  QOPT_RETURN_IF_ERROR(options.budget.deadline.Check());
   QOPT_ASSIGN_OR_RETURN(const JoinOrderEncoding encoding,
                         TryEncodeJoinOrderAsBilp(graph, encoder_options));
   const BilpQuboEncoding qubo_encoding = EncodeBilpAsQubo(encoding.bilp);
@@ -256,6 +382,7 @@ StatusOr<JoinOrderSolveReport> TrySolveJoinOrder(
   report.backend_used = outcome.backend_used;
   report.degraded = outcome.degraded;
   report.degradation_reason = std::move(outcome.degradation_reason);
+  report.stats = outcome.stats;
   report.qubo_energy = outcome.result.energy;
   std::vector<int> order;
   report.valid = DecodeJoinOrder(encoding, outcome.result.bits, &order);

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/deadline.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "anneal/embedding_composite.h"
 #include "anneal/simulated_annealer.h"
@@ -33,9 +35,40 @@ enum class Backend {
 /// "annealer").
 std::string BackendName(Backend backend);
 
+/// Wall-clock / retry budget for one facade solve.
+struct SolveBudget {
+  /// Overall deadline (with optional CancelToken) for the solve,
+  /// including retries, backoff waits and any classical fallback. A
+  /// quantum backend stage is clamped to 80% of the remaining budget so
+  /// that a cheap classical fallback still fits when the stage times out.
+  Deadline deadline;
+  /// Attempt budget and deterministic seeded backoff. retry.max_attempts
+  /// is the total number of backend attempts (1 = no retries); every
+  /// retry re-seeds the backend (deterministically, from the attempt
+  /// index) before running, so e.g. embedding retries explore fresh
+  /// vertex orders. Only kUnavailable failures are retried.
+  RetryPolicy retry;
+};
+
+/// Per-solve accounting, filled on every successful report.
+struct SolveStats {
+  int attempts = 1;         ///< Backend attempts consumed (>= 1).
+  double elapsed_ms = 0.0;  ///< Wall-clock of the dispatch (all attempts).
+  /// The deadline expired somewhere along the way but a valid (degraded)
+  /// result was still produced. Invariant: timed_out implies either
+  /// degraded == true on the report or a kDeadlineExceeded error instead
+  /// of a report.
+  bool timed_out = false;
+  /// Reserved: a cancelled solve never produces a report (kCancelled is
+  /// returned instead), so this stays false on success paths.
+  bool cancelled = false;
+};
+
 /// Options shared by the facade entry points.
 struct OptimizerOptions {
   Backend backend = Backend::kSimulatedAnnealing;
+  /// Deadline / retry / backoff budget for the whole solve.
+  SolveBudget budget;
   VariationalOptions variational;      ///< For kQaoa / kVqe.
   AdiabaticOptions adiabatic;          ///< For kAdiabatic.
   AnnealOptions anneal;                ///< For kSimulatedAnnealing.
@@ -64,6 +97,7 @@ struct MqoSolveReport {
   Backend backend_used = Backend::kSimulatedAnnealing;
   bool degraded = false;  ///< Quantum backend failed; classical stood in.
   std::string degradation_reason;  ///< Why, when degraded.
+  SolveStats stats;       ///< Attempt / timing accounting.
 };
 
 /// Encodes `problem` as a QUBO (Sec. 5.1), solves it with the selected
@@ -88,6 +122,7 @@ struct JoinOrderSolveReport {
   Backend backend_used = Backend::kSimulatedAnnealing;
   bool degraded = false;
   std::string degradation_reason;
+  SolveStats stats;  ///< Attempt / timing accounting.
 };
 
 /// Encodes `graph` as BILP (Sec. 6.1.2/6.1.3), then QUBO (Sec. 6.1.4),

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace qopt {
 
-RoutedCircuit RouteCircuit(const QuantumCircuit& circuit,
-                           const CouplingMap& coupling,
-                           const std::vector<int>& initial_layout, Rng* rng,
-                           const RouterOptions& router_options) {
+StatusOr<RoutedCircuit> TryRouteCircuit(const QuantumCircuit& circuit,
+                                        const CouplingMap& coupling,
+                                        const std::vector<int>& initial_layout,
+                                        Rng* rng,
+                                        const RouterOptions& router_options) {
+  QOPT_FAULT_POINT("transpile.route");
   const int num_logical = circuit.NumQubits();
   const int num_physical = coupling.NumQubits();
   QOPT_CHECK(static_cast<int>(initial_layout.size()) == num_logical);
@@ -126,6 +130,9 @@ RoutedCircuit RouteCircuit(const QuantumCircuit& circuit,
   const auto& gates = circuit.Gates();
   std::size_t index = 0;
   while (index < gates.size()) {
+    // Per-gate budget check. A half-routed circuit cannot be salvaged, so
+    // expiry aborts the whole routing rather than returning a prefix.
+    QOPT_RETURN_IF_ERROR(router_options.deadline.Check());
     Gate g = gates[index];
     if (g.NumQubits() == 1) {
       if (!is_diagonal(g)) {
@@ -156,6 +163,7 @@ RoutedCircuit RouteCircuit(const QuantumCircuit& circuit,
     std::erase_if(pending, [](const Gate& d) { return d.NumQubits() == 1; });
     // Greedily route the closest remaining pair first.
     while (!pending.empty()) {
+      QOPT_RETURN_IF_ERROR(router_options.deadline.Check());
       std::size_t best = 0;
       int best_dist = std::numeric_limits<int>::max();
       for (std::size_t k = 0; k < pending.size(); ++k) {
@@ -183,6 +191,16 @@ RoutedCircuit RouteCircuit(const QuantumCircuit& circuit,
 
   result.final_layout = log_to_phys;
   return result;
+}
+
+RoutedCircuit RouteCircuit(const QuantumCircuit& circuit,
+                           const CouplingMap& coupling,
+                           const std::vector<int>& initial_layout, Rng* rng,
+                           const RouterOptions& router_options) {
+  StatusOr<RoutedCircuit> routed =
+      TryRouteCircuit(circuit, coupling, initial_layout, rng, router_options);
+  QOPT_CHECK_MSG(routed.ok(), routed.status().ToString().c_str());
+  return *std::move(routed);
 }
 
 }  // namespace qopt

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "circuit/quantum_circuit.h"
+#include "common/deadline.h"
 #include "common/random.h"
+#include "common/status.h"
 #include "transpile/coupling_map.h"
 
 namespace qopt {
@@ -30,6 +32,9 @@ struct RouterOptions {
   /// Number of upcoming two-qubit gates considered when breaking ties
   /// between distance-reducing swaps (0 = pure random tie-break).
   int lookahead = 8;
+  /// Wall-clock budget, checked once per routed gate. Unbounded by
+  /// default.
+  Deadline deadline;
 };
 
 /// Stochastic greedy swap routing (the randomized heuristic standing in
@@ -42,6 +47,15 @@ RoutedCircuit RouteCircuit(const QuantumCircuit& circuit,
                            const CouplingMap& coupling,
                            const std::vector<int>& initial_layout, Rng* rng,
                            const RouterOptions& router_options = {});
+
+/// Status-reporting flavour: the "transpile.route" fault point fires once
+/// per invocation, and `router_options.deadline` is checked once per
+/// routed gate — a partially routed circuit is useless, so expiry returns
+/// kDeadlineExceeded (or kCancelled) instead of a truncated result.
+StatusOr<RoutedCircuit> TryRouteCircuit(
+    const QuantumCircuit& circuit, const CouplingMap& coupling,
+    const std::vector<int>& initial_layout, Rng* rng,
+    const RouterOptions& router_options = {});
 
 }  // namespace qopt
 

@@ -9,41 +9,81 @@
 
 namespace qopt {
 
-TranspileResult Transpile(const QuantumCircuit& circuit,
-                          const CouplingMap& coupling,
-                          const TranspileOptions& options) {
+StatusOr<TranspileResult> TryTranspile(const QuantumCircuit& circuit,
+                                       const CouplingMap& coupling,
+                                       const TranspileOptions& options) {
   QOPT_CHECK_MSG(circuit.NumQubits() <= coupling.NumQubits(),
                  "circuit does not fit on the device");
+  QOPT_RETURN_IF_ERROR(options.deadline.Check());
   Rng rng(options.seed);
   const std::vector<int> layout =
       options.dense_layout && !coupling.IsFullyConnected()
           ? DenseLayout(coupling, circuit.NumQubits())
           : TrivialLayout(circuit.NumQubits());
 
-  RoutedCircuit routed =
-      RouteCircuit(circuit, coupling, layout, &rng, options.router);
+  // The pipeline deadline also bounds the router's per-gate checks.
+  RouterOptions router_options = options.router;
+  router_options.deadline =
+      router_options.deadline.unbounded() &&
+              router_options.deadline.token() == nullptr
+          ? options.deadline
+          : router_options.deadline;
+  QOPT_ASSIGN_OR_RETURN(
+      RoutedCircuit routed,
+      TryRouteCircuit(circuit, coupling, layout, &rng, router_options));
 
   TranspileResult result;
   result.initial_layout = std::move(routed.initial_layout);
   result.final_layout = std::move(routed.final_layout);
   QuantumCircuit transformed = std::move(routed.circuit);
+  QOPT_RETURN_IF_ERROR(options.deadline.Check());
   if (options.to_basis) transformed = DecomposeToBasis(transformed);
+  QOPT_RETURN_IF_ERROR(options.deadline.Check());
   if (options.optimize) transformed = MergeAdjacentRz(transformed);
   result.depth = transformed.Depth();
   result.circuit = std::move(transformed);
   return result;
 }
 
-std::vector<TranspileResult> TranspileManySeeds(
+TranspileResult Transpile(const QuantumCircuit& circuit,
+                          const CouplingMap& coupling,
+                          const TranspileOptions& options) {
+  StatusOr<TranspileResult> result = TryTranspile(circuit, coupling, options);
+  QOPT_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return *std::move(result);
+}
+
+StatusOr<std::vector<TranspileResult>> TryTranspileManySeeds(
     const QuantumCircuit& circuit, const CouplingMap& coupling,
     const std::vector<std::uint64_t>& seeds, const TranspileOptions& base) {
   std::vector<TranspileResult> results(seeds.size());
-  ThreadPool::Default().ParallelFor(seeds.size(), [&](std::size_t i) {
-    TranspileOptions options = base;
-    options.seed = seeds[i];
-    results[i] = Transpile(circuit, coupling, options);
-  });
+  std::vector<Status> trial_status(seeds.size());
+  const Status loop_status = ThreadPool::Default().ParallelFor(
+      seeds.size(), base.deadline, [&](std::size_t i) {
+        TranspileOptions options = base;
+        options.seed = seeds[i];
+        StatusOr<TranspileResult> trial =
+            TryTranspile(circuit, coupling, options);
+        if (trial.ok()) {
+          results[i] = *std::move(trial);
+        } else {
+          trial_status[i] = trial.status();
+        }
+      });
+  for (const Status& status : trial_status) {
+    if (!status.ok()) return status;
+  }
+  QOPT_RETURN_IF_ERROR(loop_status);
   return results;
+}
+
+std::vector<TranspileResult> TranspileManySeeds(
+    const QuantumCircuit& circuit, const CouplingMap& coupling,
+    const std::vector<std::uint64_t>& seeds, const TranspileOptions& base) {
+  StatusOr<std::vector<TranspileResult>> results =
+      TryTranspileManySeeds(circuit, coupling, seeds, base);
+  QOPT_CHECK_MSG(results.ok(), results.status().ToString().c_str());
+  return *std::move(results);
 }
 
 Summary TranspiledDepthStats(const QuantumCircuit& circuit,

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "circuit/quantum_circuit.h"
+#include "common/deadline.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "transpile/coupling_map.h"
 #include "transpile/swap_router.h"
 
@@ -24,6 +26,9 @@ struct TranspileOptions {
   bool optimize = true;
   /// Swap-routing heuristics (commutation awareness, lookahead).
   RouterOptions router;
+  /// Wall-clock budget for the whole pipeline; also composed into the
+  /// router's per-gate checks. Unbounded by default.
+  Deadline deadline;
 };
 
 /// Result of transpiling a logical circuit for a device.
@@ -40,6 +45,23 @@ struct TranspileResult {
 TranspileResult Transpile(const QuantumCircuit& circuit,
                           const CouplingMap& coupling,
                           const TranspileOptions& options = {});
+
+/// Status-reporting flavour: kDeadlineExceeded / kCancelled when
+/// `options.deadline` trips mid-pipeline, injected routing faults
+/// verbatim.
+StatusOr<TranspileResult> TryTranspile(const QuantumCircuit& circuit,
+                                       const CouplingMap& coupling,
+                                       const TranspileOptions& options = {});
+
+/// Status-reporting multi-seed sweep: seed trials run on
+/// ThreadPool::Default() with per-slot determinism; trials not yet
+/// started when `base.deadline` trips are skipped and the whole sweep
+/// reports kDeadlineExceeded / kCancelled (partial sweeps would bias the
+/// depth statistics, so they are not returned).
+StatusOr<std::vector<TranspileResult>> TryTranspileManySeeds(
+    const QuantumCircuit& circuit, const CouplingMap& coupling,
+    const std::vector<std::uint64_t>& seeds,
+    const TranspileOptions& base = {});
 
 /// Transpiles once per entry of `seeds` (with `base.seed` replaced by the
 /// entry) and returns the results indexed like `seeds`. The sweeps run on

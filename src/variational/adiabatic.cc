@@ -6,6 +6,7 @@
 
 #include "circuit/statevector.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "qubo/conversions.h"
 
@@ -152,13 +153,15 @@ std::pair<double, double> TwoLowestEigenvalues(
 
 }  // namespace
 
-AdiabaticResult SolveQuboAdiabatically(const QuboModel& qubo,
-                                       const AdiabaticOptions& options) {
+StatusOr<AdiabaticResult> TrySolveQuboAdiabatically(
+    const QuboModel& qubo, const AdiabaticOptions& options) {
   QOPT_CHECK(qubo.NumVariables() >= 1);
   QOPT_CHECK(options.steps >= 1);
   QOPT_CHECK(options.total_time > 0.0);
+  QOPT_RETURN_IF_ERROR(options.deadline.Check());
   const int n = qubo.NumVariables();
   QOPT_CHECK_MSG(n <= 20, "adiabatic simulation too large");
+  QOPT_FAULT_POINT("statevector.alloc");  // 2^n table + amplitude buffer
   const IsingModel ising = QuboToIsing(qubo);
   const std::vector<double> energies = IsingEnergyTable(ising);
 
@@ -168,6 +171,9 @@ AdiabaticResult SolveQuboAdiabatically(const QuboModel& qubo,
 
   const double dt = options.total_time / options.steps;
   for (int step = 0; step < options.steps; ++step) {
+    // A partially evolved state cannot be sampled meaningfully; abort at
+    // the step boundary when the budget runs out.
+    QOPT_RETURN_IF_ERROR(options.deadline.Check());
     const double s = (step + 0.5) / options.steps;
     // Problem slice: diagonal phases exp(-i dt s E_j).
     for (std::size_t j = 0; j < dim; ++j) {
@@ -217,6 +223,13 @@ AdiabaticResult SolveQuboAdiabatically(const QuboModel& qubo,
   // The Ising energy table is offset-consistent with the QUBO.
   result.best_energy = qubo.Energy(result.best_bits);
   return result;
+}
+
+AdiabaticResult SolveQuboAdiabatically(const QuboModel& qubo,
+                                       const AdiabaticOptions& options) {
+  StatusOr<AdiabaticResult> result = TrySolveQuboAdiabatically(qubo, options);
+  QOPT_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return *std::move(result);
 }
 
 SpectralGap MinimumSpectralGap(const IsingModel& problem, int sweep_points) {

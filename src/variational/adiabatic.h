@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "qubo/ising_model.h"
 #include "qubo/qubo_model.h"
 
@@ -22,6 +24,10 @@ struct AdiabaticOptions {
   int steps = 200;           ///< Trotter slices.
   int shots = 1024;          ///< Samples drawn from the final state.
   std::uint64_t seed = 0;
+  /// Wall-clock budget, checked at every Trotter-step boundary. A
+  /// partially evolved state is physically meaningless, so expiry is an
+  /// error, not a degraded result. Unbounded by default.
+  Deadline deadline;
 };
 
 /// Result of an adiabatic evolution run.
@@ -33,6 +39,12 @@ struct AdiabaticResult {
   /// adiabatic theorem governs.
   double ground_state_probability = 0.0;
 };
+
+/// Status-reporting flavour: kDeadlineExceeded / kCancelled when the
+/// budget trips mid-evolution, and the "statevector.alloc" fault point
+/// fires before the 2^n amplitude buffer is allocated.
+StatusOr<AdiabaticResult> TrySolveQuboAdiabatically(
+    const QuboModel& qubo, const AdiabaticOptions& options = {});
 
 /// Simulates adiabatic evolution for the Ising form of `qubo` on the
 /// statevector backend (exponential in qubits; <= ~20 qubits).

@@ -11,7 +11,8 @@ namespace qopt {
 OptimizeResult MinimizeNelderMead(const Objective& objective,
                                   const std::vector<double>& x0,
                                   int max_iterations, double tolerance,
-                                  double initial_step) {
+                                  double initial_step,
+                                  const Deadline& deadline) {
   const std::size_t n = x0.size();
   QOPT_CHECK(n >= 1);
   OptimizeResult result;
@@ -31,6 +32,10 @@ OptimizeResult MinimizeNelderMead(const Objective& objective,
   constexpr double kSigma = 0.5;   // shrink
 
   for (int iter = 0; iter < max_iterations; ++iter) {
+    if (!deadline.Check().ok()) {
+      result.interrupted = true;
+      break;
+    }
     ++result.iterations;
     // Order vertices by objective value.
     std::vector<std::size_t> order(n + 1);
@@ -114,7 +119,8 @@ OptimizeResult MinimizeNelderMead(const Objective& objective,
 
 OptimizeResult MinimizeAdam(const Objective& objective,
                             const std::vector<double>& x0, int max_iterations,
-                            double learning_rate, double gradient_step) {
+                            double learning_rate, double gradient_step,
+                            const Deadline& deadline) {
   const std::size_t n = x0.size();
   QOPT_CHECK(n >= 1);
   QOPT_CHECK(gradient_step > 0.0);
@@ -130,6 +136,10 @@ OptimizeResult MinimizeAdam(const Objective& objective,
   std::vector<double> best_x = x;
   std::vector<double> probe = x;
   for (int k = 1; k <= max_iterations; ++k) {
+    if (!deadline.Check().ok()) {
+      result.interrupted = true;
+      break;
+    }
     ++result.iterations;
     // Central-difference gradient.
     std::vector<double> gradient(n);
@@ -163,7 +173,8 @@ OptimizeResult MinimizeAdam(const Objective& objective,
 
 OptimizeResult MinimizeSpsa(const Objective& objective,
                             const std::vector<double>& x0, int max_iterations,
-                            std::uint64_t seed, double a, double c) {
+                            std::uint64_t seed, double a, double c,
+                            const Deadline& deadline) {
   const std::size_t n = x0.size();
   QOPT_CHECK(n >= 1);
   Rng rng(seed);
@@ -180,6 +191,10 @@ OptimizeResult MinimizeSpsa(const Objective& objective,
   std::vector<double> x_plus(n);
   std::vector<double> x_minus(n);
   for (int k = 0; k < max_iterations; ++k) {
+    if (!deadline.Check().ok()) {
+      result.interrupted = true;
+      break;
+    }
     ++result.iterations;
     const double ak = a / std::pow(k + 1 + kStability, kAlphaExp);
     const double ck = c / std::pow(k + 1, kGammaExp);

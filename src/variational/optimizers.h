@@ -5,6 +5,8 @@
 #include <functional>
 #include <vector>
 
+#include "common/deadline.h"
+
 namespace qopt {
 
 /// Objective for the classical outer loop of a variational algorithm.
@@ -16,7 +18,16 @@ struct OptimizeResult {
   double fval = 0.0;
   int evaluations = 0;
   int iterations = 0;
+  /// True when the deadline expired or the CancelToken fired before
+  /// max_iterations / convergence: x is the best point seen so far, from
+  /// fewer iterations than requested. Callers that need to distinguish
+  /// expiry from cancellation re-check their own deadline.
+  bool interrupted = false;
 };
+
+/// All optimizers check `deadline` at every iteration boundary; on expiry
+/// or cancellation they stop, return the best point found so far and set
+/// `interrupted`. The default deadline is unbounded.
 
 /// Derivative-free Nelder–Mead simplex minimization (the COBYLA stand-in;
 /// both are the derivative-free local optimizers Qiskit defaults to).
@@ -24,7 +35,8 @@ OptimizeResult MinimizeNelderMead(const Objective& objective,
                                   const std::vector<double>& x0,
                                   int max_iterations = 400,
                                   double tolerance = 1e-6,
-                                  double initial_step = 0.5);
+                                  double initial_step = 0.5,
+                                  const Deadline& deadline = {});
 
 /// Adam-style gradient descent with central finite-difference gradients.
 /// On a noiseless statevector backend the gradients are effectively
@@ -34,7 +46,8 @@ OptimizeResult MinimizeAdam(const Objective& objective,
                             const std::vector<double>& x0,
                             int max_iterations = 100,
                             double learning_rate = 0.1,
-                            double gradient_step = 1e-4);
+                            double gradient_step = 1e-4,
+                            const Deadline& deadline = {});
 
 /// Simultaneous perturbation stochastic approximation, the optimizer
 /// recommended for noisy quantum objective evaluations.
@@ -42,7 +55,7 @@ OptimizeResult MinimizeSpsa(const Objective& objective,
                             const std::vector<double>& x0,
                             int max_iterations = 200,
                             std::uint64_t seed = 0, double a = 0.2,
-                            double c = 0.1);
+                            double c = 0.1, const Deadline& deadline = {});
 
 }  // namespace qopt
 

@@ -6,6 +6,7 @@
 
 #include "circuit/statevector.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "qubo/conversions.h"
@@ -20,29 +21,40 @@ OptimizeResult RunOuterLoop(const Objective& objective,
                             const VariationalOptions& options) {
   switch (options.optimizer) {
     case OuterOptimizer::kNelderMead:
-      return MinimizeNelderMead(objective, x0, options.max_iterations);
+      return MinimizeNelderMead(objective, x0, options.max_iterations,
+                                /*tolerance=*/1e-6, /*initial_step=*/0.5,
+                                options.deadline);
     case OuterOptimizer::kSpsa:
-      return MinimizeSpsa(objective, x0, options.max_iterations,
-                          options.seed);
+      return MinimizeSpsa(objective, x0, options.max_iterations, options.seed,
+                          /*a=*/0.2, /*c=*/0.1, options.deadline);
     case OuterOptimizer::kAdam:
       return MinimizeAdam(objective, x0,
-                          std::max(1, options.max_iterations / 4));
+                          std::max(1, options.max_iterations / 4),
+                          /*learning_rate=*/0.1, /*gradient_step=*/1e-4,
+                          options.deadline);
   }
   QOPT_CHECK_MSG(false, "unknown optimizer");
   return {};
+}
+
+/// The non-OK status to report for an interrupted stage: the deadline's
+/// own verdict when available, kDeadlineExceeded otherwise.
+Status InterruptionStatus(const Deadline& deadline) {
+  Status check = deadline.Check();
+  if (!check.ok()) return check;
+  return DeadlineExceededError("variational optimization interrupted");
 }
 
 /// Simulates `circuit` into `state` (reusing its buffer), samples `shots`
 /// bit strings via a cumulative-distribution binary search and returns the
 /// one with the lowest QUBO energy together with the state expectation.
 /// `energies` is the precomputed IsingEnergyTable of `ising`.
-VariationalResult FinalizeFromCircuit(const QuboModel& qubo,
-                                      QuantumCircuit circuit,
-                                      const std::vector<double>& energies,
-                                      const VariationalOptions& options,
-                                      int evaluations, Statevector* state) {
+StatusOr<VariationalResult> FinalizeFromCircuit(
+    const QuboModel& qubo, QuantumCircuit circuit,
+    const std::vector<double>& energies, const VariationalOptions& options,
+    int evaluations, Statevector* state) {
   state->Reset();
-  state->ApplyCircuit(circuit);
+  QOPT_RETURN_IF_ERROR(state->ApplyCircuit(circuit, options.deadline));
   VariationalResult result;
   result.expectation = state->EnergyExpectation(energies);
   // The cumulative distribution is built once; each shot then costs one
@@ -79,10 +91,12 @@ VariationalResult FinalizeFromCircuit(const QuboModel& qubo,
 
 }  // namespace
 
-VariationalResult SolveQuboWithQaoa(const QuboModel& qubo,
-                                    const VariationalOptions& options) {
+StatusOr<VariationalResult> TrySolveQuboWithQaoa(
+    const QuboModel& qubo, const VariationalOptions& options) {
   QOPT_CHECK(qubo.NumVariables() >= 1);
   QOPT_CHECK(options.qaoa_reps >= 1);
+  QOPT_RETURN_IF_ERROR(options.deadline.Check());
+  QOPT_FAULT_POINT("statevector.alloc");  // 2^n energy table comes first
   const IsingModel ising = QuboToIsing(qubo);
   const std::vector<double> energies = IsingEnergyTable(ising);
   const int n = qubo.NumVariables();
@@ -130,30 +144,48 @@ VariationalResult SolveQuboWithQaoa(const QuboModel& qubo,
 
   // The starts are independent outer-loop runs; results land in the slot
   // of their start, and the winner is picked by scanning slots in order,
-  // so the outcome matches the serial sweep at any thread count.
+  // so the outcome matches the serial sweep at any thread count. Starts
+  // not yet claimed when the deadline trips are skipped.
   std::vector<OptimizeResult> candidates(starts.size());
-  ThreadPool::Default().ParallelFor(starts.size(), [&](std::size_t s) {
-    Statevector state(n);
-    const Objective objective = make_objective(&state);
-    candidates[s] = RunOuterLoop(objective, starts[s], options);
-  });
+  std::vector<Status> start_status(starts.size());
+  const Status loop_status = ThreadPool::Default().ParallelFor(
+      starts.size(), options.deadline, [&](std::size_t s) {
+        // Each start allocates its own 2^n statevector buffer.
+        if (Status fault = CheckFaultPoint("statevector.alloc"); !fault.ok()) {
+          start_status[s] = std::move(fault);
+          return;
+        }
+        Statevector state(n);
+        const Objective objective = make_objective(&state);
+        candidates[s] = RunOuterLoop(objective, starts[s], options);
+      });
+  for (const Status& status : start_status) {
+    if (!status.ok()) return status;
+  }
+  QOPT_RETURN_IF_ERROR(loop_status);
   OptimizeResult opt = candidates[0];
   int total_evaluations = candidates[0].evaluations;
+  bool interrupted = candidates[0].interrupted;
   for (std::size_t s = 1; s < candidates.size(); ++s) {
     total_evaluations += candidates[s].evaluations;
+    interrupted = interrupted || candidates[s].interrupted;
     if (candidates[s].fval < opt.fval) opt = candidates[s];
   }
+  if (interrupted) return InterruptionStatus(options.deadline);
   opt.evaluations = total_evaluations;
 
   const auto [gammas, betas] = split(opt.x);
+  QOPT_FAULT_POINT("statevector.alloc");  // final sampling buffer
   Statevector state(n);
   return FinalizeFromCircuit(qubo, BuildQaoaCircuit(ising, gammas, betas),
                              energies, options, opt.evaluations, &state);
 }
 
-VariationalResult SolveQuboWithVqe(const QuboModel& qubo,
-                                   const VariationalOptions& options) {
+StatusOr<VariationalResult> TrySolveQuboWithVqe(
+    const QuboModel& qubo, const VariationalOptions& options) {
   QOPT_CHECK(qubo.NumVariables() >= 1);
+  QOPT_RETURN_IF_ERROR(options.deadline.Check());
+  QOPT_FAULT_POINT("statevector.alloc");
   const IsingModel ising = QuboToIsing(qubo);
   const std::vector<double> energies = IsingEnergyTable(ising);
   const int n = qubo.NumVariables();
@@ -175,10 +207,25 @@ VariationalResult SolveQuboWithVqe(const QuboModel& qubo,
     v = rng.NextDouble(-std::numbers::pi / 8.0, std::numbers::pi / 8.0);
   }
   OptimizeResult opt = RunOuterLoop(objective, x0, options);
+  if (opt.interrupted) return InterruptionStatus(options.deadline);
   return FinalizeFromCircuit(
       qubo,
       BuildRealAmplitudes(n, options.vqe_reps, opt.x, options.vqe_entanglement),
       energies, options, opt.evaluations, &state);
+}
+
+VariationalResult SolveQuboWithQaoa(const QuboModel& qubo,
+                                    const VariationalOptions& options) {
+  StatusOr<VariationalResult> result = TrySolveQuboWithQaoa(qubo, options);
+  QOPT_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return *std::move(result);
+}
+
+VariationalResult SolveQuboWithVqe(const QuboModel& qubo,
+                                   const VariationalOptions& options) {
+  StatusOr<VariationalResult> result = TrySolveQuboWithVqe(qubo, options);
+  QOPT_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return *std::move(result);
 }
 
 }  // namespace qopt

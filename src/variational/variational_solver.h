@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "circuit/quantum_circuit.h"
+#include "common/deadline.h"
+#include "common/status.h"
 #include "qubo/qubo_model.h"
 #include "variational/vqe_ansatz.h"
 
@@ -24,6 +26,13 @@ struct VariationalOptions {
   int max_iterations = 300;
   int shots = 1024;  ///< Samples drawn from the optimal state.
   std::uint64_t seed = 0;
+  /// Wall-clock budget, checked at every outer-optimizer iteration and
+  /// before every simulated gate of the final sampling circuit. A
+  /// variational result from a truncated optimization is not meaningful,
+  /// so expiry is an error (kDeadlineExceeded), not a degraded result —
+  /// the facade is the layer that falls back classically. Unbounded by
+  /// default.
+  Deadline deadline;
 };
 
 /// Result of a hybrid solve. `best_bits` is the lowest-energy sample drawn
@@ -35,6 +44,14 @@ struct VariationalResult {
   QuantumCircuit optimal_circuit; ///< Ansatz bound to the optimal angles.
   int evaluations = 0;            ///< Objective (circuit) evaluations.
 };
+
+/// Status-reporting flavours: kDeadlineExceeded / kCancelled when the
+/// budget trips, and the "statevector.alloc" fault point fires before each
+/// 2^n amplitude/energy-table allocation.
+StatusOr<VariationalResult> TrySolveQuboWithQaoa(
+    const QuboModel& qubo, const VariationalOptions& options = {});
+StatusOr<VariationalResult> TrySolveQuboWithVqe(
+    const QuboModel& qubo, const VariationalOptions& options = {});
 
 /// Solves a QUBO with QAOA simulated on the statevector backend.
 VariationalResult SolveQuboWithQaoa(const QuboModel& qubo,

@@ -8,6 +8,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
+
 namespace qopt {
 namespace {
 
@@ -103,6 +106,103 @@ TEST(ThreadPoolTest, ScopedDefaultPoolOverridesAndRestores) {
     EXPECT_EQ(&ThreadPool::Default(), &replacement);
   }
   EXPECT_EQ(&ThreadPool::Default(), &original);
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSizedExactlyOnce) {
+  // The contract pinned here: Default() consults QQO_THREADS only at the
+  // first call in the process; later env changes do NOT resize it.
+  const int initial = ThreadPool::Default().NumThreads();
+  setenv("QQO_THREADS", initial == 5 ? "6" : "5", 1);
+  EXPECT_EQ(ThreadPool::Default().NumThreads(), initial);
+  // PoolSizeFromEnv itself reads fresh, which is exactly the asymmetry
+  // the Default() documentation warns about.
+  EXPECT_EQ(ThreadPool::PoolSizeFromEnv(), initial == 5 ? 6 : 5);
+  unsetenv("QQO_THREADS");
+}
+
+TEST(ThreadPoolTest, UnboundedDeadlineOverloadMatchesPlainParallelFor) {
+  ThreadPool pool(4);
+  std::vector<long long> plain(5000), budgeted(5000);
+  pool.ParallelFor(plain.size(), [&](std::size_t i) {
+    plain[i] = static_cast<long long>(i) * 3;
+  });
+  const Status status =
+      pool.ParallelFor(budgeted.size(), Deadline(), [&](std::size_t i) {
+        budgeted[i] = static_cast<long long>(i) * 3;
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(plain, budgeted);
+}
+
+TEST(ThreadPoolTest, CompletedDeadlineRunCoversEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4096);
+  const Status status = pool.ParallelFor(
+      hits.size(), Deadline::AfterMillis(1e7),
+      [&](std::size_t i) { hits[i].fetch_add(1); });
+  EXPECT_TRUE(status.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExpiredDeadlineSkipsEveryChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  const Status status = pool.ParallelFor(
+      10000, Deadline::AfterMillis(0),
+      [&](std::size_t) { ran.fetch_add(1); });
+  // The deadline is checked before each chunk is claimed, so an
+  // already-expired budget runs nothing — and the call still returns (the
+  // completion wait must count skipped chunks).
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, PreCancelledTokenSkipsEveryChunkWithCancelled) {
+  ThreadPool pool(4);
+  CancelToken token;
+  token.Cancel();
+  std::atomic<int> ran{0};
+  const Status status = pool.ParallelFor(
+      1000, Deadline().WithToken(&token),
+      [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, CancellationMidRunDrainsInFlightChunks) {
+  ThreadPool pool(4);
+  CancelToken token;
+  std::atomic<int> started{0}, finished{0};
+  const Status status = pool.ParallelForRange(
+      10000, 16, Deadline().WithToken(&token),
+      [&](std::size_t begin, std::size_t end) {
+        started.fetch_add(1);
+        if (begin == 0) token.Cancel();
+        finished.fetch_add(1);
+      });
+  // Every chunk that started also finished (drain, no teardown mid-chunk),
+  // and the call reports what interrupted it — unless chunk 0 happened to
+  // be claimed last, in which case the run simply completed.
+  EXPECT_EQ(started.load(), finished.load());
+  if (started.load() < 10000 / 16) {
+    EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(ThreadPoolTest, SerialPoolHonorsDeadlineOverloads) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  const Status expired = pool.ParallelFor(
+      100, Deadline::AfterMillis(0), [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ran.load(), 0);
+  std::vector<std::size_t> order;
+  const Status completed = pool.ParallelFor(
+      50, Deadline::AfterMillis(1e7),
+      [&](std::size_t i) { order.push_back(i); });
+  EXPECT_TRUE(completed.ok());
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
 }
 
 TEST(ThreadPoolTest, LargeFanOutAccumulatesCorrectSum) {

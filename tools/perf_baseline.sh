@@ -3,13 +3,77 @@
 # JSON for before/after comparisons of the simulation hot paths.
 #
 # Usage: tools/perf_baseline.sh [build-dir] [output.json]
+#        tools/perf_baseline.sh --check <baseline.json> [build-dir]
 #
 # The suite runs twice — once pinned to a single thread (QQO_THREADS=1)
 # and once with the default pool — so the JSON records both the serial
 # baseline and the parallel sweep numbers. Extra benchmark flags can be
 # passed via QQO_BENCH_FILTER (a --benchmark_filter regex).
+#
+# --check re-runs the QAOA / annealer hot-loop benchmarks (the loops that
+# gained disarmed fault points and deadline checks) and fails if any of
+# them regressed more than QQO_PERF_TOLERANCE (default 2%) against the
+# serial numbers recorded in <baseline.json>. Capture the baseline with a
+# plain run of this script before the change under test.
 
 set -euo pipefail
+
+if [[ "${1:-}" == "--check" ]]; then
+  baseline_json="${2:?usage: perf_baseline.sh --check <baseline.json> [build-dir]}"
+  build_dir="${3:-build}"
+  perf_bin="${build_dir}/bench/perf_micro"
+  tolerance="${QQO_PERF_TOLERANCE:-0.02}"
+  hot_filter="${QQO_BENCH_FILTER:-BM_SimulatedAnnealing|BM_StatevectorQaoa}"
+  if [[ ! -x "${perf_bin}" ]]; then
+    echo "error: ${perf_bin} not found; build first" >&2
+    exit 1
+  fi
+  if [[ ! -r "${baseline_json}" ]]; then
+    echo "error: baseline ${baseline_json} not readable" >&2
+    exit 1
+  fi
+  current_json="$(mktemp)"
+  trap 'rm -f "${current_json}"' EXIT
+  echo "== perf_micro --check (filter: ${hot_filter}, QQO_THREADS=1) =="
+  QQO_THREADS=1 "${perf_bin}" \
+    --benchmark_filter="${hot_filter}" \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+    --benchmark_out="${current_json}" --benchmark_out_format=json
+  python3 - "${baseline_json}" "${current_json}" "${tolerance}" <<'PY'
+import json, sys
+
+baseline_path, current_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    # Accept both a raw google-benchmark file and this script's merged
+    # {"serial": ..., "parallel": ...} capture (serial numbers compared).
+    doc = doc.get("serial", doc)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench["name"]
+        # Prefer the median aggregate; fall back to the plain entry.
+        if bench.get("aggregate_name", "") not in ("", "median"):
+            continue
+        out[name.removesuffix("_median")] = float(bench["real_time"])
+    return out
+
+base, cur = times(baseline_path), times(current_path)
+shared = sorted(set(base) & set(cur))
+if not shared:
+    sys.exit("error: no common benchmarks between baseline and current run")
+failed = False
+for name in shared:
+    ratio = cur[name] / base[name] - 1.0
+    verdict = "FAIL" if ratio > tolerance else "ok"
+    failed |= ratio > tolerance
+    print(f"{verdict:4} {name}: {base[name]:.0f} -> {cur[name]:.0f} ns "
+          f"({ratio:+.2%}, tolerance {tolerance:.0%})")
+sys.exit(1 if failed else 0)
+PY
+  exit $?
+fi
 
 build_dir="${1:-build}"
 out_json="${2:-BENCH_perf.json}"

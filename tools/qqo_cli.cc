@@ -51,9 +51,11 @@ int Usage() {
       "  qqo generate join <out.json> [--relations=N] [--predicates=N]"
       " [--seed=N]\n"
       "  qqo mqo <workload.json>      [--backend=exact|sa|qaoa|vqe|adiabatic|annealer]"
-      " [--seed=N] [--pegasus=M] [--no-fallback]\n"
+      " [--seed=N] [--pegasus=M] [--no-fallback]"
+      " [--timeout-ms=N] [--retries=N]\n"
       "  qqo join <graph.json>        [--backend=...] [--thresholds=a,b,..]"
-      " [--precision=P] [--seed=N] [--pegasus=M] [--no-fallback]\n"
+      " [--precision=P] [--seed=N] [--pegasus=M] [--no-fallback]"
+      " [--timeout-ms=N] [--retries=N]\n"
       "  qqo estimate mqo|join <file> [--device=mumbai|brooklyn] [--trials=N]"
       " [--thresholds=a,b,..] [--precision=P]\n"
       "  qqo qasm mqo|join <file>     [--algorithm=qaoa|vqe]"
@@ -239,7 +241,38 @@ StatusOr<OptimizerOptions> MakeOptions(const FlagMap& flags,
   options.embedded.anneal.num_reads = 100;
   options.embedded.anneal.num_sweeps = 4000;
   options.classical_fallback = flags.count("no-fallback") == 0;
+  // --timeout-ms=0 is a legal (instantly exhausted) budget: the solve
+  // returns kDeadlineExceeded without running any backend.
+  if (flags.count("timeout-ms") != 0) {
+    QOPT_ASSIGN_OR_RETURN(
+        const int timeout_ms,
+        IntFlag(flags, "timeout-ms", 0, 0, 24 * 60 * 60 * 1000));
+    options.budget.deadline = Deadline::AfterMillis(timeout_ms);
+  }
+  QOPT_ASSIGN_OR_RETURN(options.budget.retry.max_attempts,
+                        IntFlag(flags, "retries", 1, 1, 100));
+  options.budget.retry.initial_backoff_ms = 10.0;
+  options.budget.retry.seed = options.seed;
   return options;
+}
+
+/// Exit code for a failed solve: deadline expiry (and cancellation, its
+/// cooperative sibling) gets its own code so scripts can tell "out of
+/// time" from "bad input".
+int SolveExitCode(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+                 status.code() == StatusCode::kCancelled
+             ? kExitDeadline
+             : kExitError;
+}
+
+void PrintStats(const SolveStats& stats) {
+  // attempts (deterministic) goes to stdout with the report; wall-clock
+  // timing is a diagnostic and stays off stdout so that report output
+  // remains byte-identical at any thread count.
+  std::printf("attempts: %d%s\n", stats.attempts,
+              stats.timed_out ? " (timed out)" : "");
+  std::fprintf(stderr, "qqo: elapsed ms: %.1f\n", stats.elapsed_ms);
 }
 
 StatusOr<JoinOrderEncoderOptions> MakeJoinEncoderOptions(
@@ -327,8 +360,10 @@ int RunGenerate(int argc, const char* const* argv) {
 
 int RunMqo(int argc, const char* const* argv) {
   if (argc < 3 || LooksLikeFlag(argv[2])) return Usage();
-  StatusOr<FlagMap> flags = ParseFlags(
-      argc, argv, 3, {"backend", "seed", "pegasus", "no-fallback"});
+  StatusOr<FlagMap> flags =
+      ParseFlags(argc, argv, 3,
+                 {"backend", "seed", "pegasus", "no-fallback", "timeout-ms",
+                  "retries"});
   if (!flags.ok()) return Fail(kExitUsage, flags.status());
   // Validate every flag value before touching the file: a usage error is
   // diagnosed the same way whether or not the workload path exists.
@@ -339,7 +374,8 @@ int RunMqo(int argc, const char* const* argv) {
   StatusOr<MqoProblem> problem = LoadMqoProblem(argv[2]);
   if (!problem.ok()) return Fail(kExitError, problem.status());
   StatusOr<MqoSolveReport> solved = TrySolveMqo(*problem, *options);
-  if (!solved.ok()) return Fail(kExitError, solved.status());
+  if (!solved.ok()) return Fail(SolveExitCode(solved.status()),
+                                solved.status());
   const MqoSolveReport& report = *solved;
   if (report.degraded) {
     PrintDegradation(report.degradation_reason, report.backend_used);
@@ -348,6 +384,7 @@ int RunMqo(int argc, const char* const* argv) {
               BackendName(report.backend_used).c_str(),
               report.degraded ? " (degraded)" : "", report.qubits,
               report.quadratic_terms);
+  PrintStats(report.stats);
   if (!report.valid) {
     std::printf("result: INVALID (backend returned a non-selection)\n");
     return kExitError;
@@ -366,7 +403,7 @@ int RunJoin(int argc, const char* const* argv) {
   StatusOr<FlagMap> flags =
       ParseFlags(argc, argv, 3,
                  {"backend", "seed", "pegasus", "thresholds", "precision",
-                  "no-fallback"});
+                  "no-fallback", "timeout-ms", "retries"});
   if (!flags.ok()) return Fail(kExitUsage, flags.status());
   StatusOr<Backend> backend = ParseBackend(FlagOr(*flags, "backend", "sa"));
   if (!backend.ok()) return Fail(kExitUsage, backend.status());
@@ -378,7 +415,8 @@ int RunJoin(int argc, const char* const* argv) {
   if (!graph.ok()) return Fail(kExitError, graph.status());
   StatusOr<JoinOrderSolveReport> solved =
       TrySolveJoinOrder(*graph, *encoder, *options);
-  if (!solved.ok()) return Fail(kExitError, solved.status());
+  if (!solved.ok()) return Fail(SolveExitCode(solved.status()),
+                                solved.status());
   const JoinOrderSolveReport& report = *solved;
   if (report.degraded) {
     PrintDegradation(report.degradation_reason, report.backend_used);
@@ -387,6 +425,7 @@ int RunJoin(int argc, const char* const* argv) {
               BackendName(report.backend_used).c_str(),
               report.degraded ? " (degraded)" : "", report.qubits,
               report.quadratic_terms);
+  PrintStats(report.stats);
   if (!report.valid) {
     std::printf("result: INVALID (backend returned a non-permutation)\n");
     return kExitError;

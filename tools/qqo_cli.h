@@ -10,6 +10,7 @@ namespace qopt::cli {
 inline constexpr int kExitOk = 0;       ///< Success.
 inline constexpr int kExitError = 1;    ///< Runtime / input-file error.
 inline constexpr int kExitUsage = 2;    ///< Command-line misuse.
+inline constexpr int kExitDeadline = 3; ///< --timeout-ms budget exceeded.
 
 /// Entry point of the `qqo` tool, factored out of main() so that tests
 /// can drive the exact CLI code path in-process (fault-injection of
