@@ -1,5 +1,4 @@
-#ifndef QQO_ANNEAL_CHIMERA_H_
-#define QQO_ANNEAL_CHIMERA_H_
+#pragma once
 
 #include "graph/simple_graph.h"
 
@@ -20,5 +19,3 @@ int ChimeraNodeId(int rows, int cols, int shore, int row, int col, int u,
                   int k);
 
 }  // namespace qopt
-
-#endif  // QQO_ANNEAL_CHIMERA_H_

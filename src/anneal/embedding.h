@@ -1,5 +1,4 @@
-#ifndef QQO_ANNEAL_EMBEDDING_H_
-#define QQO_ANNEAL_EMBEDDING_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -32,5 +31,3 @@ bool ValidateEmbedding(const SimpleGraph& source, const SimpleGraph& target,
                        const Embedding& embedding, std::string* error);
 
 }  // namespace qopt
-
-#endif  // QQO_ANNEAL_EMBEDDING_H_

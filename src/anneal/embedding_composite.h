@@ -1,5 +1,4 @@
-#ifndef QQO_ANNEAL_EMBEDDING_COMPOSITE_H_
-#define QQO_ANNEAL_EMBEDDING_COMPOSITE_H_
+#pragma once
 
 #include <optional>
 #include <vector>
@@ -59,5 +58,3 @@ std::optional<EmbeddedSolveResult> SolveQuboOnTopology(
     const EmbeddedSolveOptions& options = {});
 
 }  // namespace qopt
-
-#endif  // QQO_ANNEAL_EMBEDDING_COMPOSITE_H_

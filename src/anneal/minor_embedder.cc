@@ -42,6 +42,7 @@ class Embedder {
     }
     int best_overfill = std::numeric_limits<int>::max();
     int stale_passes = 0;
+    // QQO_LOOP(embed.pass)
     for (int pass = 0; pass <= options_.max_passes; ++pass) {
       // Budget check per improvement pass: an abandoned attempt looks like
       // an unsuccessful one; the caller re-checks the deadline to tell the
@@ -522,6 +523,7 @@ StatusOr<Embedding> TryFindMinorEmbedding(const SimpleGraph& source,
     return UnavailableError(
         "source graph has more vertices than the target");
   }
+  // QQO_LOOP(embed.attempt)
   for (int attempt = 0; attempt < options.tries; ++attempt) {
     QOPT_RETURN_IF_ERROR(options.deadline.Check());
     if (Status fault = CheckFaultPoint("embedder.attempt"); !fault.ok()) {

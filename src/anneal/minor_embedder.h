@@ -1,5 +1,4 @@
-#ifndef QQO_ANNEAL_MINOR_EMBEDDER_H_
-#define QQO_ANNEAL_MINOR_EMBEDDER_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -79,5 +78,3 @@ std::vector<std::optional<Embedding>> FindMinorEmbeddingManySeeds(
     const std::vector<std::uint64_t>& seeds, const EmbedOptions& base = {});
 
 }  // namespace qopt
-
-#endif  // QQO_ANNEAL_MINOR_EMBEDDER_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_ANNEAL_PEGASUS_H_
-#define QQO_ANNEAL_PEGASUS_H_
+#pragma once
 
 #include "graph/simple_graph.h"
 
@@ -31,5 +30,3 @@ SimpleGraph MakePegasus(int m, bool fabric_only = true);
 int PegasusNodeId(int m, int u, int w, int k, int z);
 
 }  // namespace qopt
-
-#endif  // QQO_ANNEAL_PEGASUS_H_

@@ -117,6 +117,7 @@ StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
         double energy = qubo.Energy(bits);
         double beta = beta_min;
         bool cut_short = false;
+        // QQO_LOOP(anneal.sweep)
         for (int sweep = 0; sweep < options.num_sweeps; ++sweep) {
           if (Status fault = CheckFaultPoint("annealer.sweep"); !fault.ok()) {
             read_status[read] = std::move(fault);

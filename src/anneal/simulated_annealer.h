@@ -1,5 +1,4 @@
-#ifndef QQO_ANNEAL_SIMULATED_ANNEALER_H_
-#define QQO_ANNEAL_SIMULATED_ANNEALER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -60,5 +59,3 @@ AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
                                     const AnnealOptions& options = {});
 
 }  // namespace qopt
-
-#endif  // QQO_ANNEAL_SIMULATED_ANNEALER_H_

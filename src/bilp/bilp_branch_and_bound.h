@@ -1,5 +1,4 @@
-#ifndef QQO_BILP_BILP_BRANCH_AND_BOUND_H_
-#define QQO_BILP_BILP_BRANCH_AND_BOUND_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -33,5 +32,3 @@ std::optional<BilpSolution> SolveBilpBranchAndBound(
     const BilpProblem& bilp, const BilpSolveOptions& options = {});
 
 }  // namespace qopt
-
-#endif  // QQO_BILP_BILP_BRANCH_AND_BOUND_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_BILP_BILP_PROBLEM_H_
-#define QQO_BILP_BILP_PROBLEM_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -63,5 +62,3 @@ class BilpProblem {
 };
 
 }  // namespace qopt
-
-#endif  // QQO_BILP_BILP_PROBLEM_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_BILP_BILP_TO_QUBO_H_
-#define QQO_BILP_BILP_TO_QUBO_H_
+#pragma once
 
 #include "bilp/bilp_problem.h"
 #include "qubo/qubo_model.h"
@@ -26,5 +25,3 @@ BilpQuboEncoding EncodeBilpAsQubo(const BilpProblem& bilp,
                                   double penalty_b = 1.0);
 
 }  // namespace qopt
-
-#endif  // QQO_BILP_BILP_TO_QUBO_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_CIRCUIT_GATE_H_
-#define QQO_CIRCUIT_GATE_H_
+#pragma once
 
 #include <string>
 
@@ -46,5 +45,3 @@ bool IsSymmetricKind(GateKind kind);
 std::string GateKindName(GateKind kind);
 
 }  // namespace qopt
-
-#endif  // QQO_CIRCUIT_GATE_H_

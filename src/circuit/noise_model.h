@@ -1,5 +1,4 @@
-#ifndef QQO_CIRCUIT_NOISE_MODEL_H_
-#define QQO_CIRCUIT_NOISE_MODEL_H_
+#pragma once
 
 #include <cstdint>
 
@@ -49,5 +48,3 @@ NoisySamplingResult SampleNoisyCircuit(const QuantumCircuit& circuit,
                                        std::uint64_t seed = 0);
 
 }  // namespace qopt
-
-#endif  // QQO_CIRCUIT_NOISE_MODEL_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_CIRCUIT_QASM_EXPORTER_H_
-#define QQO_CIRCUIT_QASM_EXPORTER_H_
+#pragma once
 
 #include <string>
 
@@ -16,5 +15,3 @@ namespace qopt {
 std::string ToQasm2(const QuantumCircuit& circuit, bool measure_all = false);
 
 }  // namespace qopt
-
-#endif  // QQO_CIRCUIT_QASM_EXPORTER_H_

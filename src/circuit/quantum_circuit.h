@@ -1,5 +1,4 @@
-#ifndef QQO_CIRCUIT_QUANTUM_CIRCUIT_H_
-#define QQO_CIRCUIT_QUANTUM_CIRCUIT_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -68,5 +67,3 @@ class QuantumCircuit {
 };
 
 }  // namespace qopt
-
-#endif  // QQO_CIRCUIT_QUANTUM_CIRCUIT_H_

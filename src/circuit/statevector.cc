@@ -324,6 +324,7 @@ Status Statevector::ApplyCircuit(const QuantumCircuit& circuit,
   const std::vector<Gate>& gates = circuit.Gates();
   const bool bounded = !deadline.unbounded() || deadline.token() != nullptr;
   std::size_t i = 0;
+  // QQO_LOOP(statevector.gate)
   while (i < gates.size()) {
     if (bounded) QOPT_RETURN_IF_ERROR(deadline.Check());
     if (IsDiagonalGate(gates[i].kind)) {

@@ -1,5 +1,4 @@
-#ifndef QQO_CIRCUIT_STATEVECTOR_H_
-#define QQO_CIRCUIT_STATEVECTOR_H_
+#pragma once
 
 #include <complex>
 #include <cstdint>
@@ -113,5 +112,3 @@ std::vector<double> IsingEnergyTable(const IsingModel& ising);
 Statevector SimulateCircuit(const QuantumCircuit& circuit);
 
 }  // namespace qopt
-
-#endif  // QQO_CIRCUIT_STATEVECTOR_H_

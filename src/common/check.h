@@ -1,5 +1,4 @@
-#ifndef QQO_COMMON_CHECK_H_
-#define QQO_COMMON_CHECK_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,5 +25,3 @@
       std::abort();                                                        \
     }                                                                      \
   } while (0)
-
-#endif  // QQO_COMMON_CHECK_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_COMMON_DEADLINE_H_
-#define QQO_COMMON_DEADLINE_H_
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -113,5 +112,3 @@ class Stopwatch {
 };
 
 }  // namespace qopt
-
-#endif  // QQO_COMMON_DEADLINE_H_

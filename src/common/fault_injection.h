@@ -1,5 +1,4 @@
-#ifndef QQO_COMMON_FAULT_INJECTION_H_
-#define QQO_COMMON_FAULT_INJECTION_H_
+#pragma once
 
 #include <atomic>
 #include <map>
@@ -109,5 +108,3 @@ inline Status CheckFaultPoint(std::string_view site) {
       }                                                               \
     }                                                                 \
   } while (0)
-
-#endif  // QQO_COMMON_FAULT_INJECTION_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_COMMON_JSON_H_
-#define QQO_COMMON_JSON_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -101,5 +100,3 @@ std::optional<std::string> ReadFileToString(const std::string& path);
 bool WriteStringToFile(const std::string& path, const std::string& content);
 
 }  // namespace qopt
-
-#endif  // QQO_COMMON_JSON_H_

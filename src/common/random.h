@@ -1,5 +1,4 @@
-#ifndef QQO_COMMON_RANDOM_H_
-#define QQO_COMMON_RANDOM_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -56,5 +55,3 @@ class Rng {
 };
 
 }  // namespace qopt
-
-#endif  // QQO_COMMON_RANDOM_H_

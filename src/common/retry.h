@@ -1,5 +1,4 @@
-#ifndef QQO_COMMON_RETRY_H_
-#define QQO_COMMON_RETRY_H_
+#pragma once
 
 #include <cstdint>
 
@@ -40,5 +39,3 @@ bool IsRetryableStatus(StatusCode code);
 bool SleepWithDeadline(double ms, const Deadline& deadline);
 
 }  // namespace qopt
-
-#endif  // QQO_COMMON_RETRY_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_COMMON_STATS_H_
-#define QQO_COMMON_STATS_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -23,5 +22,3 @@ Summary Summarize(const std::vector<double>& values);
 double Mean(const std::vector<double>& values);
 
 }  // namespace qopt
-
-#endif  // QQO_COMMON_STATS_H_

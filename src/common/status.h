@@ -1,5 +1,4 @@
-#ifndef QQO_COMMON_STATUS_H_
-#define QQO_COMMON_STATUS_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -147,5 +146,3 @@ class [[nodiscard]] StatusOr {
     return statusor.status();                            \
   }                                                      \
   lhs = std::move(statusor).value();
-
-#endif  // QQO_COMMON_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_COMMON_TABLE_PRINTER_H_
-#define QQO_COMMON_TABLE_PRINTER_H_
+#pragma once
 
 #include <cstdio>
 #include <string>
@@ -37,5 +36,3 @@ std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 }  // namespace qopt
-
-#endif  // QQO_COMMON_TABLE_PRINTER_H_

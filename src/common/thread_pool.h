@@ -1,5 +1,4 @@
-#ifndef QQO_COMMON_THREAD_POOL_H_
-#define QQO_COMMON_THREAD_POOL_H_
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -123,5 +122,3 @@ class ScopedDefaultPool {
 };
 
 }  // namespace qopt
-
-#endif  // QQO_COMMON_THREAD_POOL_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_CORE_DEVICE_MODEL_H_
-#define QQO_CORE_DEVICE_MODEL_H_
+#pragma once
 
 #include <string>
 
@@ -49,5 +48,3 @@ AnnealerModel AdvantageAnnealer();
 AnnealerModel DWave2xAnnealer();
 
 }  // namespace qopt
-
-#endif  // QQO_CORE_DEVICE_MODEL_H_

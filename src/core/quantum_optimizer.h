@@ -1,5 +1,4 @@
-#ifndef QQO_CORE_QUANTUM_OPTIMIZER_H_
-#define QQO_CORE_QUANTUM_OPTIMIZER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -138,5 +137,3 @@ JoinOrderSolveReport SolveJoinOrder(
     const OptimizerOptions& options = {});
 
 }  // namespace qopt
-
-#endif  // QQO_CORE_QUANTUM_OPTIMIZER_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_CORE_RELIABILITY_H_
-#define QQO_CORE_RELIABILITY_H_
+#pragma once
 
 #include "circuit/quantum_circuit.h"
 #include "core/device_model.h"
@@ -26,5 +25,3 @@ ReliabilityEstimate EstimateCircuitReliability(const DeviceModel& device,
                                                const QuantumCircuit& circuit);
 
 }  // namespace qopt
-
-#endif  // QQO_CORE_RELIABILITY_H_

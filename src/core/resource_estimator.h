@@ -1,5 +1,4 @@
-#ifndef QQO_CORE_RESOURCE_ESTIMATOR_H_
-#define QQO_CORE_RESOURCE_ESTIMATOR_H_
+#pragma once
 
 #include <cstdint>
 
@@ -43,5 +42,3 @@ GateResourceEstimate EstimateGateResources(
     const DeviceModel& device, const GateEstimateOptions& options = {});
 
 }  // namespace qopt
-
-#endif  // QQO_CORE_RESOURCE_ESTIMATOR_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_GRAPH_EDGE_COLORING_H_
-#define QQO_GRAPH_EDGE_COLORING_H_
+#pragma once
 
 #include <vector>
 
@@ -23,5 +22,3 @@ struct EdgeColoring {
 EdgeColoring GreedyEdgeColoring(const SimpleGraph& graph);
 
 }  // namespace qopt
-
-#endif  // QQO_GRAPH_EDGE_COLORING_H_

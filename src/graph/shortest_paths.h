@@ -1,5 +1,4 @@
-#ifndef QQO_GRAPH_SHORTEST_PATHS_H_
-#define QQO_GRAPH_SHORTEST_PATHS_H_
+#pragma once
 
 #include <limits>
 #include <vector>
@@ -35,5 +34,3 @@ ShortestPathTree VertexWeightedDijkstra(const SimpleGraph& graph,
                                         const std::vector<double>& vertex_cost);
 
 }  // namespace qopt
-
-#endif  // QQO_GRAPH_SHORTEST_PATHS_H_

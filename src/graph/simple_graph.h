@@ -1,5 +1,4 @@
-#ifndef QQO_GRAPH_SIMPLE_GRAPH_H_
-#define QQO_GRAPH_SIMPLE_GRAPH_H_
+#pragma once
 
 #include <cstddef>
 #include <utility>
@@ -61,5 +60,3 @@ class SimpleGraph {
 };
 
 }  // namespace qopt
-
-#endif  // QQO_GRAPH_SIMPLE_GRAPH_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_IO_WORKLOAD_IO_H_
-#define QQO_IO_WORKLOAD_IO_H_
+#pragma once
 
 #include <string>
 
@@ -46,5 +45,3 @@ StatusOr<QueryGraph> LoadQueryGraph(const std::string& path);
 Status SaveQueryGraph(const QueryGraph& graph, const std::string& path);
 
 }  // namespace qopt
-
-#endif  // QQO_IO_WORKLOAD_IO_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_JOINORDER_JOIN_ORDER_H_
-#define QQO_JOINORDER_JOIN_ORDER_H_
+#pragma once
 
 #include <vector>
 
@@ -34,5 +33,3 @@ double IntermediateCardinality(const QueryGraph& graph,
 bool IsValidJoinOrder(const QueryGraph& graph, const std::vector<int>& order);
 
 }  // namespace qopt
-
-#endif  // QQO_JOINORDER_JOIN_ORDER_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_JOINORDER_JOIN_ORDER_BASELINES_H_
-#define QQO_JOINORDER_JOIN_ORDER_BASELINES_H_
+#pragma once
 
 #include "joinorder/join_order.h"
 #include "joinorder/query_graph.h"
@@ -24,5 +23,3 @@ JoinOrderSolution SolveJoinOrderGreedy(const QueryGraph& graph,
                                        bool include_final_join = true);
 
 }  // namespace qopt
-
-#endif  // QQO_JOINORDER_JOIN_ORDER_BASELINES_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_JOINORDER_JOIN_ORDER_BILP_ENCODER_H_
-#define QQO_JOINORDER_JOIN_ORDER_BILP_ENCODER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -97,5 +96,3 @@ JoinOrderResourceCounts CountJoinOrderQubits(int num_relations,
                                              double uniform_cardinality = 10.0);
 
 }  // namespace qopt
-
-#endif  // QQO_JOINORDER_JOIN_ORDER_BILP_ENCODER_H_

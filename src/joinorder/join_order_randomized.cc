@@ -122,8 +122,6 @@ JoinOrderSolution SolveJoinOrderSimulatedAnnealing(
     }
   }
   // Final greedy polish.
-  RandomizedJoinOrderOptions polish = options;
-  polish.restarts = 1;
   Rng polish_rng(options.seed + 1);
   std::vector<int> order = best.order;
   double cost = best.cost;

@@ -1,5 +1,4 @@
-#ifndef QQO_JOINORDER_JOIN_ORDER_RANDOMIZED_H_
-#define QQO_JOINORDER_JOIN_ORDER_RANDOMIZED_H_
+#pragma once
 
 #include <cstdint>
 
@@ -28,5 +27,3 @@ JoinOrderSolution SolveJoinOrderSimulatedAnnealing(
     const QueryGraph& graph, const RandomizedJoinOrderOptions& options = {});
 
 }  // namespace qopt
-
-#endif  // QQO_JOINORDER_JOIN_ORDER_RANDOMIZED_H_

@@ -70,7 +70,14 @@ double JoinTree::Cost(const QueryGraph& graph,
 
 std::string JoinTree::ToString() const {
   if (IsLeaf()) return StrFormat("R%d", relation_);
-  return "(" + left_->ToString() + " |><| " + right_->ToString() + ")";
+  // Appending instead of an operator+ chain sidesteps a GCC 12 -Wrestrict
+  // false positive on the temporary string concatenation.
+  std::string out = "(";
+  out += left_->ToString();
+  out += " |><| ";
+  out += right_->ToString();
+  out += ")";
+  return out;
 }
 
 JoinTree JoinTree::FromLeftDeepOrder(const std::vector<int>& order) {

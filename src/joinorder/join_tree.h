@@ -1,5 +1,4 @@
-#ifndef QQO_JOINORDER_JOIN_TREE_H_
-#define QQO_JOINORDER_JOIN_TREE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -68,5 +67,3 @@ BushyDpResult SolveJoinOrderBushyDp(const QueryGraph& graph,
                                     int max_relations = 16);
 
 }  // namespace qopt
-
-#endif  // QQO_JOINORDER_JOIN_TREE_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_JOINORDER_QUERY_GRAPH_H_
-#define QQO_JOINORDER_QUERY_GRAPH_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -74,5 +73,3 @@ QueryGraph GenerateStarQuery(int num_relations, double cardinality,
                              double selectivity, std::uint64_t seed = 0);
 
 }  // namespace qopt
-
-#endif  // QQO_JOINORDER_QUERY_GRAPH_H_

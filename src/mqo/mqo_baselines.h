@@ -1,5 +1,4 @@
-#ifndef QQO_MQO_MQO_BASELINES_H_
-#define QQO_MQO_MQO_BASELINES_H_
+#pragma once
 
 #include <cstdint>
 
@@ -44,5 +43,3 @@ MqoSolution SolveMqoLocalSearch(const MqoProblem& problem, int restarts = 10,
                                 std::uint64_t seed = 0);
 
 }  // namespace qopt
-
-#endif  // QQO_MQO_MQO_BASELINES_H_

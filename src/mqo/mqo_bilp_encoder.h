@@ -1,5 +1,4 @@
-#ifndef QQO_MQO_MQO_BILP_ENCODER_H_
-#define QQO_MQO_MQO_BILP_ENCODER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -38,5 +37,3 @@ bool DecodeMqoBilp(const MqoBilpEncoding& encoding, const MqoProblem& problem,
                    std::vector<int>* selection);
 
 }  // namespace qopt
-
-#endif  // QQO_MQO_MQO_BILP_ENCODER_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_MQO_MQO_GENERATOR_H_
-#define QQO_MQO_MQO_GENERATOR_H_
+#pragma once
 
 #include <cstdint>
 
@@ -34,5 +33,3 @@ MqoProblem GenerateMqoProblem(const MqoGeneratorOptions& options);
 MqoProblem MakePaperExampleMqo();
 
 }  // namespace qopt
-
-#endif  // QQO_MQO_MQO_GENERATOR_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_MQO_MQO_PROBLEM_H_
-#define QQO_MQO_MQO_PROBLEM_H_
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -64,5 +63,3 @@ class MqoProblem {
 };
 
 }  // namespace qopt
-
-#endif  // QQO_MQO_MQO_PROBLEM_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_MQO_MQO_QUBO_ENCODER_H_
-#define QQO_MQO_MQO_QUBO_ENCODER_H_
+#pragma once
 
 #include "common/status.h"
 #include "mqo/mqo_problem.h"
@@ -38,5 +37,3 @@ StatusOr<MqoQuboEncoding> TryEncodeMqoAsQubo(const MqoProblem& problem,
                                              double slack = 1.0);
 
 }  // namespace qopt
-
-#endif  // QQO_MQO_MQO_QUBO_ENCODER_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_QUBO_BRUTE_FORCE_SOLVER_H_
-#define QQO_QUBO_BRUTE_FORCE_SOLVER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -24,5 +23,3 @@ BruteForceResult SolveQuboBruteForce(const QuboModel& qubo,
                                      int max_variables = 26);
 
 }  // namespace qopt
-
-#endif  // QQO_QUBO_BRUTE_FORCE_SOLVER_H_

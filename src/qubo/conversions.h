@@ -1,5 +1,4 @@
-#ifndef QQO_QUBO_CONVERSIONS_H_
-#define QQO_QUBO_CONVERSIONS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -25,5 +24,3 @@ std::vector<int> BitsToSpins(const std::vector<std::uint8_t>& bits);
 std::vector<std::uint8_t> SpinsToBits(const std::vector<int>& spins);
 
 }  // namespace qopt
-
-#endif  // QQO_QUBO_CONVERSIONS_H_

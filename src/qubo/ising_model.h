@@ -1,5 +1,4 @@
-#ifndef QQO_QUBO_ISING_MODEL_H_
-#define QQO_QUBO_ISING_MODEL_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -50,5 +49,3 @@ class IsingModel {
 };
 
 }  // namespace qopt
-
-#endif  // QQO_QUBO_ISING_MODEL_H_

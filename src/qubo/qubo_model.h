@@ -1,5 +1,4 @@
-#ifndef QQO_QUBO_QUBO_MODEL_H_
-#define QQO_QUBO_QUBO_MODEL_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -84,5 +83,3 @@ class QuboModel {
 };
 
 }  // namespace qopt
-
-#endif  // QQO_QUBO_QUBO_MODEL_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_TRANSPILE_BASIS_DECOMPOSER_H_
-#define QQO_TRANSPILE_BASIS_DECOMPOSER_H_
+#pragma once
 
 #include "circuit/quantum_circuit.h"
 
@@ -17,5 +16,3 @@ QuantumCircuit DecomposeToBasis(const QuantumCircuit& circuit);
 QuantumCircuit MergeAdjacentRz(const QuantumCircuit& circuit);
 
 }  // namespace qopt
-
-#endif  // QQO_TRANSPILE_BASIS_DECOMPOSER_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_TRANSPILE_COUPLING_MAP_H_
-#define QQO_TRANSPILE_COUPLING_MAP_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -50,5 +49,3 @@ CouplingMap MakeLinear(int num_qubits);
 CouplingMap MakeGrid(int rows, int cols);
 
 }  // namespace qopt
-
-#endif  // QQO_TRANSPILE_COUPLING_MAP_H_

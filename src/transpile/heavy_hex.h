@@ -1,5 +1,4 @@
-#ifndef QQO_TRANSPILE_HEAVY_HEX_H_
-#define QQO_TRANSPILE_HEAVY_HEX_H_
+#pragma once
 
 #include "transpile/coupling_map.h"
 
@@ -18,5 +17,3 @@ namespace qopt {
 CouplingMap MakeHeavyHex(int rows, int row_length);
 
 }  // namespace qopt
-
-#endif  // QQO_TRANSPILE_HEAVY_HEX_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_TRANSPILE_IBM_TOPOLOGIES_H_
-#define QQO_TRANSPILE_IBM_TOPOLOGIES_H_
+#pragma once
 
 #include "transpile/coupling_map.h"
 
@@ -14,5 +13,3 @@ CouplingMap MakeMumbai27();
 CouplingMap MakeBrooklyn65();
 
 }  // namespace qopt
-
-#endif  // QQO_TRANSPILE_IBM_TOPOLOGIES_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_TRANSPILE_LAYOUT_H_
-#define QQO_TRANSPILE_LAYOUT_H_
+#pragma once
 
 #include <vector>
 
@@ -20,5 +19,3 @@ std::vector<int> TrivialLayout(int num_logical);
 std::vector<int> DenseLayout(const CouplingMap& coupling, int num_logical);
 
 }  // namespace qopt
-
-#endif  // QQO_TRANSPILE_LAYOUT_H_

@@ -129,6 +129,7 @@ StatusOr<RoutedCircuit> TryRouteCircuit(const QuantumCircuit& circuit,
 
   const auto& gates = circuit.Gates();
   std::size_t index = 0;
+  // QQO_LOOP(transpile.route)
   while (index < gates.size()) {
     // Per-gate budget check. A half-routed circuit cannot be salvaged, so
     // expiry aborts the whole routing rather than returning a prefix.
@@ -162,6 +163,7 @@ StatusOr<RoutedCircuit> TryRouteCircuit(const QuantumCircuit& circuit,
     }
     std::erase_if(pending, [](const Gate& d) { return d.NumQubits() == 1; });
     // Greedily route the closest remaining pair first.
+    // QQO_LOOP(transpile.route_diagonal)
     while (!pending.empty()) {
       QOPT_RETURN_IF_ERROR(router_options.deadline.Check());
       std::size_t best = 0;

@@ -1,5 +1,4 @@
-#ifndef QQO_TRANSPILE_SWAP_ROUTER_H_
-#define QQO_TRANSPILE_SWAP_ROUTER_H_
+#pragma once
 
 #include <vector>
 
@@ -58,5 +57,3 @@ StatusOr<RoutedCircuit> TryRouteCircuit(
     const RouterOptions& router_options = {});
 
 }  // namespace qopt
-
-#endif  // QQO_TRANSPILE_SWAP_ROUTER_H_

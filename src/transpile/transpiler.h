@@ -1,5 +1,4 @@
-#ifndef QQO_TRANSPILE_TRANSPILER_H_
-#define QQO_TRANSPILE_TRANSPILER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -81,5 +80,3 @@ Summary TranspiledDepthStats(const QuantumCircuit& circuit,
                              std::uint64_t seed0 = 0);
 
 }  // namespace qopt
-
-#endif  // QQO_TRANSPILE_TRANSPILER_H_

@@ -170,6 +170,7 @@ StatusOr<AdiabaticResult> TrySolveQuboAdiabatically(
   std::vector<Complex> amplitudes(dim, Complex(1.0 / std::sqrt(dim), 0.0));
 
   const double dt = options.total_time / options.steps;
+  // QQO_LOOP(adiabatic.step)
   for (int step = 0; step < options.steps; ++step) {
     // A partially evolved state cannot be sampled meaningfully; abort at
     // the step boundary when the budget runs out.

@@ -1,5 +1,4 @@
-#ifndef QQO_VARIATIONAL_ADIABATIC_H_
-#define QQO_VARIATIONAL_ADIABATIC_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -63,5 +62,3 @@ struct SpectralGap {
 SpectralGap MinimumSpectralGap(const IsingModel& problem, int sweep_points = 51);
 
 }  // namespace qopt
-
-#endif  // QQO_VARIATIONAL_ADIABATIC_H_

@@ -31,6 +31,7 @@ OptimizeResult MinimizeNelderMead(const Objective& objective,
   constexpr double kRho = 0.5;     // contraction
   constexpr double kSigma = 0.5;   // shrink
 
+  // QQO_LOOP(opt.nelder_mead)
   for (int iter = 0; iter < max_iterations; ++iter) {
     if (!deadline.Check().ok()) {
       result.interrupted = true;
@@ -135,6 +136,7 @@ OptimizeResult MinimizeAdam(const Objective& objective,
   ++result.evaluations;
   std::vector<double> best_x = x;
   std::vector<double> probe = x;
+  // QQO_LOOP(opt.adam)
   for (int k = 1; k <= max_iterations; ++k) {
     if (!deadline.Check().ok()) {
       result.interrupted = true;
@@ -190,6 +192,7 @@ OptimizeResult MinimizeSpsa(const Objective& objective,
   std::vector<double> delta(n);
   std::vector<double> x_plus(n);
   std::vector<double> x_minus(n);
+  // QQO_LOOP(opt.spsa)
   for (int k = 0; k < max_iterations; ++k) {
     if (!deadline.Check().ok()) {
       result.interrupted = true;

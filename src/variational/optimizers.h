@@ -1,5 +1,4 @@
-#ifndef QQO_VARIATIONAL_OPTIMIZERS_H_
-#define QQO_VARIATIONAL_OPTIMIZERS_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -58,5 +57,3 @@ OptimizeResult MinimizeSpsa(const Objective& objective,
                             double c = 0.1, const Deadline& deadline = {});
 
 }  // namespace qopt
-
-#endif  // QQO_VARIATIONAL_OPTIMIZERS_H_

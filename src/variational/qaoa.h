@@ -1,5 +1,4 @@
-#ifndef QQO_VARIATIONAL_QAOA_H_
-#define QQO_VARIATIONAL_QAOA_H_
+#pragma once
 
 #include <vector>
 
@@ -27,5 +26,3 @@ QuantumCircuit BuildQaoaCircuit(const IsingModel& ising,
 QuantumCircuit BuildQaoaTemplate(const IsingModel& ising, int reps = 1);
 
 }  // namespace qopt
-
-#endif  // QQO_VARIATIONAL_QAOA_H_

@@ -1,5 +1,4 @@
-#ifndef QQO_VARIATIONAL_VARIATIONAL_SOLVER_H_
-#define QQO_VARIATIONAL_VARIATIONAL_SOLVER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -62,5 +61,3 @@ VariationalResult SolveQuboWithVqe(const QuboModel& qubo,
                                    const VariationalOptions& options = {});
 
 }  // namespace qopt
-
-#endif  // QQO_VARIATIONAL_VARIATIONAL_SOLVER_H_

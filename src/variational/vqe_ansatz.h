@@ -1,5 +1,4 @@
-#ifndef QQO_VARIATIONAL_VQE_ANSATZ_H_
-#define QQO_VARIATIONAL_VQE_ANSATZ_H_
+#pragma once
 
 #include <vector>
 
@@ -33,5 +32,3 @@ QuantumCircuit BuildVqeTemplate(int num_qubits, int reps = 3,
                                     Entanglement::kFull);
 
 }  // namespace qopt
-
-#endif  // QQO_VARIATIONAL_VQE_ANSATZ_H_

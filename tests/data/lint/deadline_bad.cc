@@ -1,0 +1,28 @@
+// Fixture: registered hot loops that never poll the deadline fire
+// qqo-deadline-coverage, as does a marker with no loop under it.
+struct Deadline {
+  bool Expired() const { return false; }
+};
+
+double HotSweep(int sweeps, const Deadline& budget) {
+  double energy = 0.0;
+  (void)budget;
+  // QQO_LOOP(fixture.sweep)
+  for (int s = 0; s < sweeps; ++s) {
+    energy += static_cast<double>(s);
+  }
+  return energy;
+}
+
+double HotWhile(int sweeps) {
+  double energy = 0.0;
+  int s = 0;
+  while (s < sweeps) {  // QQO_LOOP(fixture.while)
+    energy += static_cast<double>(s);
+    ++s;
+  }
+  return energy;
+}
+
+// QQO_LOOP(fixture.dangling)
+int NotALoop() { return 42; }

@@ -1,0 +1,39 @@
+// Fixture: registered hot loops that poll the deadline every iteration
+// satisfy qqo-deadline-coverage.
+struct Status {
+  bool ok() const { return true; }
+};
+
+struct Deadline {
+  Status Check() const { return Status{}; }
+};
+
+bool CheckDeadline(const Deadline& deadline) { return deadline.Check().ok(); }
+
+double HotSweep(int sweeps, const Deadline& deadline) {
+  double energy = 0.0;
+  // QQO_LOOP(fixture.sweep)
+  for (int s = 0; s < sweeps; ++s) {
+    if (!deadline.Check().ok()) break;
+    energy += static_cast<double>(s);
+  }
+  return energy;
+}
+
+double HotWhile(int sweeps, const Deadline& stage_deadline) {
+  double energy = 0.0;
+  int s = 0;
+  while (s < sweeps) {  // QQO_LOOP(fixture.while)
+    if (!CheckDeadline(stage_deadline)) break;
+    energy += static_cast<double>(s);
+    ++s;
+  }
+  return energy;
+}
+
+// An unannotated loop is not a registered site; no marker, no check.
+double ColdLoop(int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += i;
+  return total;
+}

@@ -1,0 +1,22 @@
+// Fixture: every banned entropy/clock primitive fires qqo-determinism.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int UnseededEngine() {
+  std::random_device device;
+  std::mt19937 engine(device());
+  return static_cast<int>(engine());
+}
+
+int GlobalRng() {
+  std::srand(42);
+  return std::rand();
+}
+
+long WallClockSeed() {
+  long seed = static_cast<long>(time(nullptr));
+  seed += std::chrono::system_clock::now().time_since_epoch().count();
+  return seed;
+}

@@ -1,0 +1,29 @@
+// Fixture: deterministic idioms that qqo-determinism must not flag.
+#include <chrono>
+#include <cstdint>
+
+namespace qopt {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t Next() { return state_ += 0x9E3779B97F4A7C15ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+}  // namespace qopt
+
+std::uint64_t SeededDraw(std::uint64_t seed) {
+  qopt::Rng rng(seed);
+  return rng.Next();
+}
+
+// Steady-clock timing is allowed: it measures, it does not seed.
+double ElapsedMillis(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Identifiers that merely contain banned substrings stay clean.
+int randomize_retime(int lifetime) { return lifetime; }

@@ -1,0 +1,16 @@
+// Fixture: include-guard header with a namespace-scope using-directive
+// fires qqo-header-hygiene twice.
+#ifndef QQO_TESTS_DATA_LINT_HEADER_HYGIENE_BAD_H_
+#define QQO_TESTS_DATA_LINT_HEADER_HYGIENE_BAD_H_
+
+#include <string>
+
+using namespace std;
+
+namespace fixture {
+using namespace std::string_literals;
+
+inline string Greeting() { return "hi"s; }
+}  // namespace fixture
+
+#endif  // QQO_TESTS_DATA_LINT_HEADER_HYGIENE_BAD_H_

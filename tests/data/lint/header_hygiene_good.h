@@ -1,0 +1,14 @@
+// Fixture: #pragma once first, using-directives only inside function
+// bodies — clean under qqo-header-hygiene.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+inline std::string Greeting() {
+  using namespace std::string_literals;
+  return "hi"s;
+}
+
+}  // namespace fixture

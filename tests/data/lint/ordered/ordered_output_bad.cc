@@ -1,0 +1,20 @@
+// Fixture: iteration over unordered containers in a result path fires
+// qqo-ordered-output.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void PrintScores(const std::unordered_map<std::string, double>& scores) {
+  for (const auto& [name, score] : scores) {
+    std::printf("%s %f\n", name.c_str(), score);
+  }
+}
+
+double FirstWeight(const std::unordered_set<int>& weights) {
+  double total = 0.0;
+  for (auto it = weights.begin(); it != weights.end(); ++it) {
+    total += *it;
+  }
+  return total;
+}

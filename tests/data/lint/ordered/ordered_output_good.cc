@@ -1,0 +1,22 @@
+// Fixture: ordered / order-free uses of unordered containers stay clean
+// even in a result-path directory.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+void PrintScoresSorted(const std::unordered_map<std::string, double>& scores) {
+  // Lookups and size queries are fine; only iteration order is banned.
+  std::vector<std::string> names;
+  names.reserve(scores.size());
+  const auto it = scores.find("baseline");
+  if (it != scores.end()) std::printf("baseline %f\n", it->second);
+}
+
+void PrintOrderedMap(const std::map<std::string, double>& scores) {
+  for (const auto& [name, score] : scores) {
+    std::printf("%s %f\n", name.c_str(), score);
+  }
+}

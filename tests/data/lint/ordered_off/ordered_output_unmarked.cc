@@ -1,0 +1,11 @@
+// Fixture: identical iteration to ordered_output_bad.cc, but this
+// directory has no result-path policy, so qqo-ordered-output stays quiet.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void PrintScores(const std::unordered_map<std::string, double>& scores) {
+  for (const auto& [name, score] : scores) {
+    std::printf("%s %f\n", name.c_str(), score);
+  }
+}

@@ -1,0 +1,24 @@
+// Fixture: bare-expression calls to Status/StatusOr-returning functions
+// fire qqo-status-discard.
+struct Status {
+  bool ok() const { return true; }
+  void IgnoreError() const {}
+};
+
+template <typename T>
+struct StatusOr {
+  bool ok() const { return true; }
+};
+
+Status SaveResults(int count);
+StatusOr<int> ParseCount(const char* text);
+
+struct Sink {
+  Status Flush();
+};
+
+void Drops(Sink& sink) {
+  SaveResults(3);        // bare call: Status silently dropped
+  ParseCount("12");      // bare call: StatusOr silently dropped
+  sink.Flush();          // bare member call: Status silently dropped
+}

@@ -1,0 +1,30 @@
+// Fixture: consumed or explicitly discarded Status results stay clean.
+struct Status {
+  bool ok() const { return true; }
+  void IgnoreError() const {}
+};
+
+Status SaveResults(int count);
+
+struct Sink {
+  Status Flush();
+};
+
+Status Propagates(Sink& sink) {
+  Status status = SaveResults(3);
+  if (!status.ok()) return status;
+  return sink.Flush();
+}
+
+void ExplicitDiscard(Sink& sink) {
+  // Best-effort flush on shutdown: failure is acceptable here.
+  sink.Flush().IgnoreError();
+  SaveResults(0).IgnoreError();
+}
+
+// Overload set with both void and Status flavours: ambiguous at the token
+// level, so bare calls to it are not flagged.
+void Sweep(int n);
+Status Sweep(int n, const Status& budget);
+
+void CallsVoidOverload() { Sweep(7); }

@@ -1,0 +1,7 @@
+// Fixture: a justified NOLINT suppresses its finding and adds nothing.
+#include <random>
+
+int JustifiedEntropy() {
+  std::random_device device;  // NOLINT(qqo-determinism): fixture exercises the suppression path
+  return static_cast<int>(device());
+}

@@ -1,0 +1,14 @@
+// Fixture: a NOLINT without a reason suppresses the original finding but
+// is itself reported via qqo-nolint.
+#include <random>
+
+int UnjustifiedEntropy() {
+  std::random_device device;  // NOLINT(qqo-determinism)
+  return static_cast<int>(device());
+}
+
+int NextLineForm() {
+  // NOLINTNEXTLINE(qqo-determinism): justified next-line suppression
+  std::random_device device;
+  return static_cast<int>(device());
+}

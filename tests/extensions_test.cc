@@ -241,7 +241,9 @@ TEST(HeavyHexTest, RoutableTarget) {
   const QuantumCircuit vqe = BuildVqeTemplate(10, 2);
   const TranspileResult result = Transpile(vqe, map, {});
   for (const Gate& g : result.circuit.Gates()) {
-    if (g.NumQubits() == 2) EXPECT_TRUE(map.AreCoupled(g.qubit0, g.qubit1));
+    if (g.NumQubits() == 2) {
+      EXPECT_TRUE(map.AreCoupled(g.qubit0, g.qubit1));
+    }
   }
 }
 

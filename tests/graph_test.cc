@@ -171,7 +171,9 @@ TEST_P(EdgeColoringParamTest, ColoringIsProperAndBounded) {
                          edges[i].first == edges[j].second ||
                          edges[i].second == edges[j].first ||
                          edges[i].second == edges[j].second;
-      if (share) EXPECT_NE(coloring.color[i], coloring.color[j]);
+      if (share) {
+        EXPECT_NE(coloring.color[i], coloring.color[j]);
+      }
     }
   }
   // Vizing-style bound for greedy: < 2 * max degree.

@@ -1,0 +1,300 @@
+// Tests for qqo_lint (tools/lint): every rule fires on its bad fixture
+// and stays quiet on its good twin, suppression and policy files behave,
+// and the CLI entry point honors its exit-code contract (0 clean /
+// 1 findings / 2 usage).
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/lexer.h"
+#include "lint/lint.h"
+
+namespace qopt::lint {
+namespace {
+
+const char* const kLintDataDir = QQO_TEST_DATA_DIR "/lint";
+
+std::string FixturePath(const std::string& name) {
+  return std::string(kLintDataDir) + "/" + name;
+}
+
+/// Lints one fixture through the real multi-file driver so policy lookup
+/// and symbol harvesting run exactly as in production.
+std::vector<Finding> LintFixture(const std::string& name) {
+  Options options;
+  std::vector<Finding> findings;
+  std::string error;
+  EXPECT_TRUE(LintPaths({FixturePath(name)}, options, &findings, &error))
+      << error;
+  return findings;
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, StripsCommentsStringsAndPreprocessor) {
+  const LexResult lex = Lex(
+      "#include <random>  // rand() in a directive comment\n"
+      "const char* s = \"std::random_device\";  /* rand() */\n"
+      "int x = 1;\n");
+  for (const Tok& tok : lex.tokens) {
+    EXPECT_NE(tok.text, "random_device");
+    EXPECT_NE(tok.text, "rand");
+  }
+  ASSERT_EQ(lex.directives.size(), 1u);
+  EXPECT_EQ(lex.directives[0].text, "#include <random>");
+  ASSERT_EQ(lex.comments.size(), 2u);
+  EXPECT_EQ(lex.comments[1].line, 2);
+}
+
+TEST(LexerTest, JoinsDirectiveContinuations) {
+  const LexResult lex = Lex("#define TWO \\\n  2\nint y = TWO;\n");
+  ASSERT_EQ(lex.directives.size(), 1u);
+  EXPECT_EQ(lex.directives[0].text, "#define TWO 2");
+  EXPECT_EQ(lex.directives[0].line, 1);
+}
+
+TEST(LexerTest, RawStringsCollapse) {
+  const LexResult lex = Lex("auto s = R\"(rand() time(0))\";\n");
+  for (const Tok& tok : lex.tokens) {
+    EXPECT_NE(tok.text, "rand");
+    EXPECT_NE(tok.text, "time");
+  }
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  const LexResult lex = Lex("int a;\nint b;\n\nint c;\n");
+  ASSERT_EQ(lex.tokens.size(), 9u);
+  EXPECT_EQ(lex.tokens[0].line, 1);
+  EXPECT_EQ(lex.tokens[3].line, 2);
+  EXPECT_EQ(lex.tokens[6].line, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Rule fixtures: each rule fires on bad, stays quiet on good
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismRuleTest, FiresOnBadFixture) {
+  const std::vector<Finding> findings = LintFixture("determinism_bad.cc");
+  // random_device, mt19937, srand, rand, time, system_clock.
+  EXPECT_GE(CountRule(findings, kDeterminismRule), 6);
+}
+
+TEST(DeterminismRuleTest, QuietOnGoodFixture) {
+  const std::vector<Finding> findings = LintFixture("determinism_good.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(DeterminismRuleTest, ExemptsProjectRngSources) {
+  Options options;
+  Policy policy;
+  SymbolTable symbols;
+  const std::string content = "#pragma once\nstruct random_device {};\n";
+  EXPECT_TRUE(LintContent("src/common/random.h", content, policy, symbols,
+                          options)
+                  .empty());
+  EXPECT_EQ(LintContent("src/anneal/foo.cc", content, policy, symbols,
+                        options)
+                .size(),
+            1u);
+}
+
+TEST(OrderedOutputRuleTest, FiresOnBadFixtureViaPolicy) {
+  const std::vector<Finding> findings =
+      LintFixture("ordered/ordered_output_bad.cc");
+  EXPECT_GE(CountRule(findings, kOrderedOutputRule), 2);  // range-for + begin
+}
+
+TEST(OrderedOutputRuleTest, QuietOnGoodFixture) {
+  const std::vector<Finding> findings =
+      LintFixture("ordered/ordered_output_good.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(OrderedOutputRuleTest, QuietWithoutResultPathPolicy) {
+  const std::vector<Finding> findings =
+      LintFixture("ordered_off/ordered_output_unmarked.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(DeadlineCoverageRuleTest, FiresOnBadFixture) {
+  const std::vector<Finding> findings = LintFixture("deadline_bad.cc");
+  // Two uncovered loops plus one dangling marker.
+  EXPECT_EQ(CountRule(findings, kDeadlineCoverageRule), 3);
+  int dangling = 0;
+  for (const Finding& finding : findings) {
+    if (finding.message.find("dangling") != std::string::npos) ++dangling;
+  }
+  EXPECT_EQ(dangling, 1);
+}
+
+TEST(DeadlineCoverageRuleTest, QuietOnGoodFixture) {
+  const std::vector<Finding> findings = LintFixture("deadline_good.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(StatusDiscardRuleTest, FiresOnBadFixture) {
+  const std::vector<Finding> findings = LintFixture("status_discard_bad.cc");
+  EXPECT_EQ(CountRule(findings, kStatusDiscardRule), 3);
+}
+
+TEST(StatusDiscardRuleTest, QuietOnGoodFixture) {
+  const std::vector<Finding> findings = LintFixture("status_discard_good.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(StatusDiscardRuleTest, VoidOverloadMakesNameAmbiguous) {
+  SymbolTable symbols;
+  symbols.HarvestFrom("Status ParallelFor(int n, Deadline d);\n");
+  EXPECT_TRUE(symbols.Contains("ParallelFor"));
+  symbols.HarvestFrom("void ParallelFor(int n);\n");
+  EXPECT_FALSE(symbols.Contains("ParallelFor"));
+}
+
+TEST(StatusDiscardRuleTest, SeesSymbolsAcrossFiles) {
+  // Declaration in one file, bare call in another: the two-pass driver
+  // must connect them.
+  Options options;
+  SymbolTable symbols;
+  symbols.HarvestFrom("Status SaveResults(int count);\n");
+  const std::vector<Finding> findings = LintContent(
+      "caller.cc", "void f() { SaveResults(1); }\n", Policy{}, symbols,
+      options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kStatusDiscardRule);
+}
+
+TEST(HeaderHygieneRuleTest, FiresOnBadFixture) {
+  const std::vector<Finding> findings = LintFixture("header_hygiene_bad.h");
+  // Include guard instead of #pragma once + two using-directives.
+  EXPECT_EQ(CountRule(findings, kHeaderHygieneRule), 3);
+}
+
+TEST(HeaderHygieneRuleTest, QuietOnGoodFixture) {
+  const std::vector<Finding> findings = LintFixture("header_hygiene_good.h");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(HeaderHygieneRuleTest, IgnoresSourceFiles) {
+  Options options;
+  const std::vector<Finding> findings =
+      LintContent("a.cc", "using namespace std;\n", Policy{}, SymbolTable{},
+                  options);
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionTest, JustifiedNolintSuppressesCleanly) {
+  const std::vector<Finding> findings =
+      LintFixture("suppression_justified.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(SuppressionTest, UnjustifiedNolintIsItselfAFinding) {
+  const std::vector<Finding> findings =
+      LintFixture("suppression_unjustified.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kNolintRule);
+  // The determinism finding itself is suppressed; only the policeman fires.
+  EXPECT_EQ(CountRule(findings, kDeterminismRule), 0);
+}
+
+TEST(SuppressionTest, WrongRuleNameDoesNotSuppress) {
+  Options options;
+  const std::vector<Finding> findings = LintContent(
+      "a.cc",
+      "#include <random>\n"
+      "// NOLINT(qqo-header-hygiene): wrong rule for this line\n"
+      "std::random_device d;  // NOLINT(qqo-ordered-output): also wrong\n",
+      Policy{}, SymbolTable{}, options);
+  EXPECT_EQ(CountRule(findings, kDeterminismRule), 1);
+}
+
+TEST(SuppressionTest, RuleFilterRunsOnlySelectedRules) {
+  Options options;
+  options.rules = {kHeaderHygieneRule};
+  const std::vector<Finding> findings = LintContent(
+      "a.h", "#pragma once\nstd::random_device d;\n", Policy{}, SymbolTable{},
+      options);
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CLI exit codes
+// ---------------------------------------------------------------------------
+
+int RunCli(const std::vector<std::string>& args, std::string* output) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = RunLintMain(args, out, err);
+  if (output != nullptr) *output = out.str() + err.str();
+  return code;
+}
+
+TEST(CliTest, CleanFileExitsZero) {
+  std::string output;
+  EXPECT_EQ(RunCli({FixturePath("determinism_good.cc")}, &output), 0);
+  EXPECT_NE(output.find("0 finding(s)"), std::string::npos);
+}
+
+TEST(CliTest, FindingsExitOne) {
+  std::string output;
+  EXPECT_EQ(RunCli({FixturePath("determinism_bad.cc")}, &output), 1);
+  EXPECT_NE(output.find("qqo-determinism"), std::string::npos);
+}
+
+TEST(CliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(RunCli({}, nullptr), 2);
+  EXPECT_EQ(RunCli({"--bogus-flag", "x.cc"}, nullptr), 2);
+  EXPECT_EQ(RunCli({"--rule=not-a-rule", "x.cc"}, nullptr), 2);
+  EXPECT_EQ(RunCli({FixturePath("does_not_exist.cc")}, nullptr), 2);
+}
+
+TEST(CliTest, ExcludeSkipsMatchingPaths) {
+  // The whole fixture corpus is full of violations; excluding it must
+  // bring the directory scan back to clean.
+  std::string output;
+  EXPECT_EQ(RunCli({"--exclude=data/lint", kLintDataDir}, &output), 0);
+}
+
+TEST(CliTest, RuleFlagRestrictsDirectoryScan) {
+  // Only the header-hygiene rule: the determinism fixtures stop firing,
+  // but the include-guard fixture still does.
+  std::string output;
+  EXPECT_EQ(
+      RunCli({"--rule=qqo-header-hygiene", FixturePath("determinism_bad.cc")},
+             &output),
+      0);
+  EXPECT_EQ(
+      RunCli(
+          {"--rule=qqo-header-hygiene", FixturePath("header_hygiene_bad.h")},
+          &output),
+      1);
+}
+
+// The repo itself must stay lint-clean: the same invocation as the `lint`
+// ctest target, run in-process.
+TEST(SelfLintTest, RepoIsClean) {
+  std::string output;
+  const int code =
+      RunCli({"--exclude=tests/data", QQO_SOURCE_DIR "/src",
+              QQO_SOURCE_DIR "/tools", QQO_SOURCE_DIR "/tests"},
+             &output);
+  EXPECT_EQ(code, 0) << output;
+}
+
+}  // namespace
+}  // namespace qopt::lint

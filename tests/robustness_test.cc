@@ -110,7 +110,9 @@ TEST(CommuteRoutingTest, CommuteOffAlsoPreservesSemantics) {
     const RoutedCircuit routed =
         RouteCircuit(circuit, line, TrivialLayout(4), &rng, router);
     for (const Gate& g : routed.circuit.Gates()) {
-      if (g.NumQubits() == 2) EXPECT_TRUE(line.AreCoupled(g.qubit0, g.qubit1));
+      if (g.NumQubits() == 2) {
+        EXPECT_TRUE(line.AreCoupled(g.qubit0, g.qubit1));
+      }
     }
   }
 }

@@ -175,7 +175,7 @@ TEST(ThreadPoolTest, CancellationMidRunDrainsInFlightChunks) {
   std::atomic<int> started{0}, finished{0};
   const Status status = pool.ParallelForRange(
       10000, 16, Deadline().WithToken(&token),
-      [&](std::size_t begin, std::size_t end) {
+      [&](std::size_t begin, std::size_t /*end*/) {
         started.fetch_add(1);
         if (begin == 0) token.Cancel();
         finished.fetch_add(1);

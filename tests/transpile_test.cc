@@ -129,8 +129,8 @@ INSTANTIATE_TEST_SUITE_P(
                       GateCase{"ry", EmitRy}, GateCase{"rz", EmitRz},
                       GateCase{"cx", EmitCx}, GateCase{"cz", EmitCz},
                       GateCase{"rzz", EmitRzz}, GateCase{"swap", EmitSwap}),
-    [](const ::testing::TestParamInfo<GateCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<GateCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(MergeAdjacentRzTest, MergesRunsAndDropsZeros) {
@@ -280,8 +280,12 @@ TEST(SwapRouterTest, DifferentSeedsCanDiffer) {
 TEST(TranspilerTest, FullMapKeepsDepthAndIsDeterministic) {
   const QuantumCircuit logical = MakeRandomLogicalCircuit(6, 30, 19);
   const CouplingMap full = MakeFullyConnected(6);
-  const TranspileResult a = Transpile(logical, full, {.seed = 1});
-  const TranspileResult b = Transpile(logical, full, {.seed = 2});
+  TranspileOptions options_a;
+  options_a.seed = 1;
+  TranspileOptions options_b;
+  options_b.seed = 2;
+  const TranspileResult a = Transpile(logical, full, options_a);
+  const TranspileResult b = Transpile(logical, full, options_b);
   EXPECT_EQ(a.depth, b.depth);
 }
 

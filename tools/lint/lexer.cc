@@ -1,0 +1,267 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace qopt::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Cursor over the source with line accounting shared by every scanner.
+struct Cursor {
+  const std::string& src;
+  std::size_t pos = 0;
+  int line = 1;
+
+  bool AtEnd() const { return pos >= src.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+};
+
+/// Scans a // or /* */ comment starting at the cursor (which sits on '/').
+Comment ScanComment(Cursor* cur) {
+  Comment comment;
+  comment.line = cur->line;
+  comment.text.push_back(cur->Advance());  // '/'
+  const char second = cur->Peek();
+  comment.text.push_back(cur->Advance());  // '/' or '*'
+  if (second == '/') {
+    while (!cur->AtEnd() && cur->Peek() != '\n') {
+      comment.text.push_back(cur->Advance());
+    }
+  } else {  // block comment
+    while (!cur->AtEnd()) {
+      if (cur->Peek() == '*' && cur->Peek(1) == '/') {
+        comment.text.push_back(cur->Advance());
+        comment.text.push_back(cur->Advance());
+        break;
+      }
+      comment.text.push_back(cur->Advance());
+    }
+  }
+  return comment;
+}
+
+/// Scans a quoted literal (the cursor sits on the opening quote). Handles
+/// backslash escapes; unterminated literals end at newline/EOF.
+std::string ScanQuoted(Cursor* cur, char quote) {
+  std::string text;
+  text.push_back(cur->Advance());
+  while (!cur->AtEnd()) {
+    const char c = cur->Peek();
+    if (c == '\\' && cur->pos + 1 < cur->src.size()) {
+      text.push_back(cur->Advance());
+      text.push_back(cur->Advance());
+      continue;
+    }
+    text.push_back(cur->Advance());
+    if (c == quote || c == '\n') break;
+  }
+  return text;
+}
+
+/// Scans a raw string literal; the cursor sits on the '"' after R. Returns
+/// the literal collapsed to an empty string token ("") — the rules never
+/// look inside string contents.
+void SkipRawString(Cursor* cur) {
+  cur->Advance();  // '"'
+  std::string delim;
+  while (!cur->AtEnd() && cur->Peek() != '(') delim.push_back(cur->Advance());
+  const std::string closer = ")" + delim + "\"";
+  while (!cur->AtEnd()) {
+    if (cur->src.compare(cur->pos, closer.size(), closer) == 0) {
+      for (std::size_t i = 0; i < closer.size(); ++i) cur->Advance();
+      return;
+    }
+    cur->Advance();
+  }
+}
+
+/// Scans a preprocessor logical line starting at '#'. Joins backslash
+/// continuations and strips comments; inner runs of whitespace collapse to
+/// one space. Stripped comments are still recorded in `comments` so a
+/// NOLINT on a directive line (e.g. a suppressed #include) suppresses.
+Directive ScanDirective(Cursor* cur, std::vector<Comment>* comments) {
+  Directive directive;
+  directive.line = cur->line;
+  bool pending_space = false;
+  while (!cur->AtEnd()) {
+    const char c = cur->Peek();
+    if (c == '\n') break;
+    if (c == '\\' && cur->Peek(1) == '\n') {
+      cur->Advance();
+      cur->Advance();
+      pending_space = true;
+      continue;
+    }
+    if (c == '/' && (cur->Peek(1) == '/' || cur->Peek(1) == '*')) {
+      comments->push_back(ScanComment(cur));
+      pending_space = true;
+      continue;
+    }
+    if (c == '"') {
+      const std::string quoted = ScanQuoted(cur, '"');
+      if (pending_space && !directive.text.empty()) directive.text += ' ';
+      pending_space = false;
+      directive.text += quoted;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur->Advance();
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !directive.text.empty()) directive.text += ' ';
+    pending_space = false;
+    directive.text.push_back(cur->Advance());
+  }
+  return directive;
+}
+
+}  // namespace
+
+LexResult Lex(const std::string& source) {
+  LexResult result;
+  Cursor cur{source};
+  bool at_line_start = true;  // only whitespace seen since the last newline
+  while (!cur.AtEnd()) {
+    const char c = cur.Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') at_line_start = true;
+      cur.Advance();
+      continue;
+    }
+    if (c == '/' && (cur.Peek(1) == '/' || cur.Peek(1) == '*')) {
+      result.comments.push_back(ScanComment(&cur));
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      result.directives.push_back(ScanDirective(&cur, &result.comments));
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+    if (c == '"') {
+      const int line = cur.line;
+      const std::string text = ScanQuoted(&cur, '"');
+      result.tokens.push_back({TokKind::kString, text, line});
+      continue;
+    }
+    if (c == '\'') {
+      const int line = cur.line;
+      const std::string text = ScanQuoted(&cur, '\'');
+      result.tokens.push_back({TokKind::kChar, text, line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const int line = cur.line;
+      std::string text;
+      while (!cur.AtEnd() && IsIdentChar(cur.Peek())) text.push_back(cur.Advance());
+      // Raw / prefixed string literals: R"(...)", u8"...", L"...".
+      if (cur.Peek() == '"') {
+        if (!text.empty() && text.back() == 'R') {
+          SkipRawString(&cur);
+          result.tokens.push_back({TokKind::kString, "\"\"", line});
+          continue;
+        }
+        const std::string quoted = ScanQuoted(&cur, '"');
+        result.tokens.push_back({TokKind::kString, quoted, line});
+        continue;
+      }
+      result.tokens.push_back({TokKind::kIdent, text, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.Peek(1))))) {
+      const int line = cur.line;
+      std::string text;
+      // pp-number: digits, idents, dots, and exponent signs.
+      while (!cur.AtEnd()) {
+        const char d = cur.Peek();
+        if (IsIdentChar(d) || d == '.') {
+          text.push_back(cur.Advance());
+          if ((text.back() == 'e' || text.back() == 'E' ||
+               text.back() == 'p' || text.back() == 'P') &&
+              (cur.Peek() == '+' || cur.Peek() == '-')) {
+            text.push_back(cur.Advance());
+          }
+          continue;
+        }
+        break;
+      }
+      result.tokens.push_back({TokKind::kNumber, text, line});
+      continue;
+    }
+    // Multi-character punctuators the rules care about. "::" is kept as
+    // one token so qualified-name chains are easy to walk.
+    const int line = cur.line;
+    std::string text(1, cur.Advance());
+    if (text[0] == ':' && cur.Peek() == ':') {
+      text.push_back(cur.Advance());
+    } else if ((text[0] == '-' && cur.Peek() == '>') ||
+               (text[0] == '<' && cur.Peek() == '<') ||
+               (text[0] == '>' && cur.Peek() == '>')) {
+      text.push_back(cur.Advance());
+    }
+    result.tokens.push_back({TokKind::kPunct, text, line});
+  }
+  result.num_lines = cur.line;
+  return result;
+}
+
+ScopeMap::ScopeMap(const std::vector<Tok>& tokens) {
+  inside_block_.assign(tokens.size(), false);
+  std::vector<ScopeKind> stack;
+  int block_depth = 0;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Tok& tok = tokens[i];
+    if (tok.kind == TokKind::kPunct && tok.text == "{") {
+      // Classify from the tokens before the brace. Walk back over the
+      // name/base-clause part to find the introducing keyword.
+      ScopeKind kind = ScopeKind::kBlock;
+      for (std::size_t back = i; back-- > 0;) {
+        const Tok& prev = tokens[back];
+        if (prev.kind == TokKind::kPunct &&
+            (prev.text == ";" || prev.text == "{" || prev.text == "}" ||
+             prev.text == ")" || prev.text == "=")) {
+          break;  // `) {` is a function/control block; `= {` an initializer
+        }
+        if (prev.kind == TokKind::kIdent) {
+          if (prev.text == "namespace") {
+            kind = ScopeKind::kNamespace;
+            break;
+          }
+          if (prev.text == "class" || prev.text == "struct" ||
+              prev.text == "union" || prev.text == "enum") {
+            kind = ScopeKind::kType;
+            break;
+          }
+        }
+      }
+      stack.push_back(kind);
+      if (kind == ScopeKind::kBlock) ++block_depth;
+    } else if (tok.kind == TokKind::kPunct && tok.text == "}") {
+      if (!stack.empty()) {
+        if (stack.back() == ScopeKind::kBlock) --block_depth;
+        stack.pop_back();
+      }
+    }
+    inside_block_[i] = block_depth > 0;
+  }
+}
+
+}  // namespace qopt::lint

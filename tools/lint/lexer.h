@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qopt::lint {
+
+/// Minimal token stream for the qqo_lint rules. The lexer understands just
+/// enough C++ to be trustworthy at the token level: comments, string/char
+/// literals (including raw strings), preprocessor logical lines (with
+/// backslash continuations) and identifiers/numbers/punctuation. It does
+/// not expand macros or parse declarations — the rules work on token
+/// patterns plus the scope classification below.
+enum class TokKind {
+  kIdent,   ///< Identifiers and keywords ("for", "deadline", "rand", ...).
+  kNumber,  ///< Numeric literal (verbatim text, including suffixes).
+  kString,  ///< String literal, quotes included; raw strings collapsed.
+  kChar,    ///< Character literal, quotes included.
+  kPunct,   ///< One operator/punctuator per token ("::" stays split: ":" ":").
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character.
+};
+
+/// A comment, with the 1-based line where it starts. Block comments keep
+/// their full text (newlines included); NOLINT / QQO_LOOP markers are
+/// parsed out of these.
+struct Comment {
+  int line = 0;
+  std::string text;  ///< Includes the // or /* */ delimiters.
+};
+
+/// A preprocessor logical line ("#include <vector>", "#pragma once", ...),
+/// continuations joined, comments stripped, inner whitespace collapsed to
+/// single spaces.
+struct Directive {
+  int line = 0;
+  std::string text;
+};
+
+struct LexResult {
+  std::vector<Tok> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+  int num_lines = 0;
+};
+
+/// Lexes `source`. Never fails: unterminated literals/comments are closed
+/// at end of file, unknown bytes become single-character punctuators.
+LexResult Lex(const std::string& source);
+
+/// What kind of scope a `{` opened, classified from the tokens before it.
+enum class ScopeKind {
+  kNamespace,  ///< namespace [name] {
+  kType,       ///< class/struct/union/enum ... {
+  kBlock,      ///< Function body, lambda, control-flow block, initializer.
+};
+
+/// For each token index, the innermost enclosing scope chain. Used by the
+/// header-hygiene rule to tell namespace-scope `using namespace` apart
+/// from one inside a function body.
+class ScopeMap {
+ public:
+  explicit ScopeMap(const std::vector<Tok>& tokens);
+
+  /// True if token `i` sits inside at least one kBlock scope (i.e. inside
+  /// a function body or other statement block).
+  bool InsideBlock(std::size_t i) const { return inside_block_[i]; }
+
+ private:
+  std::vector<bool> inside_block_;
+};
+
+}  // namespace qopt::lint

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qopt::lint {
+
+/// Rule identifiers. Suppress a finding in source with
+///   // NOLINT(qqo-<rule>): <justification>
+/// on the offending line (or NOLINTNEXTLINE on the line before). A NOLINT
+/// without a justification is itself a finding (kNolintRule).
+inline constexpr char kDeterminismRule[] = "qqo-determinism";
+inline constexpr char kOrderedOutputRule[] = "qqo-ordered-output";
+inline constexpr char kDeadlineCoverageRule[] = "qqo-deadline-coverage";
+inline constexpr char kStatusDiscardRule[] = "qqo-status-discard";
+inline constexpr char kHeaderHygieneRule[] = "qqo-header-hygiene";
+inline constexpr char kNolintRule[] = "qqo-nolint";
+
+/// All checkable rules, in report order (kNolintRule is always active —
+/// it polices the suppression mechanism itself and cannot be suppressed).
+std::vector<std::string> AllRules();
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// Per-directory policy, read from the nearest `.qqo-lint-policy` file in
+/// the linted file's directory or any parent. Line-oriented; '#' starts a
+/// comment. Recognized keys:
+///   result-path        — this directory's files produce results or
+///                        serialize output: qqo-ordered-output applies
+///   no-result-path     — overrides a parent's result-path
+struct Policy {
+  bool result_path = false;
+};
+
+struct Options {
+  /// Rules to run (rule ids without suppression pseudo-rule). Empty = all.
+  std::vector<std::string> rules;
+  /// Path substrings to skip when expanding directories.
+  std::vector<std::string> excludes;
+  /// Name of the per-directory policy file.
+  std::string policy_filename = ".qqo-lint-policy";
+  bool IsRuleEnabled(const std::string& rule) const;
+};
+
+/// Functions returning Status / StatusOr, harvested from declarations in
+/// the linted files. The status-discard rule flags bare-expression calls
+/// to these names. A name that is ALSO declared with a void return
+/// anywhere (e.g. ThreadPool::ParallelFor's deadline-free convenience
+/// overload) is ambiguous at the token level and is excluded — the
+/// [[nodiscard]] on Status still covers the compiled overload.
+class SymbolTable {
+ public:
+  /// Scans `content` for `Status Name(` / `StatusOr<...> Name(`
+  /// declarations (and `void Name(` overloads) and records each Name.
+  void HarvestFrom(const std::string& content);
+  void Add(const std::string& name) { status_functions_.insert(name); }
+  bool Contains(const std::string& name) const {
+    return status_functions_.count(name) > 0 &&
+           void_overloads_.count(name) == 0;
+  }
+  const std::set<std::string>& functions() const { return status_functions_; }
+
+ private:
+  std::set<std::string> status_functions_;
+  std::set<std::string> void_overloads_;
+};
+
+/// Lints one file's contents. `path` is used for reporting, for the
+/// determinism-rule exemption of src/common/random.*, and for deciding
+/// whether the header-hygiene rule applies (.h files only).
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content,
+                                 const Policy& policy,
+                                 const SymbolTable& symbols,
+                                 const Options& options);
+
+/// Expands files/directories (recursing into *.h/*.hpp/*.cc/*.cpp),
+/// harvests Status symbols from every file, reads per-directory policies,
+/// and lints each file. Returns false if a path could not be read (usage
+/// error); findings are appended either way.
+bool LintPaths(const std::vector<std::string>& paths, const Options& options,
+               std::vector<Finding>* findings, std::string* error);
+
+/// The qqo_lint CLI: returns 0 when clean, 1 when there are findings,
+/// 2 on usage errors. Writes findings to `out`, diagnostics to `err`.
+int RunLintMain(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace qopt::lint

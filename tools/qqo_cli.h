@@ -1,5 +1,4 @@
-#ifndef QQO_TOOLS_QQO_CLI_H_
-#define QQO_TOOLS_QQO_CLI_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -22,5 +21,3 @@ int RunQqoCli(int argc, const char* const* argv);
 int RunQqoCli(const std::vector<std::string>& args);
 
 }  // namespace qopt::cli
-
-#endif  // QQO_TOOLS_QQO_CLI_H_
