@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
+#include "common/env.h"
 #include "transpile/transpiler.h"
 
 namespace qopt_bench {
@@ -15,10 +17,14 @@ namespace qopt_bench {
 /// settings (e.g. 20 instances per point) can be dialled down:
 ///   QQO_BENCH_SAMPLES  - instances / transpilations / embeddings per point
 ///   QQO_BENCH_FAST     - set to 1 to shrink sweeps for smoke runs
+/// Strict parse: QQO_BENCH_SAMPLES=abc used to atoi to 0 samples and turn
+/// every mean into 0/0 = NaN in the emitted tables; garbage, zero,
+/// negative and overflowing values now abort with a clear message.
 inline int EnvInt(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  return std::atoi(value);
+  qopt::StatusOr<std::optional<long long>> parsed =
+      qopt::EnvIntOrStatus(name, 1, 1000000);
+  QOPT_CHECK_MSG(parsed.ok(), parsed.status().message().c_str());
+  return parsed->has_value() ? static_cast<int>(**parsed) : fallback;
 }
 
 inline bool FastMode() { return EnvInt("QQO_BENCH_FAST", 0) != 0; }
@@ -33,6 +39,9 @@ inline int Samples(int fallback) { return EnvInt("QQO_BENCH_SAMPLES", fallback);
 inline double MeanTranspiledDepth(const qopt::QuantumCircuit& circuit,
                                   const qopt::CouplingMap& coupling,
                                   int trials, std::uint64_t seed0 = 0) {
+  // Guard before the final division: trials <= 0 used to produce an empty
+  // sweep and a silent 0/0 = NaN in the printed tables.
+  QOPT_CHECK_MSG(trials >= 1, "MeanTranspiledDepth needs trials >= 1");
   if (coupling.IsFullyConnected()) trials = 1;  // deterministic routing
   std::vector<std::uint64_t> seeds;
   seeds.reserve(static_cast<std::size_t>(trials));

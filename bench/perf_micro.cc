@@ -14,6 +14,8 @@
 #include "joinorder/query_graph.h"
 #include "mqo/mqo_generator.h"
 #include "mqo/mqo_qubo_encoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qubo/brute_force_solver.h"
 #include "qubo/conversions.h"
 #include "transpile/ibm_topologies.h"
@@ -186,6 +188,46 @@ void BM_MinorEmbedIntoChimera(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MinorEmbedIntoChimera);
+
+// Disarmed-observability overhead pair: the same synthetic sweep kernel
+// with and without the obs instrumentation that now sits in the real hot
+// loops (one QQO_TRACE_SPAN per solve-sized unit, one QQO_COUNT per
+// sweep-sized unit of ~32 arithmetic ops — the same density as
+// anneal.sweeps). tools/perf_baseline.sh --check compares the two and
+// fails if the disarmed instrumentation costs more than the tolerance.
+constexpr int kObsSweeps = 512;
+constexpr int kObsOpsPerSweep = 32;
+
+inline std::uint64_t ObsKernelSweep(std::uint64_t acc) {
+  for (int i = 0; i < kObsOpsPerSweep; ++i) {
+    acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return acc;
+}
+
+void BM_ObsDisarmedBaseline(benchmark::State& state) {
+  std::uint64_t acc = 1;
+  for (auto _ : state) {
+    for (int sweep = 0; sweep < kObsSweeps; ++sweep) {
+      acc = ObsKernelSweep(acc);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ObsDisarmedBaseline);
+
+void BM_ObsDisarmedTraced(benchmark::State& state) {
+  std::uint64_t acc = 1;
+  for (auto _ : state) {
+    QQO_TRACE_SPAN("bench.obs_kernel");
+    for (int sweep = 0; sweep < kObsSweeps; ++sweep) {
+      QQO_COUNT("anneal.sweeps", 1);
+      acc = ObsKernelSweep(acc);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ObsDisarmedTraced);
 
 void BM_JoinOrderDp(benchmark::State& state) {
   QueryGeneratorOptions gen;

@@ -12,6 +12,8 @@
 #include "common/retry.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qopt {
 namespace {
@@ -44,6 +46,7 @@ class Embedder {
     int stale_passes = 0;
     // QQO_LOOP(embed.pass)
     for (int pass = 0; pass <= options_.max_passes; ++pass) {
+      QQO_COUNT("embed.passes", 1);
       // Budget check per improvement pass: an abandoned attempt looks like
       // an unsuccessful one; the caller re-checks the deadline to tell the
       // two apart.
@@ -513,6 +516,7 @@ class Embedder {
 StatusOr<Embedding> TryFindMinorEmbedding(const SimpleGraph& source,
                                           const SimpleGraph& target,
                                           const EmbedOptions& options) {
+  QQO_TRACE_SPAN("embed.solve");
   QOPT_CHECK(options.tries >= 1);
   QOPT_CHECK(options.penalty_base > 1.0);
   if (source.NumVertices() == 0) return Embedding{};
@@ -525,6 +529,8 @@ StatusOr<Embedding> TryFindMinorEmbedding(const SimpleGraph& source,
   }
   // QQO_LOOP(embed.attempt)
   for (int attempt = 0; attempt < options.tries; ++attempt) {
+    QQO_TRACE_SPAN("embed.attempt");
+    QQO_COUNT("embed.attempts", 1);
     QOPT_RETURN_IF_ERROR(options.deadline.Check());
     if (Status fault = CheckFaultPoint("embedder.attempt"); !fault.ok()) {
       // A retryable injected fault only consumes this attempt; the next

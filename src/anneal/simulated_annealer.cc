@@ -8,6 +8,8 @@
 #include "common/fault_injection.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qopt {
 namespace {
@@ -59,6 +61,7 @@ std::uint64_t ReadSeed(std::uint64_t seed, int read) {
 
 StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
                                                  const AnnealOptions& options) {
+  QQO_TRACE_SPAN("anneal.solve");
   QOPT_CHECK(qubo.NumVariables() >= 1);
   QOPT_CHECK(options.num_reads >= 1);
   QOPT_CHECK(options.num_sweeps >= 1);
@@ -111,6 +114,8 @@ StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
   std::atomic<bool> timed_out{false};
   const Status loop_status = ThreadPool::Default().ParallelFor(
       num_reads, options.deadline, [&](std::size_t read) {
+        QQO_TRACE_SPAN("anneal.read");
+        QQO_COUNT("anneal.reads", 1);
         Rng rng(ReadSeed(options.seed, static_cast<int>(read)));
         std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
         for (auto& b : bits) b = rng.NextBool() ? 1 : 0;
@@ -119,6 +124,7 @@ StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
         bool cut_short = false;
         // QQO_LOOP(anneal.sweep)
         for (int sweep = 0; sweep < options.num_sweeps; ++sweep) {
+          QQO_COUNT("anneal.sweeps", 1);
           if (Status fault = CheckFaultPoint("annealer.sweep"); !fault.ok()) {
             read_status[read] = std::move(fault);
             return;  // this read contributes nothing

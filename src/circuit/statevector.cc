@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace qopt {
 
@@ -332,11 +333,13 @@ Status Statevector::ApplyCircuit(const QuantumCircuit& circuit,
       while (j < gates.size() && IsDiagonalGate(gates[j].kind)) ++j;
       if (j - i >= 2) {
         ApplyFusedDiagonal(gates, i, j);
+        QQO_COUNT("statevector.gates", static_cast<long long>(j - i));
         i = j;
         continue;
       }
     }
     ApplyGate(gates[i]);
+    QQO_COUNT("statevector.gates", 1);
     ++i;
   }
   return OkStatus();

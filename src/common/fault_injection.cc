@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/table_printer.h"
+#include "obs/metrics.h"
 
 namespace qopt {
 namespace {
@@ -34,6 +35,12 @@ StatusOr<StatusCode> CodeFromName(std::string_view name,
   return true;
 }();
 
+/// Outcome of the startup QQO_FAULTS parse, for EnvSpecStatus().
+Status* EnvSpecStatusSlot() {
+  static Status* slot = new Status();
+  return slot;
+}
+
 }  // namespace
 
 std::atomic<int> FaultInjection::armed_sites_{0};
@@ -44,11 +51,25 @@ FaultInjection& FaultInjection::Instance() {
     if (const char* env = std::getenv("QQO_FAULTS");
         env != nullptr && *env != '\0') {
       const Status armed = created->ArmFromSpec(env);
-      QOPT_CHECK_MSG(armed.ok(), armed.ToString().c_str());
+      if (!armed.ok()) {
+        created->DisarmAll();  // entries before the malformed one
+        // Surface instead of aborting: this runs inside a static
+        // initializer, where an abort produces no usable diagnostics.
+        // Nothing is armed from a bad spec; front-ends check
+        // EnvSpecStatus() and refuse to run.
+        *EnvSpecStatusSlot() = armed;
+        std::fprintf(stderr, "warning: ignoring invalid QQO_FAULTS: %s\n",
+                     armed.ToString().c_str());
+      }
     }
     return created;
   }();
   return *instance;
+}
+
+Status FaultInjection::EnvSpecStatus() {
+  Instance();  // force the startup parse
+  return *EnvSpecStatusSlot();
 }
 
 void FaultInjection::Arm(std::string site, Status status, int after_n,
@@ -148,6 +169,7 @@ Status FaultInjection::Fire(std::string_view site) {
     rule.armed = false;
     armed_sites_.fetch_sub(1, std::memory_order_relaxed);
   }
+  QQO_COUNT("fault.fires", 1);
   return rule.status;
 }
 

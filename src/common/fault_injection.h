@@ -55,6 +55,13 @@ class FaultInjection {
   ///   QQO_FAULTS=embedder.attempt:2:unavailable,annealer.sweep:0:internal
   Status ArmFromSpec(std::string_view spec);
 
+  /// Outcome of parsing the QQO_FAULTS environment spec at startup. OK
+  /// when the variable is unset or parsed cleanly. A malformed spec is
+  /// reported here (and warned to stderr once) instead of aborting inside
+  /// a static initializer, so front-ends can refuse to run with a clean
+  /// exit code and a readable message.
+  static Status EnvSpecStatus();
+
   /// Slow path of a fault point: counts the pass and returns the armed
   /// status when the trigger count is reached. OK when `site` is not
   /// armed.

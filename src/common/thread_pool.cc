@@ -7,6 +7,9 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/env.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qopt {
 namespace {
@@ -42,6 +45,10 @@ struct ThreadPool::ForState {
   std::atomic<bool> stopped{false};
   Status stop_status;
   std::mutex stop_mutex;
+  /// Submitting thread's trace-span path, installed in every helper so
+  /// worker-side spans parent identically at any pool size (kDetached
+  /// when the tracer is disarmed).
+  int trace_path = obs::ScopedTracePath::kDetached;
 };
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
@@ -84,9 +91,15 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
     (*packaged)();
     return future;
   }
+  const int trace_path = obs::ScopedTracePath::Capture();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.emplace_back([packaged] { (*packaged)(); });
+    tasks_.emplace_back([packaged, trace_path] {
+      obs::ScopedTracePath scoped_path(trace_path);
+      (*packaged)();
+    });
+    QQO_GAUGE_MAX("threadpool.queue_depth",
+                  static_cast<long long>(tasks_.size()));
   }
   task_available_.notify_one();
   return future;
@@ -95,6 +108,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::RunChunks(ForState* state) {
   const bool was_inside = t_inside_parallel_for;
   t_inside_parallel_for = true;
+  obs::ScopedTracePath scoped_path(state->trace_path);
   std::size_t chunk;
   while ((chunk = state->next_chunk.fetch_add(1)) < state->num_chunks) {
     bool skip = false;
@@ -169,6 +183,7 @@ Status ThreadPool::ParallelForRangeImpl(
   state->grain = grain;
   state->num_chunks = (n + grain - 1) / grain;
   state->deadline = deadline;
+  state->trace_path = obs::ScopedTracePath::Capture();
   const std::size_t helpers =
       std::min(workers_.size(), state->num_chunks - 1);
   {
@@ -176,6 +191,8 @@ Status ThreadPool::ParallelForRangeImpl(
     for (std::size_t h = 0; h < helpers; ++h) {
       tasks_.emplace_back([state] { RunChunks(state.get()); });
     }
+    QQO_GAUGE_MAX("threadpool.queue_depth",
+                  static_cast<long long>(tasks_.size()));
   }
   task_available_.notify_all();
   RunChunks(state.get());  // the caller participates
@@ -222,14 +239,21 @@ Status ThreadPool::ParallelFor(std::size_t n, const Deadline& deadline,
                           });
 }
 
-int ThreadPool::PoolSizeFromEnv() {
-  const char* env = std::getenv("QQO_THREADS");
-  if (env != nullptr && *env != '\0') {
-    const int parsed = std::atoi(env);
-    if (parsed >= 1) return parsed;
-  }
+StatusOr<int> ThreadPool::PoolSizeFromEnvOrStatus() {
+  // Strict parse: "abc", "0", "-3", "8x" and overflow are all reported
+  // instead of silently running at hardware concurrency (the pre-PR5
+  // atoi behaviour, which also had UB on overflow).
+  QOPT_ASSIGN_OR_RETURN(std::optional<long long> requested,
+                        EnvIntOrStatus("QQO_THREADS", 1, 4096));
+  if (requested.has_value()) return static_cast<int>(*requested);
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware >= 1 ? static_cast<int>(hardware) : 1;
+}
+
+int ThreadPool::PoolSizeFromEnv() {
+  StatusOr<int> size = PoolSizeFromEnvOrStatus();
+  QOPT_CHECK_MSG(size.ok(), size.status().message().c_str());
+  return *size;
 }
 
 ThreadPool& ThreadPool::Default() {

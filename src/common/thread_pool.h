@@ -78,10 +78,17 @@ class ThreadPool {
   /// mutating the environment mid-process.
   static ThreadPool& Default();
 
-  /// Pool size requested by the environment: QQO_THREADS if set to a
-  /// positive integer, otherwise std::thread::hardware_concurrency()
-  /// (at least 1). Read fresh on every call — but note that Default()
-  /// only consults it once (see above).
+  /// Pool size requested by the environment: QQO_THREADS if set,
+  /// otherwise std::thread::hardware_concurrency() (at least 1). Read
+  /// fresh on every call — but note that Default() only consults it once
+  /// (see above). A set-but-invalid QQO_THREADS (non-numeric, zero,
+  /// negative, overflow) is a kInvalidArgument / kOutOfRange Status, not
+  /// a silent fallback; front-ends validate this before doing work.
+  static StatusOr<int> PoolSizeFromEnvOrStatus();
+
+  /// CHECK-ing flavour of PoolSizeFromEnvOrStatus() for contexts with no
+  /// Status channel (static initialization of Default()); aborts with the
+  /// parse error message on invalid QQO_THREADS.
   static int PoolSizeFromEnv();
 
  private:

@@ -7,6 +7,8 @@
 #include "common/check.h"
 #include "common/table_printer.h"
 #include "mqo/mqo_qubo_encoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qubo/brute_force_solver.h"
 
 namespace qopt {
@@ -216,6 +218,7 @@ struct DispatchOutcome {
 StatusOr<DispatchOutcome> DispatchWithFallback(
     const QuboModel& qubo, const OptimizerOptions& options) {
   const SolveBudget& budget = options.budget;
+  QQO_TRACE_SPAN("solve.dispatch");
   Stopwatch watch;
   // An already-exhausted budget (e.g. --timeout-ms=0) fails fast before
   // any backend runs.
@@ -226,6 +229,7 @@ StatusOr<DispatchOutcome> DispatchWithFallback(
   const int max_attempts = std::max(1, budget.retry.max_attempts);
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     outcome.stats.attempts = attempt;
+    QQO_COUNT("solve.attempts", 1);
     OptimizerOptions attempt_options = options;
     attempt_options.seed = AttemptSeed(options.seed, attempt);
     // A quantum stage gets at most 80% of the remaining budget, reserving
@@ -237,8 +241,11 @@ StatusOr<DispatchOutcome> DispatchWithFallback(
       stage = budget.deadline.WithBudgetMillis(
           0.8 * budget.deadline.RemainingMillis());
     }
-    StatusOr<BackendResult> primary =
-        TrySolveQuboWithBackend(qubo, attempt_options, options.backend, stage);
+    StatusOr<BackendResult> primary = [&] {
+      QQO_TRACE_SPAN("solve.attempt");
+      return TrySolveQuboWithBackend(qubo, attempt_options, options.backend,
+                                     stage);
+    }();
     if (primary.ok()) {
       outcome.result = *std::move(primary);
       outcome.backend_used = options.backend;
@@ -260,8 +267,17 @@ StatusOr<DispatchOutcome> DispatchWithFallback(
     if (failure.code() == StatusCode::kCancelled) return failure;
     if (failure.code() == StatusCode::kDeadlineExceeded) break;
     if (attempt == max_attempts || !IsRetryableStatus(failure.code())) break;
+    QQO_TRACE_SPAN("solve.backoff");
     if (!SleepWithDeadline(BackoffMillis(budget.retry, attempt),
                            budget.deadline)) {
+      // SleepWithDeadline reports expiry and cancellation with the same
+      // `false`. A fired token must surface as kCancelled here — reporting
+      // it as a deadline would route a cancelled solve into the salvage
+      // path below and degrade it, violating the "kCancelled is never
+      // retried or degraded" contract.
+      if (budget.deadline.Cancelled()) {
+        return CancelledError("operation cancelled during retry backoff");
+      }
       failure = DeadlineExceededError("deadline exceeded during retry backoff");
       break;
     }
@@ -278,14 +294,23 @@ StatusOr<DispatchOutcome> DispatchWithFallback(
     // reserved slack is gone too, give up; otherwise degrade to the
     // cheapest classical stand-in — one deadline-aware anytime SA read,
     // which always returns a valid state within the remaining budget.
-    if (!budget.deadline.Check().ok()) return failure;
+    if (Status remaining = budget.deadline.Check(); !remaining.ok()) {
+      // A token that fired while the quantum stage was timing out still
+      // wins: report kCancelled, never degrade a cancelled solve.
+      return remaining.code() == StatusCode::kCancelled ? remaining : failure;
+    }
+    QQO_TRACE_SPAN("solve.salvage");
     AnnealOptions cheap;
     cheap.num_reads = 1;
     cheap.num_sweeps = std::max(1, std::min(options.anneal.num_sweeps, 256));
     cheap.seed = options.seed;
     cheap.deadline = budget.deadline;
     StatusOr<AnnealResult> salvage = TrySolveQuboWithAnnealing(qubo, cheap);
-    if (!salvage.ok()) return failure;
+    if (!salvage.ok()) {
+      return salvage.status().code() == StatusCode::kCancelled
+                 ? salvage.status()
+                 : failure;
+    }
     outcome.result.bits = std::move(salvage->best_bits);
     outcome.result.energy = salvage->best_energy;
     outcome.backend_used = Backend::kSimulatedAnnealing;
@@ -302,6 +327,7 @@ StatusOr<DispatchOutcome> DispatchWithFallback(
   const Backend fallback = qubo.NumVariables() <= kMaxExactFallbackQubits
                                ? Backend::kExact
                                : Backend::kSimulatedAnnealing;
+  QQO_TRACE_SPAN("solve.fallback");
   StatusOr<BackendResult> secondary =
       TrySolveQuboWithBackend(qubo, options, fallback, budget.deadline);
   if (!secondary.ok()) return failure;
@@ -338,6 +364,7 @@ std::string BackendName(Backend backend) {
 
 StatusOr<MqoSolveReport> TrySolveMqo(const MqoProblem& problem,
                                      const OptimizerOptions& options) {
+  QQO_TRACE_SPAN("solve.mqo");
   QOPT_RETURN_IF_ERROR(options.budget.deadline.Check());
   QOPT_ASSIGN_OR_RETURN(const MqoQuboEncoding encoding,
                         TryEncodeMqoAsQubo(problem));
@@ -370,6 +397,7 @@ MqoSolveReport SolveMqo(const MqoProblem& problem,
 StatusOr<JoinOrderSolveReport> TrySolveJoinOrder(
     const QueryGraph& graph, const JoinOrderEncoderOptions& encoder_options,
     const OptimizerOptions& options) {
+  QQO_TRACE_SPAN("solve.join");
   QOPT_RETURN_IF_ERROR(options.budget.deadline.Check());
   QOPT_ASSIGN_OR_RETURN(const JoinOrderEncoding encoding,
                         TryEncodeJoinOrderAsBilp(graph, encoder_options));

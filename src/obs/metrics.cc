@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace qopt::obs {
+namespace {
+
+/// Name prefixes whose metrics measure the execution schedule itself
+/// (queue depths, chunk counts). They vary with QQO_THREADS by design and
+/// are excluded from the stable (byte-identical) snapshot.
+constexpr const char* kSchedulingPrefixes[] = {"threadpool."};
+
+/// Core stage metrics pre-registered at Enable() so a metrics table always
+/// names every acceptance-relevant stage, zero-valued when it did not run.
+/// These names are a compatibility promise (see DESIGN.md "Observability").
+constexpr const char* kStableCatalog[] = {
+    "anneal.sweeps",        "embed.attempts",   "fault.fires",
+    "solve.attempts",       "statevector.gates", "transpile.routing_seeds",
+    "variational.iterations",
+};
+
+int BucketIndex(long long value) {
+  // Bucket b holds values <= 2^b; the final bucket is unbounded.
+  for (int b = 0; b < Metrics::kNumBuckets - 1; ++b) {
+    if (value <= (1LL << b)) return b;
+  }
+  return Metrics::kNumBuckets - 1;
+}
+
+const char* KindName(Metrics::Kind kind) {
+  switch (kind) {
+    case Metrics::Kind::kCounter:
+      return "counter";
+    case Metrics::Kind::kGauge:
+      return "gauge";
+    case Metrics::Kind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+}  // namespace
+
+std::atomic<bool> Metrics::armed_{false};
+
+Metrics& Metrics::Instance() {
+  static Metrics* instance = new Metrics();
+  return *instance;
+}
+
+bool Metrics::IsSchedulingMetric(const std::string& name) {
+  for (const char* prefix : kSchedulingPrefixes) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+void Metrics::Enable() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const char* name : kStableCatalog) {
+      Row& row = rows_[name];
+      row.name = name;
+      row.kind = Kind::kCounter;
+    }
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Metrics::Disable() { armed_.store(false, std::memory_order_relaxed); }
+
+void Metrics::Reset() {
+  armed_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  rows_.clear();
+}
+
+void Metrics::Add(const std::string& name, long long delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Row& row = rows_[name];
+  if (row.name.empty()) {
+    row.name = name;
+    row.kind = Kind::kCounter;
+    row.scheduling = IsSchedulingMetric(name);
+  }
+  row.count += 1;
+  row.sum += delta;
+}
+
+void Metrics::Observe(const std::string& name, long long value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Row& row = rows_[name];
+  if (row.name.empty()) {
+    row.name = name;
+    row.scheduling = IsSchedulingMetric(name);
+  }
+  row.kind = Kind::kHistogram;
+  if (row.count == 0 || value < row.min) row.min = value;
+  if (row.count == 0 || value > row.max) row.max = value;
+  row.count += 1;
+  row.sum += value;
+  row.buckets[static_cast<std::size_t>(BucketIndex(value))] += 1;
+}
+
+void Metrics::SetMax(const std::string& name, long long value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Row& row = rows_[name];
+  if (row.name.empty()) {
+    row.name = name;
+    row.scheduling = IsSchedulingMetric(name);
+  }
+  row.kind = Kind::kGauge;
+  row.count += 1;
+  row.sum = std::max(row.sum, value);
+}
+
+std::vector<Metrics::Row> Metrics::Snapshot(bool include_scheduling) const {
+  std::vector<Row> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(rows_.size());
+  for (const auto& [name, row] : rows_) {
+    if (row.scheduling && !include_scheduling) continue;
+    out.push_back(row);
+  }
+  // rows_ is a std::map, so `out` is already sorted by name.
+  return out;
+}
+
+std::string Metrics::TableString(bool include_scheduling) const {
+  TablePrinter table({"metric", "kind", "count", "value", "min", "max"});
+  for (const Row& row : Snapshot(include_scheduling)) {
+    const bool hist = row.kind == Kind::kHistogram;
+    table.AddRow({row.name, KindName(row.kind), StrFormat("%lld", row.count),
+                  StrFormat("%lld", row.sum),
+                  hist ? StrFormat("%lld", row.min) : std::string("-"),
+                  hist ? StrFormat("%lld", row.max) : std::string("-")});
+  }
+  return table.ToString();
+}
+
+JsonValue Metrics::ToJson(bool include_scheduling) const {
+  JsonValue metrics = JsonValue::Array();
+  for (const Row& row : Snapshot(include_scheduling)) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(row.name));
+    entry.Set("kind", JsonValue::String(KindName(row.kind)));
+    entry.Set("scheduling", JsonValue::Bool(row.scheduling));
+    entry.Set("count", JsonValue::Number(static_cast<double>(row.count)));
+    entry.Set("sum", JsonValue::Number(static_cast<double>(row.sum)));
+    if (row.kind == Kind::kHistogram) {
+      entry.Set("min", JsonValue::Number(static_cast<double>(row.min)));
+      entry.Set("max", JsonValue::Number(static_cast<double>(row.max)));
+      JsonValue buckets = JsonValue::Array();
+      for (long long b : row.buckets) {
+        buckets.Append(JsonValue::Number(static_cast<double>(b)));
+      }
+      entry.Set("buckets", std::move(buckets));
+    }
+    metrics.Append(std::move(entry));
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("metrics", std::move(metrics));
+  return doc;
+}
+
+}  // namespace qopt::obs

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace qopt::obs {
+
+/// Deterministic metrics registry: named counters, max-gauges and
+/// fixed-bucket histograms, threaded through every solver stage (optimizer
+/// iterations, routing seeds, embedder attempts, annealer sweeps, retry
+/// attempts, ...). Observed values are integers and every aggregate
+/// (count, sum, min, max, per-bucket counts) is order-independent, so a
+/// run that completes without hitting a deadline produces byte-identical
+/// summaries at any QQO_THREADS setting.
+///
+/// Determinism classes: metrics whose name starts with a prefix in
+/// kSchedulingPrefixes (e.g. "threadpool.") measure the execution
+/// schedule itself — their values legitimately depend on the thread count
+/// and are excluded from the stable snapshot the golden tests compare.
+///
+/// Disarmed cost: each QQO_COUNT / QQO_OBSERVE / QQO_GAUGE_MAX site
+/// compiles to one relaxed atomic load and a never-taken branch — the same
+/// contract as fault injection, verified by the BM_Obs* perf_micro cases.
+class Metrics {
+ public:
+  /// Fixed log2 bucket boundaries: bucket b counts values <= 2^b (final
+  /// bucket is unbounded). Fixed at compile time so summaries from
+  /// different runs and thread counts line up exactly.
+  static constexpr int kNumBuckets = 22;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Row {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    bool scheduling = false;  ///< Thread-schedule dependent (see above).
+    long long count = 0;      ///< Increments (counter) / observations.
+    long long sum = 0;        ///< Counter total / histogram sum / gauge max.
+    long long min = 0;        ///< Histogram only.
+    long long max = 0;        ///< Histogram only.
+    std::array<long long, kNumBuckets> buckets{};  ///< Histogram only.
+  };
+
+  static Metrics& Instance();
+
+  /// Fast disarmed check, inlined into every metric site.
+  static bool Armed() {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms collection and pre-registers the stable metric catalog (so a
+  /// metrics table always covers the core stage counters, zero-valued
+  /// when a stage did not run). Idempotent.
+  void Enable();
+  /// Disarms collection; accumulated values are kept for export.
+  void Disable();
+  /// Disarms and drops every registered metric.
+  void Reset();
+
+  /// Slow paths of the QQO_* macros (call only when Armed()).
+  void Add(const std::string& name, long long delta);
+  void Observe(const std::string& name, long long value);
+  void SetMax(const std::string& name, long long value);
+
+  /// Sorted-by-name snapshot. `include_scheduling` adds the
+  /// thread-schedule-dependent metrics; the stable subset (false) is the
+  /// one promised byte-identical across QQO_THREADS settings.
+  std::vector<Row> Snapshot(bool include_scheduling) const;
+
+  /// Human-readable aligned table of the snapshot (via TablePrinter).
+  std::string TableString(bool include_scheduling) const;
+
+  /// JSON export: {"metrics": [{name, kind, count, sum, ...}, ...]},
+  /// sorted by name. Round-trips through qopt::JsonValue::Parse.
+  JsonValue ToJson(bool include_scheduling) const;
+
+  /// True when `name` belongs to the scheduling determinism class.
+  static bool IsSchedulingMetric(const std::string& name);
+
+ private:
+  Metrics() = default;
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Row> rows_;
+};
+
+}  // namespace qopt::obs
+
+/// Adds `delta` to counter `name`. One relaxed atomic load when disarmed.
+#define QQO_COUNT(name, delta)                                        \
+  do {                                                                \
+    if (::qopt::obs::Metrics::Armed()) {                              \
+      ::qopt::obs::Metrics::Instance().Add((name), (delta));          \
+    }                                                                 \
+  } while (0)
+
+/// Records one observation of `value` into histogram `name`.
+#define QQO_OBSERVE(name, value)                                      \
+  do {                                                                \
+    if (::qopt::obs::Metrics::Armed()) {                              \
+      ::qopt::obs::Metrics::Instance().Observe((name), (value));      \
+    }                                                                 \
+  } while (0)
+
+/// Raises max-gauge `name` to at least `value` (order-independent).
+#define QQO_GAUGE_MAX(name, value)                                    \
+  do {                                                                \
+    if (::qopt::obs::Metrics::Armed()) {                              \
+      ::qopt::obs::Metrics::Instance().SetMax((name), (value));       \
+    }                                                                 \
+  } while (0)

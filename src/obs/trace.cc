@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace qopt::obs {
+namespace {
+
+thread_local int t_current_path = 0;
+
+}  // namespace
+
+std::atomic<bool> Tracer::armed_{false};
+
+Tracer& Tracer::Instance() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+int Tracer::CurrentPath() { return t_current_path; }
+
+void Tracer::SetCurrentPath(int path) { t_current_path = path; }
+
+void Tracer::Enable() {
+  epoch_ = std::chrono::steady_clock::now();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { armed_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Reset() {
+  armed_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(paths_mutex_);
+    nodes_.assign(1, PathNode{});
+    intern_.clear();
+  }
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+int Tracer::InternChild(int parent, const char* site) {
+  std::lock_guard<std::mutex> lock(paths_mutex_);
+  QOPT_CHECK(parent >= 0 && parent < static_cast<int>(nodes_.size()));
+  auto key = std::make_pair(parent, std::string(site));
+  auto it = intern_.find(key);
+  if (it != intern_.end()) return it->second;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(PathNode{parent, key.second});
+  intern_.emplace(std::move(key), id);
+  return id;
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  thread_local ThreadBuffer* t_buffer = nullptr;
+  if (t_buffer == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffer->tid = static_cast<int>(buffers_.size());
+    t_buffer = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return t_buffer;
+}
+
+void Tracer::RecordSpanEnd(int path,
+                           std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  Event event;
+  event.path = path;
+  event.start_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(start - epoch_)
+          .count();
+  event.dur_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - start)
+          .count();
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(event);
+}
+
+std::string Tracer::PathString(int path) const {
+  std::lock_guard<std::mutex> lock(paths_mutex_);
+  std::vector<const std::string*> sites;
+  int node = path;
+  while (node > 0) {
+    QOPT_CHECK(node < static_cast<int>(nodes_.size()));
+    sites.push_back(&nodes_[static_cast<std::size_t>(node)].site);
+    node = nodes_[static_cast<std::size_t>(node)].parent;
+  }
+  std::string out;
+  for (auto it = sites.rbegin(); it != sites.rend(); ++it) {
+    if (!out.empty()) out += '/';
+    out += **it;
+  }
+  return out;
+}
+
+std::vector<std::pair<int, Tracer::Event>> Tracer::CollectEvents() const {
+  std::vector<std::pair<int, Event>> out;
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const Event& event : buffer->events) {
+      out.emplace_back(buffer->tid, event);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::AggregatedTreeString(bool include_durations) const {
+  struct Agg {
+    long long count = 0;
+    long long total_us = 0;
+  };
+  // Keyed by canonical path STRING: intern ids depend on which thread
+  // first opened a span, the strings do not.
+  std::map<std::string, Agg> aggregated;
+  for (const auto& [tid, event] : CollectEvents()) {
+    (void)tid;
+    Agg& agg = aggregated[PathString(event.path)];
+    agg.count += 1;
+    agg.total_us += event.dur_us;
+  }
+  std::vector<std::string> headers = {"span", "count"};
+  if (include_durations) headers.push_back("total_us");
+  TablePrinter table(std::move(headers));
+  for (const auto& [path, agg] : aggregated) {
+    std::vector<std::string> row = {path, StrFormat("%lld", agg.count)};
+    if (include_durations) row.push_back(StrFormat("%lld", agg.total_us));
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+JsonValue Tracer::ChromeTraceJson() const {
+  auto events = CollectEvents();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first < b.first;
+                     return a.second.start_us < b.second.start_us;
+                   });
+  JsonValue trace_events = JsonValue::Array();
+  for (const auto& [tid, event] : events) {
+    const std::string path = PathString(event.path);
+    const std::size_t slash = path.rfind('/');
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(
+                          slash == std::string::npos
+                              ? path
+                              : path.substr(slash + 1)));
+    entry.Set("cat", JsonValue::String("qqo"));
+    entry.Set("ph", JsonValue::String("X"));
+    entry.Set("ts", JsonValue::Number(static_cast<double>(event.start_us)));
+    entry.Set("dur", JsonValue::Number(static_cast<double>(event.dur_us)));
+    entry.Set("pid", JsonValue::Number(1));
+    entry.Set("tid", JsonValue::Number(tid));
+    JsonValue args = JsonValue::Object();
+    args.Set("path", JsonValue::String(path));
+    entry.Set("args", std::move(args));
+    trace_events.Append(std::move(entry));
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(trace_events));
+  doc.Set("displayTimeUnit", JsonValue::String("ms"));
+  return doc;
+}
+
+}  // namespace qopt::obs

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace qopt::obs {
+
+/// Span-based tracer for the solve path. Spans nest (RAII), durations come
+/// from the steady clock, and every span is identified by its *path* — the
+/// chain of site names from the root (e.g. "solve.mqo/solve.dispatch/
+/// solve.attempt"). Paths are interned to small integers at runtime, but
+/// all exported/aggregated output is keyed and ordered by the canonical
+/// path string: intern order depends on thread interleaving, the strings
+/// do not. Aggregated output (names + counts, durations excluded) is
+/// therefore byte-identical across QQO_THREADS settings for runs that
+/// complete without deadline/cancellation stops.
+///
+/// Cross-thread nesting: ThreadPool captures the submitting thread's
+/// current path and installs it in workers (ScopedTracePath), so spans
+/// opened inside parallel regions parent correctly at any thread count.
+///
+/// Disarmed cost: one relaxed atomic load and a never-taken branch per
+/// QQO_TRACE_SPAN site (same contract as fault injection), verified by
+/// the BM_Obs* perf_micro cases.
+class Tracer {
+ public:
+  struct Event {
+    int path = 0;             ///< Interned path id.
+    std::int64_t start_us = 0;  ///< Microseconds since Enable().
+    std::int64_t dur_us = 0;
+  };
+
+  static Tracer& Instance();
+
+  /// Fast disarmed check, inlined into every span site.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Arms tracing and pins the time origin for Chrome-trace timestamps.
+  void Enable();
+  /// Disarms tracing; recorded spans are kept for export.
+  void Disable();
+  /// Disarms and drops all recorded spans and interned paths.
+  void Reset();
+
+  /// Thread-local current span path (0 = root).
+  static int CurrentPath();
+  static void SetCurrentPath(int path);
+
+  /// Interns the child path (parent, site); returns its id. Armed path only.
+  int InternChild(int parent, const char* site);
+
+  /// Records a completed span on the calling thread's buffer.
+  void RecordSpanEnd(int path, std::chrono::steady_clock::time_point start);
+
+  /// Canonical "a/b/c" string for an interned path id ("" for root).
+  std::string PathString(int path) const;
+
+  /// Aggregated span tree: one line per distinct path, ordered by the
+  /// canonical path string, with call counts and (optionally) total
+  /// duration. With `include_durations == false` the output is the
+  /// deterministic form compared byte-for-byte by the golden tests.
+  std::string AggregatedTreeString(bool include_durations) const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}, ph:"X" complete
+  /// events, ts/dur in microseconds) loadable in chrome://tracing and
+  /// Perfetto.
+  JsonValue ChromeTraceJson() const;
+
+ private:
+  struct PathNode {
+    int parent = -1;
+    std::string site;
+  };
+
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<Event> events;
+    int tid = 0;
+  };
+
+  Tracer() = default;
+
+  ThreadBuffer* BufferForThisThread();
+  std::vector<std::pair<int, Event>> CollectEvents() const;  ///< (tid, event)
+
+  static std::atomic<bool> armed_;
+
+  std::chrono::steady_clock::time_point epoch_{};
+
+  mutable std::mutex paths_mutex_;
+  std::vector<PathNode> nodes_{PathNode{}};  ///< [0] is the root.
+  std::map<std::pair<int, std::string>, int> intern_;
+
+  /// Buffers live for the process lifetime (worker threads cache a raw
+  /// pointer); Reset() clears contents, never the buffers themselves.
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span. Opens a child of the calling thread's current span when the
+/// tracer is armed; otherwise costs one relaxed atomic load.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* site) {
+    if (Tracer::Armed()) {
+      Tracer& tracer = Tracer::Instance();
+      prev_path_ = Tracer::CurrentPath();
+      path_ = tracer.InternChild(prev_path_, site);
+      Tracer::SetCurrentPath(path_);
+      start_ = std::chrono::steady_clock::now();
+      armed_ = true;
+    }
+  }
+
+  ~TraceSpan() {
+    if (armed_) {
+      Tracer::Instance().RecordSpanEnd(path_, start_);
+      Tracer::SetCurrentPath(prev_path_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool armed_ = false;
+  int path_ = 0;
+  int prev_path_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Installs a span path as the calling thread's current path (used by
+/// ThreadPool to parent worker-side spans under the submitting span).
+/// Pass kDetached (from a disarmed capture) for a no-op.
+class ScopedTracePath {
+ public:
+  static constexpr int kDetached = -1;
+
+  explicit ScopedTracePath(int path) {
+    if (path != kDetached) {
+      active_ = true;
+      prev_ = Tracer::CurrentPath();
+      Tracer::SetCurrentPath(path);
+    }
+  }
+
+  ~ScopedTracePath() {
+    if (active_) Tracer::SetCurrentPath(prev_);
+  }
+
+  ScopedTracePath(const ScopedTracePath&) = delete;
+  ScopedTracePath& operator=(const ScopedTracePath&) = delete;
+
+  /// The submitting-side capture: the current path when armed, kDetached
+  /// otherwise (keeping the disarmed cost at one relaxed load).
+  static int Capture() {
+    return Tracer::Armed() ? Tracer::CurrentPath() : kDetached;
+  }
+
+ private:
+  bool active_ = false;
+  int prev_ = 0;
+};
+
+}  // namespace qopt::obs
+
+#define QQO_OBS_CONCAT_INNER(a, b) a##b
+#define QQO_OBS_CONCAT(a, b) QQO_OBS_CONCAT_INNER(a, b)
+
+/// Opens a traced span covering the rest of the enclosing scope.
+#define QQO_TRACE_SPAN(site) \
+  ::qopt::obs::TraceSpan QQO_OBS_CONCAT(qqo_trace_span_, __COUNTER__) { site }

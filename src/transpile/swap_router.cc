@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qopt {
 
@@ -14,6 +16,7 @@ StatusOr<RoutedCircuit> TryRouteCircuit(const QuantumCircuit& circuit,
                                         const std::vector<int>& initial_layout,
                                         Rng* rng,
                                         const RouterOptions& router_options) {
+  QQO_TRACE_SPAN("transpile.route");
   QOPT_FAULT_POINT("transpile.route");
   const int num_logical = circuit.NumQubits();
   const int num_physical = coupling.NumQubits();
@@ -131,6 +134,7 @@ StatusOr<RoutedCircuit> TryRouteCircuit(const QuantumCircuit& circuit,
   std::size_t index = 0;
   // QQO_LOOP(transpile.route)
   while (index < gates.size()) {
+    QQO_COUNT("transpile.routed_gates", 1);
     // Per-gate budget check. A half-routed circuit cannot be salvaged, so
     // expiry aborts the whole routing rather than returning a prefix.
     QOPT_RETURN_IF_ERROR(router_options.deadline.Check());
@@ -165,6 +169,7 @@ StatusOr<RoutedCircuit> TryRouteCircuit(const QuantumCircuit& circuit,
     // Greedily route the closest remaining pair first.
     // QQO_LOOP(transpile.route_diagonal)
     while (!pending.empty()) {
+      QQO_COUNT("transpile.routed_gates", 1);
       QOPT_RETURN_IF_ERROR(router_options.deadline.Check());
       std::size_t best = 0;
       int best_dist = std::numeric_limits<int>::max();

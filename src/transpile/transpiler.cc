@@ -3,6 +3,8 @@
 #include "common/check.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "transpile/basis_decomposer.h"
 #include "transpile/layout.h"
 #include "transpile/swap_router.h"
@@ -12,6 +14,8 @@ namespace qopt {
 StatusOr<TranspileResult> TryTranspile(const QuantumCircuit& circuit,
                                        const CouplingMap& coupling,
                                        const TranspileOptions& options) {
+  QQO_TRACE_SPAN("transpile.pipeline");
+  QQO_COUNT("transpile.routing_seeds", 1);
   QOPT_CHECK_MSG(circuit.NumQubits() <= coupling.NumQubits(),
                  "circuit does not fit on the device");
   QOPT_RETURN_IF_ERROR(options.deadline.Check());
@@ -41,6 +45,7 @@ StatusOr<TranspileResult> TryTranspile(const QuantumCircuit& circuit,
   QOPT_RETURN_IF_ERROR(options.deadline.Check());
   if (options.optimize) transformed = MergeAdjacentRz(transformed);
   result.depth = transformed.Depth();
+  QQO_OBSERVE("transpile.depth", result.depth);
   result.circuit = std::move(transformed);
   return result;
 }
@@ -56,6 +61,7 @@ TranspileResult Transpile(const QuantumCircuit& circuit,
 StatusOr<std::vector<TranspileResult>> TryTranspileManySeeds(
     const QuantumCircuit& circuit, const CouplingMap& coupling,
     const std::vector<std::uint64_t>& seeds, const TranspileOptions& base) {
+  QQO_TRACE_SPAN("transpile.sweep");
   std::vector<TranspileResult> results(seeds.size());
   std::vector<Status> trial_status(seeds.size());
   const Status loop_status = ThreadPool::Default().ParallelFor(

@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/fault_injection.h"
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qubo/conversions.h"
 
 namespace qopt {
@@ -155,6 +157,7 @@ std::pair<double, double> TwoLowestEigenvalues(
 
 StatusOr<AdiabaticResult> TrySolveQuboAdiabatically(
     const QuboModel& qubo, const AdiabaticOptions& options) {
+  QQO_TRACE_SPAN("adiabatic.evolve");
   QOPT_CHECK(qubo.NumVariables() >= 1);
   QOPT_CHECK(options.steps >= 1);
   QOPT_CHECK(options.total_time > 0.0);
@@ -172,6 +175,7 @@ StatusOr<AdiabaticResult> TrySolveQuboAdiabatically(
   const double dt = options.total_time / options.steps;
   // QQO_LOOP(adiabatic.step)
   for (int step = 0; step < options.steps; ++step) {
+    QQO_COUNT("adiabatic.steps", 1);
     // A partially evolved state cannot be sampled meaningfully; abort at
     // the step boundary when the budget runs out.
     QOPT_RETURN_IF_ERROR(options.deadline.Check());

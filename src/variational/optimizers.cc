@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "obs/metrics.h"
 
 namespace qopt {
 
@@ -38,6 +39,7 @@ OptimizeResult MinimizeNelderMead(const Objective& objective,
       break;
     }
     ++result.iterations;
+    QQO_COUNT("variational.iterations", 1);
     // Order vertices by objective value.
     std::vector<std::size_t> order(n + 1);
     for (std::size_t i = 0; i <= n; ++i) order[i] = i;
@@ -143,6 +145,7 @@ OptimizeResult MinimizeAdam(const Objective& objective,
       break;
     }
     ++result.iterations;
+    QQO_COUNT("variational.iterations", 1);
     // Central-difference gradient.
     std::vector<double> gradient(n);
     for (std::size_t d = 0; d < n; ++d) {
@@ -199,6 +202,7 @@ OptimizeResult MinimizeSpsa(const Objective& objective,
       break;
     }
     ++result.iterations;
+    QQO_COUNT("variational.iterations", 1);
     const double ak = a / std::pow(k + 1 + kStability, kAlphaExp);
     const double ck = c / std::pow(k + 1, kGammaExp);
     for (std::size_t d = 0; d < n; ++d) {

@@ -9,6 +9,8 @@
 #include "common/fault_injection.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qubo/conversions.h"
 #include "variational/optimizers.h"
 #include "variational/qaoa.h"
@@ -53,6 +55,7 @@ StatusOr<VariationalResult> FinalizeFromCircuit(
     const QuboModel& qubo, QuantumCircuit circuit,
     const std::vector<double>& energies, const VariationalOptions& options,
     int evaluations, Statevector* state) {
+  QQO_TRACE_SPAN("variational.sample");
   state->Reset();
   QOPT_RETURN_IF_ERROR(state->ApplyCircuit(circuit, options.deadline));
   VariationalResult result;
@@ -93,6 +96,7 @@ StatusOr<VariationalResult> FinalizeFromCircuit(
 
 StatusOr<VariationalResult> TrySolveQuboWithQaoa(
     const QuboModel& qubo, const VariationalOptions& options) {
+  QQO_TRACE_SPAN("variational.qaoa");
   QOPT_CHECK(qubo.NumVariables() >= 1);
   QOPT_CHECK(options.qaoa_reps >= 1);
   QOPT_RETURN_IF_ERROR(options.deadline.Check());
@@ -150,6 +154,8 @@ StatusOr<VariationalResult> TrySolveQuboWithQaoa(
   std::vector<Status> start_status(starts.size());
   const Status loop_status = ThreadPool::Default().ParallelFor(
       starts.size(), options.deadline, [&](std::size_t s) {
+        QQO_TRACE_SPAN("variational.start");
+        QQO_COUNT("variational.starts", 1);
         // Each start allocates its own 2^n statevector buffer.
         if (Status fault = CheckFaultPoint("statevector.alloc"); !fault.ok()) {
           start_status[s] = std::move(fault);
@@ -183,6 +189,7 @@ StatusOr<VariationalResult> TrySolveQuboWithQaoa(
 
 StatusOr<VariationalResult> TrySolveQuboWithVqe(
     const QuboModel& qubo, const VariationalOptions& options) {
+  QQO_TRACE_SPAN("variational.vqe");
   QOPT_CHECK(qubo.NumVariables() >= 1);
   QOPT_RETURN_IF_ERROR(options.deadline.Check());
   QOPT_FAULT_POINT("statevector.alloc");

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "anneal/simulated_annealer.h"
 #include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/quantum_optimizer.h"
@@ -216,6 +219,37 @@ TEST(CancellationStressTest, CancelledSolveNeverDegrades) {
       TrySolveMqo(MakePaperExampleMqo(), options);
   // Cancellation is a caller decision: no classical stand-in, kCancelled
   // all the way out.
+  ASSERT_FALSE(solved.ok());
+  EXPECT_EQ(solved.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationStressTest, CancelDuringRetryBackoffReturnsCancelled) {
+  // Every annealer attempt fails with a retryable fault, so when the
+  // token fires the facade is sitting in a 100-200 ms backoff sleep.
+  // Regression: the interrupted sleep used to be misreported as
+  // kDeadlineExceeded and routed into the classical salvage path,
+  // producing a degraded report for a solve the caller had cancelled.
+  FaultInjection::Instance().Arm("annealer.sweep",
+                                 UnavailableError("injected transient"), 0,
+                                 /*times=*/-1);
+  CancelToken token;
+  OptimizerOptions options;
+  options.backend = Backend::kSimulatedAnnealing;
+  options.anneal.num_reads = 2;
+  options.anneal.num_sweeps = 10;
+  options.seed = 9;
+  options.budget.deadline = Deadline().WithToken(&token);
+  options.budget.retry.max_attempts = 10;
+  options.budget.retry.initial_backoff_ms = 200.0;
+  options.budget.retry.max_backoff_ms = 200.0;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.Cancel();
+  });
+  StatusOr<MqoSolveReport> solved =
+      TrySolveMqo(MakePaperExampleMqo(), options);
+  canceller.join();
+  FaultInjection::Instance().DisarmAll();
   ASSERT_FALSE(solved.ok());
   EXPECT_EQ(solved.status().code(), StatusCode::kCancelled);
 }

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by --trace-out.
+
+Checks the schema contract documented in DESIGN.md ("Observability"):
+the document is an object with a non-empty `traceEvents` array of
+complete events (ph == "X"), each carrying name/ts/dur/pid/tid, with
+non-negative microsecond timestamps and the span path under args.path.
+
+Usage: check_trace_schema.py TRACE_FILE [--require-span PATH]...
+Exit code 0 on a valid trace, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace_schema: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace_file")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="fail unless an event with this args.path is present "
+        "(repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace_file, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(f"cannot read {args.trace_file}: {err}")
+
+    if not isinstance(doc, dict):
+        return fail("top-level value is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("traceEvents is missing or not an array")
+    if not events:
+        return fail("traceEvents is empty (no spans recorded?)")
+    if doc.get("displayTimeUnit") not in (None, "ms", "ns"):
+        return fail(f"bad displayTimeUnit {doc.get('displayTimeUnit')!r}")
+
+    seen_paths = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            return fail(f"{where} is not an object")
+        if ev.get("ph") != "X":
+            return fail(f"{where}: ph is {ev.get('ph')!r}, expected 'X' "
+                        "(complete events only)")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                return fail(f"{where}: missing key {key!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            return fail(f"{where}: name must be a non-empty string")
+        for key in ("ts", "dur"):
+            if not isinstance(ev[key], (int, float)) or ev[key] < 0:
+                return fail(f"{where}: {key} must be a non-negative number, "
+                            f"got {ev[key]!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev[key], (int, float)):
+                return fail(f"{where}: {key} must be a number")
+        path = ev.get("args", {}).get("path")
+        if not isinstance(path, str) or not path:
+            return fail(f"{where}: args.path must be a non-empty string")
+        if not path.endswith(ev["name"]):
+            return fail(f"{where}: args.path {path!r} does not end with "
+                        f"name {ev['name']!r}")
+        seen_paths.add(path)
+
+    missing = [p for p in args.require_span if p not in seen_paths]
+    if missing:
+        return fail(f"required span paths not found: {missing}; "
+                    f"saw {sorted(seen_paths)}")
+
+    print(f"check_trace_schema: ok: {len(events)} complete events, "
+          f"{len(seen_paths)} distinct span paths")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

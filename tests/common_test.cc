@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
+#include "common/env.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/table_printer.h"
@@ -122,9 +124,86 @@ TEST(StatsTest, SingleElement) {
   EXPECT_DOUBLE_EQ(s.median, 42.0);
 }
 
+TEST(StatsTest, TwoElementStddevUsesSampleVariance) {
+  // The smallest n where the n-1 divisor is exercised at all: sample
+  // stddev of {1, 3} is sqrt(((1-2)^2 + (3-2)^2) / 1) = sqrt(2).
+  const Summary s = Summarize({1.0, 3.0});
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, MedianEvenCountOnUnsortedInput) {
+  // Median of an even-count sample must average the two MIDDLE order
+  // statistics of the sorted data, not of the input order.
+  EXPECT_DOUBLE_EQ(Summarize({9.0, 1.0, 3.0, 7.0}).median, 5.0);
+}
+
 TEST(StatsTest, MeanHelper) {
   EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(ParseEnvIntTest, AcceptsPlainIntegersInRange) {
+  const StatusOr<long long> parsed = ParseEnvInt("X", "42", 1, 100);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, 42);
+  EXPECT_EQ(*ParseEnvInt("X", "-7", -10, 10), -7);
+}
+
+TEST(ParseEnvIntTest, RejectsNonNumericBeforeRange) {
+  // Regression for the from_chars errc ordering: on invalid input the
+  // output value is untouched, so a range-first check misreported "abc"
+  // below min as "0 out of range" instead of "expected an integer".
+  const StatusOr<long long> parsed = ParseEnvInt("X", "abc", 1, 100);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("expected an integer"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ParseEnvIntTest, RejectsTrailingGarbageEmptyOverflowAndOutOfRange) {
+  EXPECT_EQ(ParseEnvInt("X", "4x", 1, 100).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseEnvInt("X", "", 1, 100).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseEnvInt("X", "99999999999999999999", 1, 100).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseEnvInt("X", "0", 1, 100).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseEnvInt("X", "101", 1, 100).status().code(),
+            StatusCode::kOutOfRange);
+  // Every message names the variable, so CLI errors are actionable.
+  EXPECT_NE(ParseEnvInt("QQO_THREADS", "zz", 1, 100)
+                .status()
+                .message()
+                .find("QQO_THREADS"),
+            std::string::npos);
+}
+
+TEST(EnvIntOrStatusTest, UnsetAndEmptyYieldNullopt) {
+  unsetenv("QQO_TEST_ENV_INT");
+  StatusOr<std::optional<long long>> unset =
+      EnvIntOrStatus("QQO_TEST_ENV_INT", 1, 10);
+  ASSERT_TRUE(unset.ok());
+  EXPECT_FALSE(unset->has_value());
+
+  setenv("QQO_TEST_ENV_INT", "", 1);
+  StatusOr<std::optional<long long>> empty =
+      EnvIntOrStatus("QQO_TEST_ENV_INT", 1, 10);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->has_value());
+
+  setenv("QQO_TEST_ENV_INT", "7", 1);
+  StatusOr<std::optional<long long>> set =
+      EnvIntOrStatus("QQO_TEST_ENV_INT", 1, 10);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(**set, 7);
+
+  setenv("QQO_TEST_ENV_INT", "junk", 1);
+  EXPECT_FALSE(EnvIntOrStatus("QQO_TEST_ENV_INT", 1, 10).ok());
+  unsetenv("QQO_TEST_ENV_INT");
 }
 
 TEST(StrFormatTest, FormatsLikePrintf) {

@@ -10,11 +10,15 @@ struct Deadline {
 
 bool CheckDeadline(const Deadline& deadline) { return deadline.Check().ok(); }
 
+#define QQO_COUNT(name, delta)
+#define QQO_TRACE_SPAN(site)
+
 double HotSweep(int sweeps, const Deadline& deadline) {
   double energy = 0.0;
   // QQO_LOOP(fixture.sweep)
   for (int s = 0; s < sweeps; ++s) {
     if (!deadline.Check().ok()) break;
+    QQO_COUNT("fixture.sweeps", 1);
     energy += static_cast<double>(s);
   }
   return energy;
@@ -24,6 +28,7 @@ double HotWhile(int sweeps, const Deadline& stage_deadline) {
   double energy = 0.0;
   int s = 0;
   while (s < sweeps) {  // QQO_LOOP(fixture.while)
+    QQO_TRACE_SPAN("fixture.while");
     if (!CheckDeadline(stage_deadline)) break;
     energy += static_cast<double>(s);
     ++s;

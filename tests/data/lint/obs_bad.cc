@@ -1,0 +1,31 @@
+// Fixture: registered hot loops that poll the deadline but never emit a
+// metric or span fire qqo-obs-coverage (and only it — the deadline rule
+// is satisfied).
+struct Status {
+  bool ok() const { return true; }
+};
+
+struct Deadline {
+  Status Check() const { return Status{}; }
+};
+
+double SilentSweep(int sweeps, const Deadline& deadline) {
+  double energy = 0.0;
+  // QQO_LOOP(fixture.silent)
+  for (int s = 0; s < sweeps; ++s) {
+    if (!deadline.Check().ok()) break;
+    energy += static_cast<double>(s);
+  }
+  return energy;
+}
+
+double SilentWhile(int sweeps, const Deadline& deadline) {
+  double energy = 0.0;
+  int s = 0;
+  while (s < sweeps) {  // QQO_LOOP(fixture.silent_while)
+    if (!deadline.Check().ok()) break;
+    energy += static_cast<double>(s);
+    ++s;
+  }
+  return energy;
+}

@@ -1,0 +1,58 @@
+// Fixture: registered hot loops whose bodies emit a metric or open a
+// trace span satisfy qqo-obs-coverage (any of the four obs macros will
+// do).
+struct Status {
+  bool ok() const { return true; }
+};
+
+struct Deadline {
+  Status Check() const { return Status{}; }
+};
+
+#define QQO_COUNT(name, delta)
+#define QQO_OBSERVE(name, value)
+#define QQO_GAUGE_MAX(name, value)
+#define QQO_TRACE_SPAN(site)
+
+double CountedSweep(int sweeps, const Deadline& deadline) {
+  double energy = 0.0;
+  // QQO_LOOP(fixture.counted)
+  for (int s = 0; s < sweeps; ++s) {
+    if (!deadline.Check().ok()) break;
+    QQO_COUNT("fixture.sweeps", 1);
+    energy += static_cast<double>(s);
+  }
+  return energy;
+}
+
+double TracedWhile(int sweeps, const Deadline& deadline) {
+  double energy = 0.0;
+  int s = 0;
+  while (s < sweeps) {  // QQO_LOOP(fixture.traced)
+    QQO_TRACE_SPAN("fixture.traced");
+    if (!deadline.Check().ok()) break;
+    energy += static_cast<double>(s);
+    ++s;
+  }
+  return energy;
+}
+
+double ObservedDo(int sweeps, const Deadline& deadline) {
+  double energy = 0.0;
+  int s = 0;
+  // QQO_LOOP(fixture.observed)
+  do {
+    if (!deadline.Check().ok()) break;
+    QQO_OBSERVE("fixture.energy", s);
+    QQO_GAUGE_MAX("fixture.depth", s);
+    energy += static_cast<double>(s);
+  } while (++s < sweeps);
+  return energy;
+}
+
+// An unannotated loop is not a registered site; no marker, no check.
+double ColdLoop(int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += i;
+  return total;
+}

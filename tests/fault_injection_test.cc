@@ -162,6 +162,26 @@ TEST_F(FaultInjectionTest, AnnealerSweepFaultRecoversViaFacadeRetry) {
   EXPECT_EQ(report->stats.attempts, 2);
 }
 
+TEST_F(FaultInjectionTest, RetryBackoffCountsTowardElapsedMs) {
+  // stats.elapsed_ms is the wall clock of the WHOLE dispatch — attempts
+  // plus the backoff waits between them — not just backend compute time.
+  FaultInjection::Instance().Arm("annealer.sweep",
+                                 UnavailableError("injected transient"), 0, 1);
+  OptimizerOptions options;
+  options.backend = Backend::kSimulatedAnnealing;
+  options.anneal.num_reads = 2;
+  options.anneal.num_sweeps = 50;
+  options.seed = 7;
+  options.budget.retry.max_attempts = 2;
+  options.budget.retry.initial_backoff_ms = 80.0;
+  StatusOr<MqoSolveReport> report = TrySolveMqo(MakePaperExampleMqo(),
+                                                options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->stats.attempts, 2);
+  // The jitter floor is 0.5x, so the one backoff alone is >= 40 ms.
+  EXPECT_GE(report->stats.elapsed_ms, 40.0);
+}
+
 TEST_F(FaultInjectionTest, TranspileRouteFaultAbortsTheTranspile) {
   FaultInjection::Instance().Arm("transpile.route",
                                  InternalError("injected"), 0, 1);

@@ -143,6 +143,28 @@ TEST(DeadlineCoverageRuleTest, QuietOnGoodFixture) {
   EXPECT_EQ(findings.size(), 0u) << findings[0].message;
 }
 
+TEST(ObsCoverageRuleTest, FiresOnBadFixture) {
+  const std::vector<Finding> findings = LintFixture("obs_bad.cc");
+  // Both loops poll the deadline but emit nothing: obs fires, deadline
+  // stays quiet.
+  EXPECT_EQ(CountRule(findings, kObsCoverageRule), 2);
+  EXPECT_EQ(CountRule(findings, kDeadlineCoverageRule), 0);
+}
+
+TEST(ObsCoverageRuleTest, QuietOnGoodFixture) {
+  const std::vector<Finding> findings = LintFixture("obs_good.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(ObsCoverageRuleTest, DanglingMarkerIsReportedByDeadlineRuleOnly) {
+  Options options;
+  options.rules = {kObsCoverageRule};
+  const std::vector<Finding> findings = LintContent(
+      "a.cc", "// QQO_LOOP(fixture.dangling)\nint NotALoop();\n", Policy{},
+      SymbolTable{}, options);
+  EXPECT_EQ(findings.size(), 0u);
+}
+
 TEST(StatusDiscardRuleTest, FiresOnBadFixture) {
   const std::vector<Finding> findings = LintFixture("status_discard_bad.cc");
   EXPECT_EQ(CountRule(findings, kStatusDiscardRule), 3);

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -243,6 +245,37 @@ TEST(CliFlagTest, OverflowingIntegerFlagIsRejected) {
             cli::kExitUsage);
 }
 
+TEST(CliFlagTest, NonNumericFlagErrorSaysSoNotOutOfRange) {
+  // Regression for the from_chars errc ordering in ParseIntToken: on
+  // invalid input the parsed value is untouched, so the old range-first
+  // check reported --retries=abc as "0 out of range" instead of naming
+  // the real problem.
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", "w.json", "--retries=abc"}),
+            cli::kExitUsage);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("expected an integer"), std::string::npos) << err;
+  EXPECT_EQ(err.find("out of range"), std::string::npos) << err;
+}
+
+TEST(CliFlagTest, InvalidQqoThreadsIsUsageErrorOnEverySubcommand) {
+  // Regression: QQO_THREADS=abc used to atoi to 0 and silently fall back
+  // to hardware concurrency; the CLI now refuses to run.
+  for (const char* bad : {"abc", "0", "-3"}) {
+    setenv("QQO_THREADS", bad, 1);
+    EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", "w.json"}), cli::kExitUsage)
+        << "QQO_THREADS=" << bad;
+  }
+  unsetenv("QQO_THREADS");
+}
+
+TEST(CliFlagTest, TraceOutRequiresAFilename) {
+  EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", "w.json", "--trace-out"}),
+            cli::kExitUsage);
+  EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", "w.json", "--trace-out="}),
+            cli::kExitUsage);
+}
+
 TEST(CliFlagTest, DuplicateFlagIsRejected) {
   EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", "w.json", "--seed=1", "--seed=2"}),
             cli::kExitUsage);
@@ -341,6 +374,23 @@ TEST_F(CliWorkloadTest, ExactBackendOverBudgetIsRuntimeError) {
   // hard error, never a silent fallback.
   EXPECT_EQ(cli::RunQqoCli({"qqo", "join", join_path_, "--backend=exact"}),
             cli::kExitError);
+}
+
+TEST_F(CliWorkloadTest, TracedSolveWritesValidChromeTrace) {
+  const std::string trace_path =
+      ::testing::TempDir() + "/status_cli_trace.json";
+  std::filesystem::remove(trace_path);
+  EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", mqo_path_, "--backend=sa",
+                            "--trace-out=" + trace_path, "--metrics"}),
+            cli::kExitOk);
+  const std::optional<std::string> content = ReadFileToString(trace_path);
+  ASSERT_TRUE(content.has_value());
+  StatusOr<JsonValue> parsed = JsonValue::ParseOrStatus(*content);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  EXPECT_GT(events->Size(), 0u);
 }
 
 TEST_F(CliWorkloadTest, UnknownDeviceAndAlgorithmAreUsageErrors) {

@@ -92,10 +92,36 @@ TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
 TEST(ThreadPoolTest, PoolSizeFromEnvPrefersQqoThreads) {
   setenv("QQO_THREADS", "3", 1);
   EXPECT_EQ(ThreadPool::PoolSizeFromEnv(), 3);
-  setenv("QQO_THREADS", "not-a-number", 1);
-  EXPECT_GE(ThreadPool::PoolSizeFromEnv(), 1);  // falls back to hardware
   unsetenv("QQO_THREADS");
-  EXPECT_GE(ThreadPool::PoolSizeFromEnv(), 1);
+  EXPECT_GE(ThreadPool::PoolSizeFromEnv(), 1);  // hardware concurrency
+}
+
+TEST(ThreadPoolTest, PoolSizeFromEnvRejectsInvalidValues) {
+  // Regression: QQO_THREADS=garbage used to atoi to 0 and silently fall
+  // back to hardware concurrency; zero/negative values were accepted as
+  // written. All of these are now explicit errors.
+  for (const char* bad : {"not-a-number", "0", "-2", "4x", "",
+                          "99999999999999999999"}) {
+    setenv("QQO_THREADS", bad, 1);
+    const StatusOr<int> size = ThreadPool::PoolSizeFromEnvOrStatus();
+    if (*bad == '\0') {
+      // Empty counts as unset: hardware default, no error.
+      ASSERT_TRUE(size.ok());
+      EXPECT_GE(*size, 1);
+      continue;
+    }
+    ASSERT_FALSE(size.ok()) << "QQO_THREADS=" << bad;
+    EXPECT_TRUE(size.status().code() == StatusCode::kInvalidArgument ||
+                size.status().code() == StatusCode::kOutOfRange)
+        << size.status().ToString();
+    EXPECT_NE(size.status().message().find("QQO_THREADS"),
+              std::string::npos)
+        << size.status().ToString();
+  }
+  unsetenv("QQO_THREADS");
+  const StatusOr<int> unset = ThreadPool::PoolSizeFromEnvOrStatus();
+  ASSERT_TRUE(unset.ok());
+  EXPECT_GE(*unset, 1);
 }
 
 TEST(ThreadPoolTest, ScopedDefaultPoolOverridesAndRestores) {

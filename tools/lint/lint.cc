@@ -325,43 +325,55 @@ std::vector<LoopMarker> CollectLoopMarkers(
   return markers;
 }
 
+/// Locates the body token range of the loop annotated by `marker` (the
+/// next for/while/do at or within 3 lines below the comment). Returns
+/// false when no loop statement follows — the deadline-coverage rule owns
+/// reporting that as a dangling marker.
+bool FindMarkedLoopBody(const std::vector<Tok>& toks, const LoopMarker& marker,
+                        std::size_t* body_out, std::size_t* body_end_out) {
+  std::size_t loop = toks.size();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].line < marker.line) continue;
+    if (toks[i].line > marker.line + 3) break;
+    if (toks[i].kind == TokKind::kIdent &&
+        (toks[i].text == "for" || toks[i].text == "while" ||
+         toks[i].text == "do")) {
+      loop = i;
+      break;
+    }
+  }
+  if (loop == toks.size()) return false;
+  // Locate the body: do -> immediately after; for/while -> after the
+  // closing ")" of the header.
+  std::size_t body = loop + 1;
+  if (toks[loop].text != "do" && body < toks.size() &&
+      toks[body].text == "(") {
+    body = SkipParens(toks, body);
+  }
+  std::size_t body_end;
+  if (body < toks.size() && toks[body].text == "{") {
+    body_end = SkipBraces(toks, body);
+  } else {
+    body_end = body;
+    while (body_end < toks.size() && toks[body_end].text != ";") ++body_end;
+  }
+  *body_out = body;
+  *body_end_out = body_end;
+  return true;
+}
+
 void CheckDeadlineCoverage(const std::string& path, const LexResult& lex,
                            std::vector<Finding>* findings) {
   const std::vector<Tok>& toks = lex.tokens;
   for (const LoopMarker& marker : CollectLoopMarkers(lex.comments)) {
-    // The marker annotates the next loop statement at or just below it
-    // (trailing comment on the loop line, or a line of its own above).
-    std::size_t loop = toks.size();
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-      if (toks[i].line < marker.line) continue;
-      if (toks[i].line > marker.line + 3) break;
-      if (toks[i].kind == TokKind::kIdent &&
-          (toks[i].text == "for" || toks[i].text == "while" ||
-           toks[i].text == "do")) {
-        loop = i;
-        break;
-      }
-    }
-    if (loop == toks.size()) {
+    std::size_t body = 0;
+    std::size_t body_end = 0;
+    if (!FindMarkedLoopBody(toks, marker, &body, &body_end)) {
       findings->push_back(
           {kDeadlineCoverageRule, path, marker.line,
            "dangling QQO_LOOP(" + marker.site +
                ") marker: no for/while/do follows within 3 lines"});
       continue;
-    }
-    // Locate the body: do -> immediately after; for/while -> after the
-    // closing ")" of the header.
-    std::size_t body = loop + 1;
-    if (toks[loop].text != "do" && body < toks.size() &&
-        toks[body].text == "(") {
-      body = SkipParens(toks, body);
-    }
-    std::size_t body_end;
-    if (body < toks.size() && toks[body].text == "{") {
-      body_end = SkipBraces(toks, body);
-    } else {
-      body_end = body;
-      while (body_end < toks.size() && toks[body_end].text != ";") ++body_end;
     }
     bool consults_deadline = false;
     for (std::size_t i = body; i < body_end; ++i) {
@@ -378,6 +390,47 @@ void CheckDeadlineCoverage(const std::string& path, const LexResult& lex,
                ") body never consults the deadline; call "
                "deadline.Check() (or a CheckDeadline helper) every "
                "iteration so the solver can wind down cooperatively"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: qqo-obs-coverage
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& ObsMacros() {
+  static const std::set<std::string> kMacros = {
+      "QQO_COUNT", "QQO_OBSERVE", "QQO_GAUGE_MAX", "QQO_TRACE_SPAN"};
+  return kMacros;
+}
+
+/// Every QQO_LOOP-annotated hot loop must also be observable: its body (or
+/// something it calls textually inside the body) has to touch one of the
+/// src/obs macros so the loop shows up in --metrics / --trace-out output.
+/// Dangling markers are reported by the deadline-coverage rule, not here.
+void CheckObsCoverage(const std::string& path, const LexResult& lex,
+                      std::vector<Finding>* findings) {
+  const std::vector<Tok>& toks = lex.tokens;
+  for (const LoopMarker& marker : CollectLoopMarkers(lex.comments)) {
+    std::size_t body = 0;
+    std::size_t body_end = 0;
+    if (!FindMarkedLoopBody(toks, marker, &body, &body_end)) continue;
+    bool instrumented = false;
+    for (std::size_t i = body; i < body_end; ++i) {
+      if (toks[i].kind == TokKind::kIdent &&
+          ObsMacros().count(toks[i].text) > 0) {
+        instrumented = true;
+        break;
+      }
+    }
+    if (!instrumented) {
+      findings->push_back(
+          {kObsCoverageRule, path, marker.line,
+           "QQO_LOOP(" + marker.site +
+               ") body has no observability instrumentation; add a "
+               "QQO_COUNT / QQO_OBSERVE / QQO_GAUGE_MAX metric or a "
+               "QQO_TRACE_SPAN so the loop is visible in --metrics and "
+               "--trace-out output"});
     }
   }
 }
@@ -542,7 +595,7 @@ bool IsLintableFile(const fs::path& path) {
 
 std::vector<std::string> AllRules() {
   return {kDeterminismRule, kOrderedOutputRule, kDeadlineCoverageRule,
-          kStatusDiscardRule, kHeaderHygieneRule};
+          kObsCoverageRule, kStatusDiscardRule, kHeaderHygieneRule};
 }
 
 bool Options::IsRuleEnabled(const std::string& rule) const {
@@ -602,6 +655,9 @@ std::vector<Finding> LintContent(const std::string& path,
   }
   if (options.IsRuleEnabled(kDeadlineCoverageRule)) {
     CheckDeadlineCoverage(path, lex, &raw);
+  }
+  if (options.IsRuleEnabled(kObsCoverageRule)) {
+    CheckObsCoverage(path, lex, &raw);
   }
   if (options.IsRuleEnabled(kStatusDiscardRule)) {
     CheckStatusDiscard(path, lex, symbols, &raw);

@@ -11,10 +11,13 @@
 # passed via QQO_BENCH_FILTER (a --benchmark_filter regex).
 #
 # --check re-runs the QAOA / annealer hot-loop benchmarks (the loops that
-# gained disarmed fault points and deadline checks) and fails if any of
-# them regressed more than QQO_PERF_TOLERANCE (default 2%) against the
-# serial numbers recorded in <baseline.json>. Capture the baseline with a
-# plain run of this script before the change under test.
+# gained disarmed fault points, deadline checks and obs counters) and
+# fails if any of them regressed more than QQO_PERF_TOLERANCE (default 2%)
+# against the serial numbers recorded in <baseline.json>. Capture the
+# baseline with a plain run of this script before the change under test.
+# It also compares the BM_ObsDisarmed{Baseline,Traced} pair within the
+# current run: disarmed tracing/metrics instrumentation must stay within
+# the same tolerance of the uninstrumented kernel.
 
 set -euo pipefail
 
@@ -23,7 +26,7 @@ if [[ "${1:-}" == "--check" ]]; then
   build_dir="${3:-build}"
   perf_bin="${build_dir}/bench/perf_micro"
   tolerance="${QQO_PERF_TOLERANCE:-0.02}"
-  hot_filter="${QQO_BENCH_FILTER:-BM_SimulatedAnnealing|BM_StatevectorQaoa}"
+  hot_filter="${QQO_BENCH_FILTER:-BM_SimulatedAnnealing|BM_StatevectorQaoa|BM_ObsDisarmed}"
   if [[ ! -x "${perf_bin}" ]]; then
     echo "error: ${perf_bin} not found; build first" >&2
     exit 1
@@ -70,6 +73,18 @@ for name in shared:
     failed |= ratio > tolerance
     print(f"{verdict:4} {name}: {base[name]:.0f} -> {cur[name]:.0f} ns "
           f"({ratio:+.2%}, tolerance {tolerance:.0%})")
+
+# Disarmed-observability budget: traced vs untraced kernel in THIS run,
+# so the check works even against baselines captured before the obs pair
+# existed.
+untraced = cur.get("BM_ObsDisarmedBaseline")
+traced = cur.get("BM_ObsDisarmedTraced")
+if untraced and traced:
+    ratio = traced / untraced - 1.0
+    verdict = "FAIL" if ratio > tolerance else "ok"
+    failed |= ratio > tolerance
+    print(f"{verdict:4} disarmed obs overhead: {untraced:.0f} -> "
+          f"{traced:.0f} ns ({ratio:+.2%}, tolerance {tolerance:.0%})")
 sys.exit(1 if failed else 0)
 PY
   exit $?

@@ -27,14 +27,19 @@
 
 #include "bilp/bilp_to_qubo.h"
 #include "circuit/qasm_exporter.h"
+#include "common/fault_injection.h"
+#include "common/json.h"
 #include "common/status.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/device_model.h"
 #include "core/quantum_optimizer.h"
 #include "core/resource_estimator.h"
 #include "io/workload_io.h"
 #include "mqo/mqo_generator.h"
 #include "mqo/mqo_qubo_encoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qubo/conversions.h"
 #include "transpile/ibm_topologies.h"
 #include "variational/qaoa.h"
@@ -59,7 +64,10 @@ int Usage() {
       "  qqo estimate mqo|join <file> [--device=mumbai|brooklyn] [--trials=N]"
       " [--thresholds=a,b,..] [--precision=P]\n"
       "  qqo qasm mqo|join <file>     [--algorithm=qaoa|vqe]"
-      " [--thresholds=a,b,..] [--precision=P]\n");
+      " [--thresholds=a,b,..] [--precision=P]\n"
+      "global flags (any subcommand):\n"
+      "  --trace-out=FILE  write a Chrome trace_event JSON of the run\n"
+      "  --metrics         print the metrics table after the run\n");
   return kExitUsage;
 }
 
@@ -139,15 +147,18 @@ StatusOr<long long> ParseIntToken(const std::string& key,
   const char* begin = text.data();
   const char* end = text.data() + text.size();
   const auto [ptr, ec] = std::from_chars(begin, end, value);
+  // Malformedness is tested before the range: from_chars leaves `value`
+  // untouched on invalid input, so the old range-first order reported
+  // --retries=abc as "0 out of range" instead of "expected an integer".
+  if (ec == std::errc::invalid_argument || ptr != end || text.empty()) {
+    return InvalidArgumentError(
+        StrFormat("flag --%s: expected an integer, got \"%s\"", key.c_str(),
+                  text.c_str()));
+  }
   if (ec == std::errc::result_out_of_range || value < min || value > max) {
     return OutOfRangeError(
         StrFormat("flag --%s: value %s is out of range [%lld, %lld]",
                   key.c_str(), text.c_str(), min, max));
-  }
-  if (ec != std::errc() || ptr != end || text.empty()) {
-    return InvalidArgumentError(
-        StrFormat("flag --%s: expected an integer, got \"%s\"", key.c_str(),
-                  text.c_str()));
   }
   return value;
 }
@@ -171,15 +182,16 @@ StatusOr<std::uint64_t> Uint64Flag(const FlagMap& flags,
   const char* begin = text.data();
   const char* end = text.data() + text.size();
   const auto [ptr, ec] = std::from_chars(begin, end, value);
+  // Same ordering as ParseIntToken: malformedness before range.
+  if (ec == std::errc::invalid_argument || ptr != end || text.empty()) {
+    return InvalidArgumentError(StrFormat(
+        "flag --%s: expected a non-negative integer, got \"%s\"",
+        key.c_str(), text.c_str()));
+  }
   if (ec == std::errc::result_out_of_range) {
     return OutOfRangeError(StrFormat(
         "flag --%s: value %s does not fit in 64 bits", key.c_str(),
         text.c_str()));
-  }
-  if (ec != std::errc() || ptr != end || text.empty()) {
-    return InvalidArgumentError(StrFormat(
-        "flag --%s: expected a non-negative integer, got \"%s\"",
-        key.c_str(), text.c_str()));
   }
   return value;
 }
@@ -525,9 +537,7 @@ int RunQasm(int argc, const char* const* argv) {
   return kExitOk;
 }
 
-}  // namespace
-
-int RunQqoCli(int argc, const char* const* argv) {
+int Dispatch(int argc, const char* const* argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "generate") return RunGenerate(argc, argv);
@@ -540,11 +550,105 @@ int RunQqoCli(int argc, const char* const* argv) {
   return Usage();
 }
 
+/// Emits the metrics tables after a --metrics run. Stable metrics are part
+/// of the deterministic report and go to stdout; scheduling-class metrics
+/// (threadpool.*) legitimately vary with QQO_THREADS and stay on stderr,
+/// keeping stdout byte-identical at any thread count.
+void PrintMetricsTables() {
+  const obs::Metrics& metrics = obs::Metrics::Instance();
+  std::fputs(metrics.TableString(/*include_scheduling=*/false).c_str(),
+             stdout);
+  TablePrinter scheduling({"metric (scheduling)", "count", "value"});
+  bool any = false;
+  for (const obs::Metrics::Row& row :
+       metrics.Snapshot(/*include_scheduling=*/true)) {
+    if (!row.scheduling) continue;
+    any = true;
+    scheduling.AddRow({row.name, StrFormat("%lld", row.count),
+                       StrFormat("%lld", row.sum)});
+  }
+  if (any) scheduling.Print(stderr);
+}
+
+}  // namespace
+
+int RunQqoCli(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) args.emplace_back(argv[i]);
+  return RunQqoCli(args);
+}
+
 int RunQqoCli(const std::vector<std::string>& args) {
+  // Environment knobs are validated before any work runs: a typo in
+  // QQO_THREADS or QQO_FAULTS is command-line misuse (exit 2), never a
+  // silent fallback to defaults.
+  if (StatusOr<int> pool = ThreadPool::PoolSizeFromEnvOrStatus();
+      !pool.ok()) {
+    return Fail(kExitUsage, pool.status());
+  }
+  if (Status faults = FaultInjection::EnvSpecStatus(); !faults.ok()) {
+    return Fail(kExitUsage, faults);
+  }
+
+  // The observability flags are global: strip them here so every
+  // subcommand accepts them without widening its own allowlist.
+  std::string trace_out;
+  bool want_metrics = false;
+  std::vector<std::string> rest;
+  rest.reserve(args.size());
+  for (const std::string& arg : args) {
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+      if (trace_out.empty()) {
+        return Fail(kExitUsage, InvalidArgumentError(
+                                    "flag --trace-out: expected a file path"));
+      }
+      continue;
+    }
+    if (arg == "--trace-out") {
+      return Fail(kExitUsage,
+                  InvalidArgumentError("flag --trace-out: expected =FILE"));
+    }
+    if (arg == "--metrics") {
+      want_metrics = true;
+      continue;
+    }
+    rest.push_back(arg);
+  }
+
+  if (!trace_out.empty()) {
+    obs::Tracer::Instance().Reset();
+    obs::Tracer::Instance().Enable();
+  }
+  if (want_metrics) {
+    obs::Metrics::Instance().Reset();
+    obs::Metrics::Instance().Enable();
+  }
+
   std::vector<const char*> argv;
-  argv.reserve(args.size());
-  for (const std::string& arg : args) argv.push_back(arg.c_str());
-  return RunQqoCli(static_cast<int>(argv.size()), argv.data());
+  argv.reserve(rest.size());
+  for (const std::string& arg : rest) argv.push_back(arg.c_str());
+  int code = Dispatch(static_cast<int>(argv.size()), argv.data());
+
+  if (!trace_out.empty()) {
+    obs::Tracer::Instance().Disable();
+    const std::string trace_json =
+        obs::Tracer::Instance().ChromeTraceJson().Dump(1);
+    if (!WriteStringToFile(trace_out, trace_json)) {
+      const Status failed = InternalError(
+          StrFormat("cannot write trace file \"%s\"", trace_out.c_str()));
+      if (code == kExitOk) code = kExitError;
+      Fail(code, failed);
+    } else {
+      std::fprintf(stderr, "qqo: trace written to %s\n", trace_out.c_str());
+    }
+  }
+  if (want_metrics) {
+    obs::Metrics::Instance().Disable();
+    PrintMetricsTables();
+  }
+  return code;
 }
 
 }  // namespace qopt::cli
