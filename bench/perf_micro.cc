@@ -14,6 +14,7 @@
 #include "joinorder/query_graph.h"
 #include "mqo/mqo_generator.h"
 #include "mqo/mqo_qubo_encoder.h"
+#include "common/random.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qubo/brute_force_solver.h"
@@ -83,6 +84,40 @@ void BM_SimulatedAnnealing(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedAnnealing)->Arg(4)->Arg(16)->Arg(64);
 
+// Random QUBO with a given edge density — exercises the annealer's sweep
+// kernel directly, across the sparse-CSR / dense-row layout boundary
+// (dense rows kick in at density >= 0.35). range(0) = variables,
+// range(1) = density in percent.
+QuboModel MakeRandomQubo(int n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  QuboModel qubo(n);
+  for (int i = 0; i < n; ++i) {
+    qubo.AddLinear(i, rng.NextDouble() * 2.0 - 1.0);
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.NextDouble() < density) {
+        qubo.AddQuadratic(i, j, rng.NextDouble() * 2.0 - 1.0);
+      }
+    }
+  }
+  return qubo;
+}
+
+void BM_SaSweepDensity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  const QuboModel qubo = MakeRandomQubo(n, density, 7);
+  AnnealOptions options;
+  options.num_reads = 4;
+  options.num_sweeps = 300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveQuboWithAnnealing(qubo, options));
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_reads *
+                          options.num_sweeps * n);
+}
+BENCHMARK(BM_SaSweepDensity)
+    ->ArgsProduct({{32, 64, 128}, {10, 50, 100}});
+
 void BM_BruteForceQubo(benchmark::State& state) {
   MqoGeneratorOptions gen;
   gen.num_queries = static_cast<int>(state.range(0));
@@ -109,6 +144,28 @@ void BM_StatevectorQaoa(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StatevectorQaoa)->Arg(8)->Arg(12)->Arg(16);
+
+// Raw single-qubit gate throughput at SIMD-relevant widths: layers of
+// H/RX/RY across every qubit (nothing diagonal, so nothing fuses away and
+// every gate goes through the vectorized ApplySingleQubit kernel).
+void BM_StatevectorGateLayer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kLayers = 4;
+  QuantumCircuit circuit(n);
+  for (int layer = 0; layer < kLayers; ++layer) {
+    for (int q = 0; q < n; ++q) circuit.H(q);
+    for (int q = 0; q < n; ++q) circuit.Rx(q, 0.3);
+    for (int q = 0; q < n; ++q) circuit.Ry(q, 0.7);
+  }
+  Statevector sv(n);
+  for (auto _ : state) {
+    sv.Reset();
+    sv.ApplyCircuit(circuit);
+    benchmark::DoNotOptimize(sv.Amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kLayers * 3 * n);
+}
+BENCHMARK(BM_StatevectorGateLayer)->DenseRange(10, 14, 2);
 
 void BM_TranspileToMumbai(benchmark::State& state) {
   MqoGeneratorOptions gen;

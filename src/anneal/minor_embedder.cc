@@ -68,6 +68,8 @@ class Embedder {
         // qubit, plus their source-graph neighbours (to make room), are
         // re-embedded. These passes are cheap, so many fit in the budget.
         std::vector<int> conflicted = ConflictedNodes();
+        // Neighbour expansion below appends at most every vertex once.
+        conflicted.reserve(static_cast<std::size_t>(source_.NumVertices()));
         std::vector<bool> in_set(
             static_cast<std::size_t>(source_.NumVertices()), false);
         for (int u : conflicted) in_set[static_cast<std::size_t>(u)] = true;
@@ -546,6 +548,7 @@ StatusOr<Embedding> TryFindMinorEmbedding(const SimpleGraph& source,
     // unsuccessful one here; surface the budget as the real cause.
     QOPT_RETURN_IF_ERROR(options.deadline.Check());
     if (embedding.has_value()) {
+      // NOLINTNEXTLINE(qqo-hot-loop-alloc): success path, runs at most once
       std::string error;
       QOPT_CHECK_MSG(ValidateEmbedding(source, target, *embedding, &error),
                      error.c_str());

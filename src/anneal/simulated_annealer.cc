@@ -14,13 +14,68 @@
 namespace qopt {
 namespace {
 
+/// Sweep-kernel view of the QUBO, shared read-only by every read.
+///
+/// The proposal loop never touches adjacency at all: it maintains a
+/// per-variable local field
+///
+///   local_field[i] = linear_i + sum_j c_ij * bits[j]
+///
+/// so the energy delta of flipping bit i is +-local_field[i] — an O(1)
+/// lookup per proposal. Only an *accepted* flip pays O(degree(i)) to push
+/// the change into its neighbors' fields (the dwave-neal scheme; the old
+/// code rescanned the adjacency row on every proposal).
+///
+/// Two field-update layouts, chosen deterministically from the problem
+/// shape: CSR rows (index-sorted, one contiguous coefficient stream per
+/// variable) for sparse problems, and full dense coefficient rows for
+/// dense ones, where the unit-stride `field[j] += sign * row[j]` pass over
+/// all n columns vectorizes and out-runs the gather through a CSR row.
+struct SweepGraph {
+  int n = 0;
+  bool dense = false;
+  std::vector<double> linear;
+  CsrAdjacency csr;
+  std::vector<double> rows;  ///< n*n, row-major, 0.0 where no coupling.
+};
+
+/// Dense rows win once enough of the row is populated that the contiguous
+/// pass beats the CSR gather; the variable cap bounds the n*n buffer
+/// (2048^2 doubles = 32 MiB).
+constexpr double kDenseRowThreshold = 0.35;
+constexpr int kDenseRowMaxVars = 2048;
+
+SweepGraph BuildSweepGraph(const QuboModel& qubo) {
+  SweepGraph graph;
+  graph.n = qubo.NumVariables();
+  graph.linear.resize(static_cast<std::size_t>(graph.n));
+  for (int i = 0; i < graph.n; ++i) {
+    graph.linear[static_cast<std::size_t>(i)] = qubo.Linear(i);
+  }
+  graph.csr = qubo.BuildCsrAdjacency();
+  graph.dense =
+      graph.n >= 2 && graph.n <= kDenseRowMaxVars &&
+      qubo.Density() >= kDenseRowThreshold;
+  if (graph.dense) {
+    const std::size_t n = static_cast<std::size_t>(graph.n);
+    graph.rows.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = graph.csr.offsets[i]; k < graph.csr.offsets[i + 1];
+           ++k) {
+        graph.rows[i * n +
+                   static_cast<std::size_t>(graph.csr.neighbors[k])] =
+            graph.csr.coeffs[k];
+      }
+    }
+  }
+  return graph;
+}
+
 /// Derives a default inverse-temperature range from the problem's energy
 /// scale, mirroring dwave-neal: hot enough that the largest single-flip
 /// barrier is accepted with probability ~1/2, cold enough that the
 /// smallest non-zero barrier is frozen out.
-std::pair<double, double> DefaultBetaRange(
-    const QuboModel& qubo,
-    const std::vector<std::vector<std::pair<int, double>>>& adjacency) {
+std::pair<double, double> DefaultBetaRange(const SweepGraph& graph) {
   // Hot end: the largest single-flip barrier must be crossable with
   // probability ~1/2. Cold end: the smallest non-zero coefficient — the
   // finest energy scale in the problem — must be frozen out, so that
@@ -28,12 +83,13 @@ std::pair<double, double> DefaultBetaRange(
   // constraint terms) still resolve their small objective differences.
   double max_delta = 0.0;
   double min_coeff = std::numeric_limits<double>::infinity();
-  for (int i = 0; i < qubo.NumVariables(); ++i) {
-    const double linear = std::abs(qubo.Linear(i));
+  for (int i = 0; i < graph.n; ++i) {
+    const double linear = std::abs(graph.linear[static_cast<std::size_t>(i)]);
     double scale = linear;
     if (linear > 0.0) min_coeff = std::min(min_coeff, linear);
-    for (const auto& [j, coeff] : adjacency[static_cast<std::size_t>(i)]) {
-      (void)j;
+    for (std::size_t k = graph.csr.offsets[static_cast<std::size_t>(i)];
+         k < graph.csr.offsets[static_cast<std::size_t>(i) + 1]; ++k) {
+      const double coeff = graph.csr.coeffs[k];
       scale += std::abs(coeff);
       if (coeff != 0.0) min_coeff = std::min(min_coeff, std::abs(coeff));
     }
@@ -57,6 +113,116 @@ std::uint64_t ReadSeed(std::uint64_t seed, int read) {
   return z ^ (z >> 31);
 }
 
+/// Per-read mutable state. The buffers live in a thread_local arena (one
+/// per pool worker) and are fully re-initialized by Reset() for each read
+/// — the PR-1 Reset() reuse pattern — so steady-state reads allocate
+/// nothing. Determinism is unaffected by the reuse: every cell a read
+/// observes is overwritten before use, and reads never share state.
+struct ReadState {
+  std::vector<std::uint8_t> bits;
+  std::vector<double> local_field;
+  std::vector<std::uint8_t> in_group;  ///< group-flip membership scratch
+  double energy = 0.0;
+
+  void Reset(const SweepGraph& graph, const QuboModel& qubo, Rng* rng) {
+    const std::size_t n = static_cast<std::size_t>(graph.n);
+    bits.resize(n);
+    for (auto& b : bits) b = rng->NextBool() ? 1 : 0;
+    in_group.assign(n, 0);
+    energy = qubo.Energy(bits);
+    // local_field[i] = linear_i + sum over couplings to set bits, summed
+    // in CSR (index-sorted) order so the init is platform-deterministic.
+    local_field.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double field = graph.linear[i];
+      for (std::size_t k = graph.csr.offsets[i]; k < graph.csr.offsets[i + 1];
+           ++k) {
+        if (bits[static_cast<std::size_t>(graph.csr.neighbors[k])]) {
+          field += graph.csr.coeffs[k];
+        }
+      }
+      local_field[i] = field;
+    }
+  }
+
+  /// Energy delta of flipping bit i, from the cached field: O(1).
+  double FlipDelta(int i) const {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    return bits[idx] ? -local_field[idx] : local_field[idx];
+  }
+
+  /// Flips bit i and pushes the change into the neighbors' local fields —
+  /// O(degree(i)) sparse, O(n) unit-stride dense. local_field[i] itself
+  /// is untouched (no self-coupling), so an immediate flip-back sees the
+  /// exact negated delta.
+  void CommitFlip(const SweepGraph& graph, int i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    const std::uint8_t now = (bits[idx] ^= 1);
+    const double sign = now ? 1.0 : -1.0;
+    if (graph.dense) {
+      const std::size_t n = static_cast<std::size_t>(graph.n);
+      const double* row = graph.rows.data() + idx * n;
+      double* field = local_field.data();
+      for (std::size_t j = 0; j < n; ++j) field[j] += sign * row[j];
+    } else {
+      for (std::size_t k = graph.csr.offsets[idx];
+           k < graph.csr.offsets[idx + 1]; ++k) {
+        local_field[static_cast<std::size_t>(graph.csr.neighbors[k])] +=
+            sign * graph.csr.coeffs[k];
+      }
+    }
+  }
+
+  /// Energy delta of jointly flipping every bit of `group`, computed from
+  /// the shared local-field cache WITHOUT mutating any state:
+  ///
+  ///   dE(S) = sum_{i in S} FlipDelta(i)
+  ///         + sum_{edges (i,j) inside S} c_ij * s_i * s_j,   s = 1 - 2b.
+  ///
+  /// Each member's single-flip delta counts the edge to another member as
+  /// if that member stayed put; the pairwise term restores the joint
+  /// product change c_ij * (b_i' - b_i)(b_j' - b_j). Rejected proposals
+  /// therefore cost no undo at all (the old code flipped bits per member
+  /// to evaluate the delta and had to roll them back).
+  double GroupDelta(const SweepGraph& graph, const std::vector<int>& group) {
+    double delta = 0.0;
+    for (int i : group) {
+      delta += FlipDelta(i);
+      in_group[static_cast<std::size_t>(i)] = 1;
+    }
+    for (int i : group) {
+      const std::size_t idx = static_cast<std::size_t>(i);
+      const double si = bits[idx] ? -1.0 : 1.0;
+      for (std::size_t k = graph.csr.offsets[idx];
+           k < graph.csr.offsets[idx + 1]; ++k) {
+        const int j = graph.csr.neighbors[k];
+        // j > i counts each inside-group edge exactly once.
+        if (j > i && in_group[static_cast<std::size_t>(j)]) {
+          const double sj = bits[static_cast<std::size_t>(j)] ? -1.0 : 1.0;
+          delta += graph.csr.coeffs[k] * si * sj;
+        }
+      }
+    }
+    for (int i : group) in_group[static_cast<std::size_t>(i)] = 0;
+    return delta;
+  }
+
+  /// Commits an accepted group flip: O(sum of member degrees).
+  void CommitGroup(const SweepGraph& graph, const std::vector<int>& group,
+                   double delta) {
+    for (int i : group) CommitFlip(graph, i);
+    energy += delta;
+  }
+};
+
+/// One reusable ReadState per pool worker. thread_local rather than
+/// per-read storage so the arena survives across the reads a worker
+/// processes (and across TrySolveQuboWithAnnealing calls on that thread).
+ReadState& LocalReadState() {
+  thread_local ReadState state;
+  return state;
+}
+
 }  // namespace
 
 StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
@@ -66,12 +232,12 @@ StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
   QOPT_CHECK(options.num_reads >= 1);
   QOPT_CHECK(options.num_sweeps >= 1);
   const int n = qubo.NumVariables();
-  const auto adjacency = qubo.BuildAdjacency();
+  const SweepGraph graph = BuildSweepGraph(qubo);
 
   double beta_min = options.beta_min;
   double beta_max = options.beta_max;
   if (beta_max <= 0.0) {
-    std::tie(beta_min, beta_max) = DefaultBetaRange(qubo, adjacency);
+    std::tie(beta_min, beta_max) = DefaultBetaRange(graph);
   }
   QOPT_CHECK(beta_min > 0.0 && beta_max >= beta_min);
   const double beta_ratio =
@@ -83,22 +249,6 @@ StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
   for (const auto& group : options.flip_groups) {
     for (int i : group) QOPT_CHECK(i >= 0 && i < n);
   }
-  // Proposes flipping all of `group` jointly; FlipDelta is evaluated
-  // incrementally while flipping, and the move is undone when rejected.
-  auto propose_group_flip = [&](std::vector<std::uint8_t>& bits,
-                                const std::vector<int>& group, double beta,
-                                Rng* rng_ptr) -> double {
-    double delta = 0.0;
-    for (int i : group) {
-      delta += qubo.FlipDelta(bits, i, adjacency);
-      bits[static_cast<std::size_t>(i)] ^= 1;
-    }
-    if (delta <= 0.0 || rng_ptr->NextDouble() < std::exp(-beta * delta)) {
-      return delta;
-    }
-    for (int i : group) bits[static_cast<std::size_t>(i)] ^= 1;
-    return 0.0;
-  };
 
   // One fully independent read per slot: its own RNG stream, its own
   // state, results indexed by read. Reads then run on the default pool
@@ -117,9 +267,8 @@ StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
         QQO_TRACE_SPAN("anneal.read");
         QQO_COUNT("anneal.reads", 1);
         Rng rng(ReadSeed(options.seed, static_cast<int>(read)));
-        std::vector<std::uint8_t> bits(static_cast<std::size_t>(n));
-        for (auto& b : bits) b = rng.NextBool() ? 1 : 0;
-        double energy = qubo.Energy(bits);
+        ReadState& state = LocalReadState();
+        state.Reset(graph, qubo, &rng);
         double beta = beta_min;
         bool cut_short = false;
         // QQO_LOOP(anneal.sweep)
@@ -139,14 +288,17 @@ StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
             break;  // keep the best-so-far state
           }
           for (int i = 0; i < n; ++i) {
-            const double delta = qubo.FlipDelta(bits, i, adjacency);
+            const double delta = state.FlipDelta(i);
             if (delta <= 0.0 || rng.NextDouble() < std::exp(-beta * delta)) {
-              bits[static_cast<std::size_t>(i)] ^= 1;
-              energy += delta;
+              state.CommitFlip(graph, i);
+              state.energy += delta;
             }
           }
           for (const auto& group : options.flip_groups) {
-            energy += propose_group_flip(bits, group, beta, &rng);
+            const double delta = state.GroupDelta(graph, group);
+            if (delta <= 0.0 || rng.NextDouble() < std::exp(-beta * delta)) {
+              state.CommitGroup(graph, group, delta);
+            }
           }
           beta *= beta_ratio;
         }
@@ -157,29 +309,25 @@ StatusOr<AnnealResult> TrySolveQuboWithAnnealing(const QuboModel& qubo,
         while (improved) {
           improved = false;
           for (int i = 0; i < n; ++i) {
-            const double delta = qubo.FlipDelta(bits, i, adjacency);
+            const double delta = state.FlipDelta(i);
             if (delta < -1e-12) {
-              bits[static_cast<std::size_t>(i)] ^= 1;
-              energy += delta;
+              state.CommitFlip(graph, i);
+              state.energy += delta;
               improved = true;
             }
           }
           for (const auto& group : options.flip_groups) {
-            double delta = 0.0;
-            for (int i : group) {
-              delta += qubo.FlipDelta(bits, i, adjacency);
-              bits[static_cast<std::size_t>(i)] ^= 1;
-            }
+            const double delta = state.GroupDelta(graph, group);
             if (delta < -1e-12) {
-              energy += delta;
+              state.CommitGroup(graph, group, delta);
               improved = true;
-            } else {
-              for (int i : group) bits[static_cast<std::size_t>(i)] ^= 1;
             }
           }
         }
-        read_energies[read] = energy;
-        read_bits[read] = std::move(bits);
+        read_energies[read] = state.energy;
+        // Copy (not move) so the worker's arena keeps its storage for the
+        // next read.
+        read_bits[read] = state.bits;
         read_done[read] = 1;
       });
 

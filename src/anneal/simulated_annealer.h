@@ -55,6 +55,12 @@ StatusOr<AnnealResult> TrySolveQuboWithAnnealing(
 /// on a geometric inverse-temperature schedule. Infinite-deadline wrapper
 /// around TrySolveQuboWithAnnealing; aborts on cancellation or injected
 /// faults, which cannot occur in normal operation.
+///
+/// Sweep kernel: each read maintains a per-variable local-field array so a
+/// flip proposal is an O(1) lookup and only *accepted* flips pay
+/// O(degree) to update neighbor fields (dense problems use contiguous
+/// coefficient rows instead of the CSR gather). Group flips share the
+/// same cache. See DESIGN.md "Performance".
 AnnealResult SolveQuboWithAnnealing(const QuboModel& qubo,
                                     const AnnealOptions& options = {});
 

@@ -25,6 +25,14 @@ namespace qopt {
 /// state is large enough. All parallel passes write disjoint slots with
 /// thread-count-independent arithmetic, so results are bit-identical for
 /// any QQO_THREADS setting.
+///
+/// The single-qubit gate pass (every H/X/Y/RX/RY layer — the bulk of QAOA
+/// mixer and VQE ansatz work) additionally dispatches to AVX2 or NEON
+/// vector kernels via qopt::ActiveSimdLevel() (QQO_SIMD env override,
+/// runtime CPUID probe, scalar fallback). The vector kernels perform the
+/// same primitive FP operations in the same order as the scalar path and
+/// never use FMA contraction, so scalar and SIMD amplitudes are
+/// byte-identical — see DESIGN.md "Performance".
 class Statevector {
  public:
   /// Initializes |0...0>.

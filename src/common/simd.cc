@@ -1,0 +1,97 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+
+namespace qopt {
+namespace {
+
+/// Test override stack top: -1 means "no override", otherwise the
+/// SimdLevel value. A relaxed atomic keeps ActiveSimdLevel() one load on
+/// the kernel dispatch path; overrides only happen in tests.
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool CpuSupportsAvx2() {
+#if QQO_SIMD_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdLevel BestSupportedSimdLevel() {
+#if QQO_SIMD_NEON
+  return SimdLevel::kNeon;
+#else
+  if (CpuSupportsAvx2()) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+#endif
+}
+
+StatusOr<SimdLevel> ParseSimdLevel(std::string_view name,
+                                   std::string_view text) {
+  if (text.empty() || text == "auto") return BestSupportedSimdLevel();
+  if (text == "scalar" || text == "0") return SimdLevel::kScalar;
+  if (text == "avx2") {
+    if (!CpuSupportsAvx2()) {
+      return InvalidArgumentError(std::string(name) +
+                                  "=avx2 but this build/CPU cannot execute "
+                                  "AVX2 instructions");
+    }
+    return SimdLevel::kAvx2;
+  }
+  if (text == "neon") {
+#if QQO_SIMD_NEON
+    return SimdLevel::kNeon;
+#else
+    return InvalidArgumentError(std::string(name) +
+                                "=neon but this is not an ARM NEON build");
+#endif
+  }
+  return InvalidArgumentError(std::string(name) + "='" + std::string(text) +
+                              "' is not a SIMD level (expected auto, "
+                              "scalar, avx2 or neon)");
+}
+
+StatusOr<SimdLevel> SimdLevelFromEnvOrStatus() {
+  const char* value = std::getenv("QQO_SIMD");
+  return ParseSimdLevel("QQO_SIMD", value == nullptr ? "" : value);
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int override_level = g_override.load(std::memory_order_relaxed);
+  if (override_level >= 0) return static_cast<SimdLevel>(override_level);
+  static const SimdLevel kEnvLevel = [] {
+    StatusOr<SimdLevel> level = SimdLevelFromEnvOrStatus();
+    QOPT_CHECK_MSG(level.ok(), level.status().ToString().c_str());
+    return *level;
+  }();
+  return kEnvLevel;
+}
+
+ScopedSimdLevel::ScopedSimdLevel(SimdLevel level)
+    : previous_(g_override.exchange(static_cast<int>(level),
+                                    std::memory_order_relaxed)) {}
+
+ScopedSimdLevel::~ScopedSimdLevel() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace qopt

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+
+/// Compile-time SIMD capability probes for the statevector kernels.
+/// QQO_SIMD_X86 marks a GNU-compatible x86 build where AVX2 kernels can be
+/// compiled behind a per-function target attribute and selected at runtime
+/// via CPUID; QQO_SIMD_NEON marks an AArch64/ARM build whose baseline ISA
+/// already includes the 128-bit vector unit, so the NEON kernels need no
+/// runtime probe at all.
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define QQO_SIMD_X86 1
+#else
+#define QQO_SIMD_X86 0
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define QQO_SIMD_NEON 1
+#else
+#define QQO_SIMD_NEON 0
+#endif
+
+#if QQO_SIMD_X86
+/// Compiles one function for AVX2 regardless of the translation unit's
+/// baseline -m flags. Deliberately does NOT enable FMA: fused multiply-add
+/// contracts a*b+c into one rounding, which would break the bit-for-bit
+/// equivalence between the vector kernels and the scalar fallback.
+#define QQO_SIMD_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define QQO_SIMD_TARGET_AVX2
+#endif
+
+namespace qopt {
+
+/// Which instruction set the vectorized kernels dispatch to. The scalar
+/// path is always available and is the semantic reference: every SIMD
+/// kernel in the repo performs the same primitive FP operations in the
+/// same order as its scalar twin, so the two produce byte-identical
+/// results (see DESIGN.md "Performance").
+enum class SimdLevel {
+  kScalar,
+  kAvx2,
+  kNeon,
+};
+
+/// Human-readable name ("scalar", "avx2", "neon") for logs and snapshots.
+const char* SimdLevelName(SimdLevel level);
+
+/// True when the running CPU can execute AVX2 instructions. Always false
+/// on non-x86 builds.
+bool CpuSupportsAvx2();
+
+/// Best level the current build + CPU supports (the "auto" resolution).
+SimdLevel BestSupportedSimdLevel();
+
+/// Parses a QQO_SIMD override: "auto" (best supported), "scalar", "avx2",
+/// "neon". Requesting a level the build or CPU cannot execute, or any
+/// other text, is kInvalidArgument with `name` in the message — never a
+/// silent fallback (same contract as QQO_THREADS parsing).
+StatusOr<SimdLevel> ParseSimdLevel(std::string_view name,
+                                   std::string_view text);
+
+/// Process-wide active level. Resolved once from the QQO_SIMD environment
+/// variable (unset/empty means "auto") on first call and cached; aborts
+/// with the parse error on an invalid value, mirroring
+/// ThreadPool::PoolSizeFromEnv(). Tests override it with ScopedSimdLevel
+/// instead of mutating the environment mid-process.
+SimdLevel ActiveSimdLevel();
+
+/// Status-returning flavour of the QQO_SIMD resolution for front-ends
+/// that validate the environment before doing work.
+StatusOr<SimdLevel> SimdLevelFromEnvOrStatus();
+
+/// RAII override of ActiveSimdLevel() so one process can run the same
+/// kernel under several levels and assert the results are identical.
+/// Overrides nest; each restores the previous level on destruction.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level);
+  ~ScopedSimdLevel();
+
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace qopt

@@ -104,6 +104,41 @@ std::vector<std::vector<std::pair<int, double>>> QuboModel::BuildAdjacency()
   return adjacency;
 }
 
+CsrAdjacency QuboModel::BuildCsrAdjacency() const {
+  const std::size_t n = static_cast<std::size_t>(NumVariables());
+  CsrAdjacency csr;
+  csr.offsets.assign(n + 1, 0);
+  // QuadraticTerms() is sorted by (i, j) with i < j, so appending both
+  // directions in term order leaves every row sorted by neighbor index:
+  // row i first receives its j < i partners (from terms (j, i), iterated
+  // in ascending j), then its j > i partners in ascending j.
+  const auto terms = QuadraticTerms();
+  for (const auto& [edge, coeff] : terms) {
+    (void)coeff;
+    ++csr.offsets[static_cast<std::size_t>(edge.first) + 1];
+    ++csr.offsets[static_cast<std::size_t>(edge.second) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) csr.offsets[i + 1] += csr.offsets[i];
+  csr.neighbors.resize(2 * terms.size());
+  csr.coeffs.resize(2 * terms.size());
+  std::vector<std::size_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (const auto& [edge, coeff] : terms) {
+    const std::size_t i = static_cast<std::size_t>(edge.first);
+    const std::size_t j = static_cast<std::size_t>(edge.second);
+    csr.neighbors[cursor[i]] = edge.second;
+    csr.coeffs[cursor[i]++] = coeff;
+    csr.neighbors[cursor[j]] = edge.first;
+    csr.coeffs[cursor[j]++] = coeff;
+  }
+  return csr;
+}
+
+double QuboModel::Density() const {
+  const double n = static_cast<double>(NumVariables());
+  if (n < 2.0) return 0.0;
+  return static_cast<double>(NumQuadraticTerms()) / (n * (n - 1.0) / 2.0);
+}
+
 double QuboModel::FlipDelta(
     const std::vector<std::uint8_t>& bits, int i,
     const std::vector<std::vector<std::pair<int, double>>>& adjacency) const {

@@ -9,6 +9,26 @@
 
 namespace qopt {
 
+/// Flattened compressed-sparse-row view of a QUBO's quadratic terms: the
+/// neighbors of variable i are neighbors[offsets[i] .. offsets[i+1]), with
+/// matching coefficients, sorted by neighbor index. The sort makes the
+/// layout (and therefore every FP summation order derived from it)
+/// deterministic across platforms and standard libraries — unlike
+/// BuildAdjacency(), whose row order inherits the unordered_map iteration
+/// order. This is the local-search solvers' hot-loop format: one
+/// contiguous coefficient stream per row instead of a vector-of-vectors of
+/// pairs.
+struct CsrAdjacency {
+  std::vector<std::size_t> offsets;  ///< size NumVariables() + 1
+  std::vector<int> neighbors;        ///< size 2 * NumQuadraticTerms()
+  std::vector<double> coeffs;        ///< parallel to neighbors
+
+  int Degree(int i) const {
+    return static_cast<int>(offsets[static_cast<std::size_t>(i) + 1] -
+                            offsets[static_cast<std::size_t>(i)]);
+  }
+};
+
 /// Quadratic unconstrained binary optimization problem
 ///
 ///   E(x) = offset + sum_i linear_i * x_i
@@ -64,6 +84,15 @@ class QuboModel {
   /// partners. Useful for incremental energy updates in local-search
   /// solvers. Rebuilt on each call.
   std::vector<std::vector<std::pair<int, double>>> BuildAdjacency() const;
+
+  /// Index-sorted flattened adjacency (see CsrAdjacency). Rebuilt on each
+  /// call; O(terms log terms).
+  CsrAdjacency BuildCsrAdjacency() const;
+
+  /// Fraction of the n*(n-1)/2 possible variable pairs that carry a stored
+  /// quadratic term (0.0 for n < 2). The annealer uses this to pick the
+  /// dense-row sweep layout for dense problems.
+  double Density() const;
 
   /// Energy delta from flipping bit `i` of `bits`, in O(degree(i)) given a
   /// prebuilt adjacency.

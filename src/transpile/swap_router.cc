@@ -132,6 +132,10 @@ StatusOr<RoutedCircuit> TryRouteCircuit(const QuantumCircuit& circuit,
 
   const auto& gates = circuit.Gates();
   std::size_t index = 0;
+  // Reused across the diagonal-run iterations below so routing a long
+  // commuting run never reallocates mid-loop.
+  std::vector<std::pair<int, int>> lookahead;
+  lookahead.reserve(lookahead_window);
   // QQO_LOOP(transpile.route)
   while (index < gates.size()) {
     QQO_COUNT("transpile.routed_gates", 1);
@@ -184,7 +188,7 @@ StatusOr<RoutedCircuit> TryRouteCircuit(const QuantumCircuit& circuit,
           best = k;
         }
       }
-      std::vector<std::pair<int, int>> lookahead;
+      lookahead.clear();
       for (std::size_t k = 0;
            k < pending.size() && lookahead.size() < lookahead_window; ++k) {
         if (k == best) continue;

@@ -68,6 +68,34 @@ TEST(AnnealerTest, ReadEnergiesSizeMatchesReads) {
   EXPECT_NEAR(result.best_energy, best, 1e-8);
 }
 
+TEST(AnnealerTest, GroupFlipEnergiesMatchRecomputation) {
+  // Pins the incremental group-flip delta (local-field cache + in-group
+  // pairwise correction) to the ground truth: every read's tracked final
+  // energy must agree with a from-scratch Energy() recompute of its bits,
+  // on both sides of the dense-row layout threshold and with overlapping
+  // groups. A wrong pairwise term corrupts the tracked energies without
+  // necessarily changing which bits win, so this catches what the
+  // ground-state tests cannot.
+  for (const double density : {0.15, 0.7}) {
+    const QuboModel qubo = MakeRandomQubo(14, density, 21);
+    AnnealOptions options;
+    options.num_reads = 10;
+    options.num_sweeps = 250;
+    options.seed = 17;
+    options.flip_groups = {{0, 1}, {2, 5, 9}, {1, 2, 13}};
+    const AnnealResult result = SolveQuboWithAnnealing(qubo, options);
+    ASSERT_EQ(result.read_energies.size(), 10u);
+    const double best = *std::min_element(result.read_energies.begin(),
+                                          result.read_energies.end());
+    EXPECT_NEAR(best, result.best_energy, 1e-8) << "density " << density;
+    EXPECT_EQ(result.best_energy, qubo.Energy(result.best_bits));
+
+    // The joint proposals must also still reach the optimum.
+    const BruteForceResult exact = SolveQuboBruteForce(qubo);
+    EXPECT_NEAR(result.best_energy, exact.best_energy, 1e-8);
+  }
+}
+
 TEST(AnnealerTest, ConstantObjectiveHandled) {
   QuboModel qubo(3);
   qubo.AddOffset(5.0);

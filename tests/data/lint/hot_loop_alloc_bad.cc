@@ -1,0 +1,29 @@
+// Fixture: per-iteration heap allocation inside registered hot loops
+// fires qqo-hot-loop-alloc (new, unreserved push_back, std::string
+// construction, to_string, make_unique).
+#include <memory>
+#include <string>
+#include <vector>
+
+struct Deadline {
+  bool Expired() const { return false; }
+};
+
+#define QQO_COUNT(name, delta)
+
+double HotSweep(int sweeps, const Deadline& deadline) {
+  std::vector<int> accepted;  // never reserved
+  double energy = 0.0;
+  // QQO_LOOP(fixture.alloc_bad)
+  for (int s = 0; s < sweeps; ++s) {
+    if (deadline.Expired()) break;
+    QQO_COUNT("fixture.sweeps", 1);
+    double* slot = new double(energy);
+    accepted.push_back(s);
+    std::string label = "sweep " + std::to_string(s);
+    auto boxed = std::make_unique<int>(s);
+    energy += *slot + static_cast<double>(label.size() + *boxed);
+    delete slot;
+  }
+  return energy;
+}

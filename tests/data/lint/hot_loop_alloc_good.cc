@@ -1,0 +1,35 @@
+// Fixture: registered hot loops that only touch preallocated storage
+// satisfy qqo-hot-loop-alloc.
+#include <string>
+#include <vector>
+
+struct Deadline {
+  bool Expired() const { return false; }
+};
+
+#define QQO_COUNT(name, delta)
+
+double HotSweep(int sweeps, const Deadline& deadline) {
+  std::vector<double> scratch;
+  scratch.resize(64);
+  std::vector<int> accepted;
+  accepted.reserve(static_cast<std::size_t>(sweeps));
+  const std::string label = "sweep";  // built once, outside the loop
+  double energy = 0.0;
+  // QQO_LOOP(fixture.alloc_good)
+  for (int s = 0; s < sweeps; ++s) {
+    if (deadline.Expired()) break;
+    QQO_COUNT("fixture.sweeps", 1);
+    scratch[static_cast<std::size_t>(s) % scratch.size()] = energy;
+    accepted.push_back(s);  // amortized: reserved above
+    energy += static_cast<double>(s) + static_cast<double>(label.size());
+  }
+  return energy;
+}
+
+// Allocation outside any registered hot loop is not this rule's business.
+std::string ColdPath(int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) out += std::to_string(i);
+  return out;
+}

@@ -165,6 +165,37 @@ TEST(ObsCoverageRuleTest, DanglingMarkerIsReportedByDeadlineRuleOnly) {
   EXPECT_EQ(findings.size(), 0u);
 }
 
+TEST(HotLoopAllocRuleTest, FiresOnBadFixture) {
+  const std::vector<Finding> findings = LintFixture("hot_loop_alloc_bad.cc");
+  // new, unreserved push_back, std::string construction, to_string,
+  // make_unique — one finding each.
+  EXPECT_EQ(CountRule(findings, kHotLoopAllocRule), 5);
+}
+
+TEST(HotLoopAllocRuleTest, QuietOnGoodFixture) {
+  const std::vector<Finding> findings = LintFixture("hot_loop_alloc_good.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(HotLoopAllocRuleTest, ReserveAnywhereInFileAmortizesPushBack) {
+  Options options;
+  options.rules = {kHotLoopAllocRule};
+  const std::vector<Finding> findings = LintContent(
+      "a.cc",
+      "void f(int n) {\n"
+      "  out.reserve(n);\n"
+      "  // QQO_LOOP(fixture.reserved)\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    out.push_back(i);\n"
+      "    other.push_back(i);\n"
+      "  }\n"
+      "}\n",
+      Policy{}, SymbolTable{}, options);
+  // Only the never-reserved container is flagged.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("'other'"), std::string::npos);
+}
+
 TEST(StatusDiscardRuleTest, FiresOnBadFixture) {
   const std::vector<Finding> findings = LintFixture("status_discard_bad.cc");
   EXPECT_EQ(CountRule(findings, kStatusDiscardRule), 3);

@@ -436,6 +436,85 @@ void CheckObsCoverage(const std::string& path, const LexResult& lex,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: qqo-hot-loop-alloc
+// ---------------------------------------------------------------------------
+
+/// Names that the file visibly preallocates: any identifier that appears
+/// as the receiver of a .reserve(...) or .resize(...) call anywhere in the
+/// file. push_back/emplace_back into these is amortization-safe and not
+/// flagged (same whole-file conservatism as the container-name collection
+/// in the ordered-output rule).
+std::set<std::string> CollectPreallocatedNames(const std::vector<Tok>& toks) {
+  std::set<std::string> names;
+  for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        (toks[i].text != "reserve" && toks[i].text != "resize" &&
+         toks[i].text != "assign")) {
+      continue;
+    }
+    if (toks[i + 1].text != "(") continue;
+    if (toks[i - 1].kind != TokKind::kPunct ||
+        (toks[i - 1].text != "." && toks[i - 1].text != "->")) {
+      continue;
+    }
+    if (toks[i - 2].kind == TokKind::kIdent) names.insert(toks[i - 2].text);
+  }
+  return names;
+}
+
+/// QQO_LOOP-annotated hot loops must not allocate per iteration: no `new`,
+/// no std::string construction or to_string, no make_unique/make_shared,
+/// and no push_back/emplace_back into a container the file never
+/// reserve()/resize()s. Preallocate outside the loop (arena / Reset()
+/// reuse pattern) or hoist the allocation, and NOLINT with a reason for
+/// the genuinely-amortized exceptions.
+void CheckHotLoopAlloc(const std::string& path, const LexResult& lex,
+                       std::vector<Finding>* findings) {
+  const std::vector<Tok>& toks = lex.tokens;
+  const std::vector<LoopMarker> markers = CollectLoopMarkers(lex.comments);
+  if (markers.empty()) return;
+  const std::set<std::string> preallocated = CollectPreallocatedNames(toks);
+  for (const LoopMarker& marker : markers) {
+    std::size_t body = 0;
+    std::size_t body_end = 0;
+    if (!FindMarkedLoopBody(toks, marker, &body, &body_end)) continue;
+    for (std::size_t i = body; i < body_end; ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const std::string& name = toks[i].text;
+      const bool called = i + 1 < body_end && toks[i + 1].text == "(";
+      auto flag = [&](const std::string& message) {
+        findings->push_back({kHotLoopAllocRule, path, toks[i].line,
+                             "QQO_LOOP(" + marker.site + "): " + message});
+      };
+      if (name == "new") {
+        flag("'new' inside a hot loop allocates every iteration; hoist "
+             "the allocation or use a reused arena");
+      } else if ((name == "push_back" || name == "emplace_back") && called &&
+                 i >= 2 && toks[i - 1].kind == TokKind::kPunct &&
+                 (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+                 toks[i - 2].kind == TokKind::kIdent &&
+                 preallocated.count(toks[i - 2].text) == 0) {
+        flag("" + name + " into '" + toks[i - 2].text +
+             "' which is never reserve()/resize()d; growth reallocates "
+             "mid-sweep — preallocate outside the loop");
+      } else if (name == "string" && i + 1 < body_end &&
+                 (toks[i + 1].kind == TokKind::kIdent ||
+                  toks[i + 1].text == "(" || toks[i + 1].text == "{")) {
+        flag("std::string construction inside a hot loop heap-allocates; "
+             "build strings outside the loop");
+      } else if (name == "to_string" && called) {
+        flag("to_string allocates a fresh string every iteration; format "
+             "outside the loop");
+      } else if ((name == "make_unique" || name == "make_shared") &&
+                 (called || (i + 1 < body_end && toks[i + 1].text == "<"))) {
+        flag(name + " inside a hot loop allocates every iteration; hoist "
+                    "the allocation");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: qqo-status-discard
 // ---------------------------------------------------------------------------
 
@@ -594,8 +673,9 @@ bool IsLintableFile(const fs::path& path) {
 }  // namespace
 
 std::vector<std::string> AllRules() {
-  return {kDeterminismRule, kOrderedOutputRule, kDeadlineCoverageRule,
-          kObsCoverageRule, kStatusDiscardRule, kHeaderHygieneRule};
+  return {kDeterminismRule,    kOrderedOutputRule, kDeadlineCoverageRule,
+          kObsCoverageRule,    kHotLoopAllocRule,  kStatusDiscardRule,
+          kHeaderHygieneRule};
 }
 
 bool Options::IsRuleEnabled(const std::string& rule) const {
@@ -658,6 +738,9 @@ std::vector<Finding> LintContent(const std::string& path,
   }
   if (options.IsRuleEnabled(kObsCoverageRule)) {
     CheckObsCoverage(path, lex, &raw);
+  }
+  if (options.IsRuleEnabled(kHotLoopAllocRule)) {
+    CheckHotLoopAlloc(path, lex, &raw);
   }
   if (options.IsRuleEnabled(kStatusDiscardRule)) {
     CheckStatusDiscard(path, lex, symbols, &raw);

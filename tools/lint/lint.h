@@ -15,6 +15,7 @@ inline constexpr char kDeterminismRule[] = "qqo-determinism";
 inline constexpr char kOrderedOutputRule[] = "qqo-ordered-output";
 inline constexpr char kDeadlineCoverageRule[] = "qqo-deadline-coverage";
 inline constexpr char kObsCoverageRule[] = "qqo-obs-coverage";
+inline constexpr char kHotLoopAllocRule[] = "qqo-hot-loop-alloc";
 inline constexpr char kStatusDiscardRule[] = "qqo-status-discard";
 inline constexpr char kHeaderHygieneRule[] = "qqo-header-hygiene";
 inline constexpr char kNolintRule[] = "qqo-nolint";
