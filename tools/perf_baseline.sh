@@ -19,18 +19,32 @@
 # future readers of the history — can see how each change moved the hot
 # paths.
 #
-# --check re-runs the hot-loop benchmarks and fails if any of them
-# regressed more than QQO_PERF_TOLERANCE (default 2%) against
-# <baseline.json>; when no baseline is given it uses the newest committed
-# BENCH_*.json snapshot. Snapshots carry a host fingerprint: when it does
-# not match the current machine, the cross-run comparison is skipped with
-# a warning (numbers from different CPUs are not comparable) unless
-# QQO_PERF_ALLOW_CROSS_HOST=1. Both sides compare best-of-repetitions
-# rather than medians: scheduling noise on a shared box is one-sided
-# (interference only ever slows a run down), so the minimum is the stable
-# estimator of the code's true cost. The BM_ObsDisarmed{Baseline,Traced}
-# intra-run pair — disarmed tracing/metrics instrumentation vs the
-# uninstrumented kernel — is always checked; it is host-relative.
+# --check re-runs the hot-loop benchmarks and fails on regressions
+# against <baseline.json>; when no baseline is given it uses the newest
+# committed BENCH_*.json snapshot. Two tolerances apply:
+#
+#   * QQO_PERF_SNAPSHOT_TOLERANCE (default 10%) gates the cross-run
+#     comparison against the snapshot. Runs separated in time on a
+#     shared/virtualized box see frequency and steal-time drift measured
+#     at up to ~8% between windows minutes apart, so a tighter cross-run
+#     gate flakes; 10% still catches the step regressions this gate
+#     exists for (losing SIMD dispatch or incremental sweeps is a
+#     2-10x effect, not a 10% one).
+#   * QQO_PERF_TOLERANCE (default 2%) gates the intra-run
+#     BM_ObsDisarmed{Baseline,Traced} pair — disarmed tracing/metrics
+#     instrumentation vs the uninstrumented kernel. Both sides come from
+#     the same run window, so the tight budget is reliable, and it is
+#     always checked even when the cross-run comparison is skipped.
+#
+# Both sides compare best-of-repetitions rather than medians: scheduling
+# noise on a shared box is one-sided (interference only ever slows a run
+# down), so the minimum is the stable estimator of the code's true cost.
+# On failure the suite is re-run and the minima merged, up to
+# QQO_PERF_CHECK_ATTEMPTS (default 2) passes — a real regression fails
+# every window, noise does not. Snapshots carry a host fingerprint: when
+# it does not match the current machine, the cross-run comparison is
+# skipped with a warning (numbers from different CPUs are not
+# comparable) unless QQO_PERF_ALLOW_CROSS_HOST=1.
 
 set -euo pipefail
 
@@ -52,6 +66,88 @@ require_perf_bin() {
     echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
     exit 1
   fi
+}
+
+# Writes the --check comparison script to $1. It takes the baseline
+# path, the two tolerances, and one raw google-benchmark JSON per check
+# attempt; minima are merged across attempts before comparing.
+write_compare_py() {
+  cat > "$1" <<'PY'
+import json, os, sys
+
+baseline_path = sys.argv[1]
+tolerance, snapshot_tolerance = float(sys.argv[2]), float(sys.argv[3])
+current_paths = sys.argv[4:]
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+def times(doc):
+    # Accept a qqo-bench-snapshot-v1 file, a raw google-benchmark file,
+    # and the legacy merged {"serial": ..., "parallel": ...} capture
+    # (serial numbers compared).
+    if doc.get("schema") == "qqo-bench-snapshot-v1":
+        return {b["name"]: float(b["real_time_ns"]) for b in doc["benchmarks"]}
+    doc = doc.get("serial", doc)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Best of the repetition entries (noise is one-sided); the median
+        # aggregate is only a fallback for legacy aggregates-only files.
+        agg = bench.get("aggregate_name", "")
+        if bench.get("run_type") == "aggregate" or agg:
+            if agg == "median":
+                out.setdefault(bench["name"].removesuffix("_median"),
+                               float(bench["real_time"]))
+            continue
+        name = bench["name"]
+        t = float(bench["real_time"])
+        if name not in out or t < out[name]:
+            out[name] = t
+    return out
+
+base_doc = load(baseline_path)
+base = times(base_doc)
+cur = {}
+for path in current_paths:
+    for name, t in times(load(path)).items():
+        if name not in cur or t < cur[name]:
+            cur[name] = t
+failed = False
+
+baseline_host = base_doc.get("host")
+current_host = os.environ.get("QQO_PERF_HOST")
+cross_host = (baseline_host is not None and current_host is not None
+              and baseline_host != current_host)
+if cross_host and os.environ.get("QQO_PERF_ALLOW_CROSS_HOST") != "1":
+    print(f"warning: baseline host '{baseline_host}' != current host "
+          f"'{current_host}'; skipping cross-run comparison "
+          f"(set QQO_PERF_ALLOW_CROSS_HOST=1 to force)")
+else:
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        sys.exit("error: no common benchmarks between baseline and current run")
+    for name in shared:
+        ratio = cur[name] / base[name] - 1.0
+        verdict = "FAIL" if ratio > snapshot_tolerance else "ok"
+        failed |= ratio > snapshot_tolerance
+        print(f"{verdict:4} {name}: {base[name]:.0f} -> {cur[name]:.0f} ns "
+              f"({ratio:+.2%}, tolerance {snapshot_tolerance:.0%})")
+
+# Disarmed-observability budget: traced vs untraced kernel in THIS run,
+# host-relative by construction, so it runs even when the cross-run
+# comparison is skipped — and at the tight intra-run tolerance, since
+# both sides share the same measurement window.
+untraced = cur.get("BM_ObsDisarmedBaseline")
+traced = cur.get("BM_ObsDisarmedTraced")
+if untraced and traced:
+    ratio = traced / untraced - 1.0
+    verdict = "FAIL" if ratio > tolerance else "ok"
+    failed |= ratio > tolerance
+    print(f"{verdict:4} disarmed obs overhead: {untraced:.0f} -> "
+          f"{traced:.0f} ns ({ratio:+.2%}, tolerance {tolerance:.0%})")
+sys.exit(1 if failed else 0)
+PY
 }
 
 if [[ "${1:-}" == "--record" ]]; then
@@ -137,89 +233,40 @@ if [[ "${1:-}" == "--check" ]]; then
   fi
   perf_bin="${build_dir}/bench/perf_micro"
   tolerance="${QQO_PERF_TOLERANCE:-0.02}"
+  snapshot_tolerance="${QQO_PERF_SNAPSHOT_TOLERANCE:-0.10}"
+  attempts="${QQO_PERF_CHECK_ATTEMPTS:-2}"
   hot_filter="${QQO_BENCH_FILTER:-BM_SimulatedAnnealing|BM_SaSweepDensity|BM_StatevectorQaoa|BM_StatevectorGateLayer|BM_ObsDisarmed}"
   require_perf_bin
   if [[ ! -r "${baseline_json}" ]]; then
     echo "error: baseline ${baseline_json} not readable" >&2
     exit 1
   fi
-  current_json="$(mktemp)"
-  trap 'rm -f "${current_json}"' EXIT
-  echo "== perf_micro --check (filter: ${hot_filter}, QQO_THREADS=1) =="
-  QQO_THREADS=1 "${perf_bin}" \
-    --benchmark_filter="${hot_filter}" \
-    --benchmark_repetitions=3 \
-    --benchmark_out="${current_json}" --benchmark_out_format=json
-  QQO_PERF_HOST="$(host_fingerprint)" \
-  python3 - "${baseline_json}" "${current_json}" "${tolerance}" <<'PY'
-import json, os, sys
-
-baseline_path, current_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
-
-def load(path):
-    with open(path) as f:
-        return json.load(f)
-
-def times(doc):
-    # Accept a qqo-bench-snapshot-v1 file, a raw google-benchmark file,
-    # and the legacy merged {"serial": ..., "parallel": ...} capture
-    # (serial numbers compared).
-    if doc.get("schema") == "qqo-bench-snapshot-v1":
-        return {b["name"]: float(b["real_time_ns"]) for b in doc["benchmarks"]}
-    doc = doc.get("serial", doc)
-    out = {}
-    for bench in doc.get("benchmarks", []):
-        # Best of the repetition entries (noise is one-sided); the median
-        # aggregate is only a fallback for legacy aggregates-only files.
-        agg = bench.get("aggregate_name", "")
-        if bench.get("run_type") == "aggregate" or agg:
-            if agg == "median":
-                out.setdefault(bench["name"].removesuffix("_median"),
-                               float(bench["real_time"]))
-            continue
-        name = bench["name"]
-        t = float(bench["real_time"])
-        if name not in out or t < out[name]:
-            out[name] = t
-    return out
-
-base_doc, cur_doc = load(baseline_path), load(current_path)
-base, cur = times(base_doc), times(cur_doc)
-failed = False
-
-baseline_host = base_doc.get("host")
-current_host = os.environ.get("QQO_PERF_HOST")
-cross_host = (baseline_host is not None and current_host is not None
-              and baseline_host != current_host)
-if cross_host and os.environ.get("QQO_PERF_ALLOW_CROSS_HOST") != "1":
-    print(f"warning: baseline host '{baseline_host}' != current host "
-          f"'{current_host}'; skipping cross-run comparison "
-          f"(set QQO_PERF_ALLOW_CROSS_HOST=1 to force)")
-else:
-    shared = sorted(set(base) & set(cur))
-    if not shared:
-        sys.exit("error: no common benchmarks between baseline and current run")
-    for name in shared:
-        ratio = cur[name] / base[name] - 1.0
-        verdict = "FAIL" if ratio > tolerance else "ok"
-        failed |= ratio > tolerance
-        print(f"{verdict:4} {name}: {base[name]:.0f} -> {cur[name]:.0f} ns "
-              f"({ratio:+.2%}, tolerance {tolerance:.0%})")
-
-# Disarmed-observability budget: traced vs untraced kernel in THIS run,
-# host-relative by construction, so it runs even when the cross-run
-# comparison is skipped.
-untraced = cur.get("BM_ObsDisarmedBaseline")
-traced = cur.get("BM_ObsDisarmedTraced")
-if untraced and traced:
-    ratio = traced / untraced - 1.0
-    verdict = "FAIL" if ratio > tolerance else "ok"
-    failed |= ratio > tolerance
-    print(f"{verdict:4} disarmed obs overhead: {untraced:.0f} -> "
-          f"{traced:.0f} ns ({ratio:+.2%}, tolerance {tolerance:.0%})")
-sys.exit(1 if failed else 0)
-PY
-  exit $?
+  tmpdir="$(mktemp -d)"
+  trap 'rm -rf "${tmpdir}"' EXIT
+  write_compare_py "${tmpdir}/compare.py"
+  current_jsons=()
+  status=1
+  for ((attempt = 1; attempt <= attempts; attempt++)); do
+    current_json="${tmpdir}/check_${attempt}.json"
+    current_jsons+=("${current_json}")
+    echo "== perf_micro --check attempt ${attempt}/${attempts}" \
+         "(filter: ${hot_filter}, QQO_THREADS=1) =="
+    QQO_THREADS=1 "${perf_bin}" \
+      --benchmark_filter="${hot_filter}" \
+      --benchmark_repetitions=3 \
+      --benchmark_out="${current_json}" --benchmark_out_format=json
+    if QQO_PERF_HOST="$(host_fingerprint)" \
+       python3 "${tmpdir}/compare.py" "${baseline_json}" "${tolerance}" \
+         "${snapshot_tolerance}" "${current_jsons[@]}"; then
+      status=0
+      break
+    fi
+    if (( attempt < attempts )); then
+      echo "-- regression flagged; re-running and merging minima" \
+           "(a real regression fails every window) --"
+    fi
+  done
+  exit "${status}"
 fi
 
 build_dir="${1:-build}"
