@@ -15,6 +15,7 @@
 #include "mqo/mqo_generator.h"
 #include "mqo/mqo_qubo_encoder.h"
 #include "common/random.h"
+#include "core/quantum_optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qubo/brute_force_solver.h"
@@ -285,6 +286,36 @@ void BM_ObsDisarmedTraced(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsDisarmedTraced);
+
+// Dispatch-overhead pair on the paper's 8-qubit MQO example: the serial
+// path runs the exact oracle directly; the raced path fans the portfolio
+// out over the thread pool, streams incumbents through the shared cell
+// and cancels the losers. The gap between the two is the full cost of
+// the racing machinery (lane setup, incumbent publishing, cancellation,
+// drain), which the perf gate tracks alongside the solver kernels.
+void BM_RaceDispatchSerial(benchmark::State& state) {
+  const MqoProblem problem = MakePaperExampleMqo();
+  OptimizerOptions options;
+  options.backend = Backend::kExact;
+  options.dispatch = DispatchMode::kSerial;
+  options.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrySolveMqo(problem, options));
+  }
+}
+BENCHMARK(BM_RaceDispatchSerial)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_RaceDispatchRace(benchmark::State& state) {
+  const MqoProblem problem = MakePaperExampleMqo();
+  OptimizerOptions options;
+  options.backend = Backend::kExact;
+  options.dispatch = DispatchMode::kRace;
+  options.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrySolveMqo(problem, options));
+  }
+}
+BENCHMARK(BM_RaceDispatchRace)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_JoinOrderDp(benchmark::State& state) {
   QueryGeneratorOptions gen;

@@ -15,16 +15,28 @@ namespace qopt {
 class CancelToken {
  public:
   CancelToken() = default;
+  /// A linked token: reports cancellation when either it or `parent` has
+  /// fired. Used by fan-out dispatchers (the portfolio racer) that need a
+  /// shared internal token which must also trip the moment the caller's
+  /// own token fires — with no polling thread in between, which matters
+  /// when the pool runs the work inline on the caller's thread. `parent`
+  /// may be null (plain token) and must otherwise outlive this token.
+  /// Cancel() and Reset() touch only this token, never the parent.
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
   CancelToken(const CancelToken&) = delete;
   CancelToken& operator=(const CancelToken&) = delete;
 
   void Cancel() { cancelled_.store(true, std::memory_order_release); }
-  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire) ||
+           (parent_ != nullptr && parent_->cancelled());
+  }
   /// Re-arms the token for reuse across solves (tests mostly).
   void Reset() { cancelled_.store(false, std::memory_order_release); }
 
  private:
   std::atomic<bool> cancelled_{false};
+  const CancelToken* parent_ = nullptr;
 };
 
 /// Wall-clock budget plus optional cancellation, passed by value through

@@ -52,4 +52,10 @@ StatusOr<std::optional<long long>> EnvIntOrStatus(const char* name,
   return std::optional<long long>(parsed);
 }
 
+std::optional<std::string> EnvString(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  return std::string(env);
+}
+
 }  // namespace qopt

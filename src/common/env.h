@@ -22,4 +22,10 @@ StatusOr<std::optional<long long>> EnvIntOrStatus(const char* name,
                                                   long long min_value,
                                                   long long max_value);
 
+/// Reads a string-valued environment knob (QQO_DISPATCH, ...). Unset or
+/// empty yields nullopt so the caller applies its default; validation of
+/// the value (e.g. via ParseDispatchMode) stays with the caller, which
+/// knows the legal vocabulary.
+std::optional<std::string> EnvString(const char* name);
+
 }  // namespace qopt

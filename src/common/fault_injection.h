@@ -29,6 +29,7 @@ namespace qopt {
 ///   annealer.sweep     — per simulated-annealing Metropolis sweep
 ///   transpile.route    — per swap-routing invocation
 ///   statevector.alloc  — before a 2^n amplitude buffer is (re)allocated
+///   race.lane          — per portfolio-race lane (before its backend runs)
 class FaultInjection {
  public:
   static FaultInjection& Instance();

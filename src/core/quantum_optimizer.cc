@@ -1,11 +1,22 @@
 #include "core/quantum_optimizer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <utility>
 
 #include "anneal/pegasus.h"
 #include "bilp/bilp_to_qubo.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "mqo/mqo_qubo_encoder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -300,10 +311,15 @@ StatusOr<DispatchOutcome> DispatchWithFallback(
       return remaining.code() == StatusCode::kCancelled ? remaining : failure;
     }
     QQO_TRACE_SPAN("solve.salvage");
+    // The salvage read is a real backend attempt: count it and continue
+    // the attempt-seed sequence past the N quantum attempts so its RNG
+    // stream is never correlated with any of them.
+    outcome.stats.attempts += 1;
+    QQO_COUNT("solve.attempts", 1);
     AnnealOptions cheap;
     cheap.num_reads = 1;
     cheap.num_sweeps = std::max(1, std::min(options.anneal.num_sweeps, 256));
-    cheap.seed = options.seed;
+    cheap.seed = AttemptSeed(options.seed, outcome.stats.attempts);
     cheap.deadline = budget.deadline;
     StatusOr<AnnealResult> salvage = TrySolveQuboWithAnnealing(qubo, cheap);
     if (!salvage.ok()) {
@@ -319,7 +335,10 @@ StatusOr<DispatchOutcome> DispatchWithFallback(
         StrFormat("%s backend failed (%s)",
                   BackendName(options.backend).c_str(),
                   failure.ToString().c_str());
-    outcome.stats.timed_out = true;
+    // The quantum stage timing out is what we degraded *from*; the report
+    // is timed_out only when the salvage read itself was truncated by the
+    // deadline instead of completing inside the reserved slack.
+    outcome.stats.timed_out = salvage->timed_out;
     outcome.stats.elapsed_ms = watch.ElapsedMillis();
     return outcome;
   }
@@ -328,8 +347,15 @@ StatusOr<DispatchOutcome> DispatchWithFallback(
                                ? Backend::kExact
                                : Backend::kSimulatedAnnealing;
   QQO_TRACE_SPAN("solve.fallback");
-  StatusOr<BackendResult> secondary =
-      TrySolveQuboWithBackend(qubo, options, fallback, budget.deadline);
+  // Like the salvage read: the fallback solve is one more attempt, with
+  // the next seed in the attempt sequence (the original seed was consumed
+  // by attempt 1 already).
+  outcome.stats.attempts += 1;
+  QQO_COUNT("solve.attempts", 1);
+  OptimizerOptions fallback_options = options;
+  fallback_options.seed = AttemptSeed(options.seed, outcome.stats.attempts);
+  StatusOr<BackendResult> secondary = TrySolveQuboWithBackend(
+      qubo, fallback_options, fallback, budget.deadline);
   if (!secondary.ok()) return failure;
   outcome.result = *std::move(secondary);
   outcome.backend_used = fallback;
@@ -340,6 +366,353 @@ StatusOr<DispatchOutcome> DispatchWithFallback(
   outcome.stats.timed_out = outcome.result.timed_out;
   outcome.stats.elapsed_ms = watch.ElapsedMillis();
   return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Portfolio racing (DispatchMode::kRace).
+// ---------------------------------------------------------------------------
+
+/// Fixed backend priority order for winner tie-breaks: on equal incumbent
+/// energy the lower rank wins, independent of which lane finished first.
+/// The exact oracle ranks first — it is the one *decisive* lane: its
+/// completion proves the global optimum, so it may cancel the survivors
+/// without ever changing the selected winner.
+int BackendRank(Backend backend) {
+  switch (backend) {
+    case Backend::kExact:
+      return 0;
+    case Backend::kSimulatedAnnealing:
+      return 1;
+    case Backend::kQaoa:
+      return 2;
+    case Backend::kVqe:
+      return 3;
+    case Backend::kAdiabatic:
+      return 4;
+    case Backend::kAnnealerEmulation:
+      return 5;
+  }
+  return 6;
+}
+
+/// Race-lane qubit caps for the *extra* lanes the racer adds next to the
+/// requested backend. They are deliberately tighter than the serial caps:
+/// an extra lane must stay cheap (the 2^25-amplitude statevector a
+/// 25-qubit QAOA lane would allocate is half a gigabyte the caller never
+/// asked for). The requested backend itself keeps its serial caps.
+constexpr int kMaxRaceQaoaQubits = 16;
+constexpr int kMaxRaceAdiabaticQubits = 14;
+
+/// The deterministic lane set for one raced solve: the requested backend
+/// plus whichever cheap stand-ins fit the problem size, ordered by
+/// BackendRank. Depends only on (num_variables, options), never on
+/// timing. With classical_fallback off the portfolio collapses to the
+/// requested backend alone — racing stand-ins *is* a fallback by another
+/// name, and --no-fallback promised the caller we would not do that.
+std::vector<Backend> RacePortfolio(int num_variables,
+                                   const OptimizerOptions& options) {
+  std::vector<Backend> portfolio;
+  portfolio.reserve(4);
+  portfolio.push_back(options.backend);
+  if (options.classical_fallback) {
+    const auto add = [&](Backend backend, int max_qubits) {
+      if (num_variables > max_qubits) return;
+      if (std::find(portfolio.begin(), portfolio.end(), backend) !=
+          portfolio.end()) {
+        return;
+      }
+      portfolio.push_back(backend);
+    };
+    add(Backend::kExact, kMaxExactFallbackQubits);
+    add(Backend::kSimulatedAnnealing, std::numeric_limits<int>::max());
+    add(Backend::kQaoa, kMaxRaceQaoaQubits);
+    add(Backend::kAdiabatic, kMaxRaceAdiabaticQubits);
+  }
+  std::sort(portfolio.begin(), portfolio.end(),
+            [](Backend a, Backend b) { return BackendRank(a) < BackendRank(b); });
+  return portfolio;
+}
+
+/// Seeded tie-break key for one lane. Ranks are already unique per lane,
+/// so this third key only matters if two lanes ever share a rank; it
+/// keeps the selection total order seed-deterministic regardless.
+std::uint64_t LaneTieKey(std::uint64_t seed, int rank) {
+  return AttemptSeed(seed, 1000 + rank);
+}
+
+/// Shared best-so-far cell the racing lanes stream their incumbents
+/// through. The energy mirror is a lock-free peek (metrics, leading-lane
+/// checks); the full incumbent — bits plus the deterministic tie-break
+/// tuple — lives behind the mutex. Publish order is timing-dependent but
+/// the comparison is a total order over timing-independent values, so the
+/// final content is the minimum over published lanes no matter how the
+/// race interleaved.
+class IncumbentCell {
+ public:
+  /// Installs (energy, rank, tie_key) if it beats the current incumbent
+  /// lexicographically. Returns true when the candidate took the cell.
+  bool Publish(double energy, int rank, std::uint64_t tie_key,
+               const std::vector<std::uint8_t>& bits, Backend backend,
+               bool timed_out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (has_value_) {
+      const bool better =
+          energy < energy_ ||
+          (energy == energy_ &&
+           (rank < rank_ || (rank == rank_ && tie_key < tie_key_)));
+      if (!better) return false;
+    }
+    has_value_ = true;
+    energy_ = energy;
+    rank_ = rank;
+    tie_key_ = tie_key;
+    bits_ = bits;
+    backend_ = backend;
+    timed_out_ = timed_out;
+    fast_energy_.store(energy, std::memory_order_release);
+    return true;
+  }
+
+  bool has_value() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return has_value_;
+  }
+
+  /// Lock-free peek at the leading energy (meaningful once a lane
+  /// published; +inf before that).
+  double PeekEnergy() const {
+    return fast_energy_.load(std::memory_order_acquire);
+  }
+
+  /// Moves the winning incumbent out. Call once, after the race settled.
+  BackendResult TakeWinner(Backend* backend) {
+    std::lock_guard<std::mutex> lock(mu_);
+    BackendResult result;
+    result.bits = std::move(bits_);
+    result.energy = energy_;
+    result.timed_out = timed_out_;
+    *backend = backend_;
+    return result;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<double> fast_energy_{
+      std::numeric_limits<double>::infinity()};
+  bool has_value_ = false;
+  double energy_ = 0.0;
+  int rank_ = 0;
+  std::uint64_t tie_key_ = 0;
+  std::vector<std::uint8_t> bits_;
+  Backend backend_ = Backend::kSimulatedAnnealing;
+  bool timed_out_ = false;
+};
+
+/// Per-lane bookkeeping the race fills in; read only after every lane
+/// future is drained.
+struct RaceLaneState {
+  Status status = OkStatus();
+  bool ok = false;
+  bool published = false;
+  double published_energy = 0.0;
+  double elapsed_ms = 0.0;
+};
+
+/// Portfolio racer: every lane of RacePortfolio() runs concurrently on
+/// the default ThreadPool against the caller's deadline plus a shared
+/// race CancelToken. Lanes publish their finished state to the incumbent
+/// cell; only the exact oracle is decisive (fires the token early, see
+/// BackendRank). Winner selection is the cell minimum — deterministic at
+/// any thread count because a cancelled lane can only be beaten to the
+/// cell by the exact lane, which outranks everything it could have
+/// published. At pool size 1 Submit() runs lanes inline in priority
+/// order, so the exact lane completes first and the survivors cancel at
+/// their first deadline poll — the race costs about one exact solve.
+StatusOr<DispatchOutcome> DispatchRace(const QuboModel& qubo,
+                                       const OptimizerOptions& options) {
+  const SolveBudget& budget = options.budget;
+  QQO_TRACE_SPAN("solve.race");
+  Stopwatch watch;
+  QOPT_RETURN_IF_ERROR(budget.deadline.Check());
+
+  const std::vector<Backend> portfolio =
+      RacePortfolio(qubo.NumVariables(), options);
+  const int num_lanes = static_cast<int>(portfolio.size());
+  QQO_COUNT("race.lanes", num_lanes);
+
+  // The race token is linked to the caller's own token: a caller-side
+  // cancellation trips every lane at its next poll with no forwarding
+  // thread in between (essential at pool size 1, where lanes run inline
+  // on this very thread and nobody could forward).
+  CancelToken race_token(budget.deadline.token());
+  IncumbentCell cell;
+  std::vector<RaceLaneState> lanes(portfolio.size());
+  std::mutex mu;
+  std::condition_variable lanes_done;
+  int outstanding = num_lanes;
+
+  ThreadPool& pool = ThreadPool::Default();
+  std::vector<std::future<void>> futures;
+  futures.reserve(portfolio.size());
+  for (std::size_t i = 0; i < portfolio.size(); ++i) {
+    futures.push_back(pool.Submit([&, i] {
+      QQO_TRACE_SPAN("race.lane");
+      const Backend backend = portfolio[i];
+      const int rank = BackendRank(backend);
+      RaceLaneState& lane = lanes[i];
+      Stopwatch lane_watch;
+      // Each lane consumes one real backend attempt (even a lane the
+      // token cancels mid-run did real work before stopping).
+      QQO_COUNT("solve.attempts", 1);
+      // The race deadline keeps the caller's wall-clock budget but swaps
+      // in the linked race token, which observes the caller's token too.
+      const Deadline lane_deadline = budget.deadline.WithToken(&race_token);
+      StatusOr<BackendResult> run = [&]() -> StatusOr<BackendResult> {
+        QOPT_RETURN_IF_ERROR(CheckFaultPoint("race.lane"));
+        try {
+          return TrySolveQuboWithBackend(qubo, options, backend,
+                                         lane_deadline);
+        } catch (const std::exception& e) {
+          return InternalError(StrFormat("race lane %s threw: %s",
+                                         BackendName(backend).c_str(),
+                                         e.what()));
+        }
+      }();
+      lane.elapsed_ms = lane_watch.ElapsedMillis();
+      if (run.ok()) {
+        lane.ok = true;
+        lane.published_energy = run->energy;
+        lane.published = cell.Publish(run->energy, rank,
+                                      LaneTieKey(options.seed, rank),
+                                      run->bits, backend, run->timed_out);
+        if (lane.published) QQO_COUNT("race.incumbents", 1);
+        if (backend == Backend::kExact) {
+          // Decisive: the oracle's energy is the global minimum and its
+          // rank beats every survivor, so no lane still running can
+          // displace it — cancel them instead of paying for their tail.
+          race_token.Cancel();
+        }
+      } else {
+        lane.status = run.status();
+        if (lane.status.code() == StatusCode::kCancelled) {
+          QQO_COUNT("race.cancelled_lanes", 1);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --outstanding;
+      }
+      lanes_done.notify_one();
+    }));
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    // QQO_LOOP(race.wait)
+    while (outstanding > 0) {
+      lanes_done.wait_for(lock, std::chrono::milliseconds(10));
+      QQO_COUNT("race.wait_polls", 1);
+      // Cancellation needs no forwarding here — the linked race token
+      // already reflects the caller's token — and deadline *expiry* is
+      // deliberately never turned into a cancel: lanes share the
+      // wall-clock budget, and the anytime backends must keep returning
+      // their best-so-far state (OK + timed_out) instead of kCancelled
+      // when time runs out. The wait only drains surviving lanes.
+      if (budget.deadline.Cancelled()) QQO_COUNT("race.cancel_waits", 1);
+    }
+  }
+  for (std::future<void>& future : futures) future.get();
+
+  // The caller cancelled: the whole solve is kCancelled, never a report.
+  if (budget.deadline.Cancelled()) {
+    return CancelledError("solve cancelled during backend race");
+  }
+
+  // Invalid caller input is reported, never masked by a sibling lane
+  // that happened to win. Backend option validation runs before any
+  // deadline poll, so this failure is timing-independent.
+  for (std::size_t i = 0; i < portfolio.size(); ++i) {
+    if (portfolio[i] == options.backend &&
+        lanes[i].status.code() == StatusCode::kInvalidArgument) {
+      return lanes[i].status;
+    }
+  }
+
+  DispatchOutcome outcome;
+  outcome.stats.attempts = num_lanes;
+  outcome.stats.elapsed_ms = watch.ElapsedMillis();
+
+  Status requested_failure = OkStatus();
+  for (std::size_t i = 0; i < portfolio.size(); ++i) {
+    if (portfolio[i] == options.backend) requested_failure = lanes[i].status;
+  }
+
+  if (!cell.has_value()) {
+    // Every lane failed. Surface the requested backend's own failure;
+    // when even that is somehow OK-but-unpublished, fall back to the
+    // highest-priority lane failure.
+    if (!requested_failure.ok()) return requested_failure;
+    for (const RaceLaneState& lane : lanes) {
+      if (!lane.status.ok()) return lane.status;
+    }
+    return InternalError("race finished with no incumbent and no failure");
+  }
+
+  Backend winner_backend = Backend::kSimulatedAnnealing;
+  outcome.result = cell.TakeWinner(&winner_backend);
+  outcome.backend_used = winner_backend;
+  outcome.stats.timed_out = outcome.result.timed_out;
+  if (outcome.result.timed_out) {
+    outcome.degraded = true;
+    outcome.degradation_reason = StrFormat(
+        "%s race winner stopped at the deadline with its best-so-far state",
+        BackendName(winner_backend).c_str());
+  } else if (winner_backend != options.backend && !requested_failure.ok() &&
+             requested_failure.code() != StatusCode::kCancelled) {
+    // The lane the caller asked for genuinely failed and a stand-in won.
+    // (A lane merely out-raced — or cancelled by the decisive oracle — is
+    // not a degradation: the winner is at least as good a result.)
+    outcome.degraded = true;
+    outcome.degradation_reason = StrFormat(
+        "%s backend failed (%s)", BackendName(options.backend).c_str(),
+        requested_failure.ToString().c_str());
+  }
+
+  outcome.stats.lanes.reserve(portfolio.size());
+  for (std::size_t i = 0; i < portfolio.size(); ++i) {
+    RaceLaneStats lane_stats;
+    lane_stats.backend = portfolio[i];
+    const RaceLaneState& lane = lanes[i];
+    if (lane.ok) {
+      lane_stats.outcome = "ok";
+      lane_stats.incumbent = true;
+      lane_stats.incumbent_energy = lane.published_energy;
+    } else if (lane.status.code() == StatusCode::kCancelled) {
+      lane_stats.outcome = "cancelled";
+    } else if (lane.status.code() == StatusCode::kDeadlineExceeded) {
+      lane_stats.outcome = "deadline";
+    } else {
+      std::string code_name(StatusCodeName(lane.status.code()));
+      for (char& c : code_name) {
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      }
+      lane_stats.outcome = std::move(code_name);
+    }
+    lane_stats.elapsed_ms = lane.elapsed_ms;
+    lane_stats.won = lane.ok && portfolio[i] == winner_backend;
+    outcome.stats.lanes.push_back(std::move(lane_stats));
+  }
+  return outcome;
+}
+
+/// Routes one QUBO solve to the configured dispatch strategy.
+StatusOr<DispatchOutcome> DispatchQubo(const QuboModel& qubo,
+                                       const OptimizerOptions& options) {
+  if (options.dispatch == DispatchMode::kRace) {
+    return DispatchRace(qubo, options);
+  }
+  return DispatchWithFallback(qubo, options);
 }
 
 }  // namespace
@@ -362,6 +735,23 @@ std::string BackendName(Backend backend) {
   return "unknown";
 }
 
+std::string DispatchModeName(DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kSerial:
+      return "serial";
+    case DispatchMode::kRace:
+      return "race";
+  }
+  return "unknown";
+}
+
+StatusOr<DispatchMode> ParseDispatchMode(const std::string& text) {
+  if (text == "serial") return DispatchMode::kSerial;
+  if (text == "race") return DispatchMode::kRace;
+  return InvalidArgumentError(StrFormat(
+      "unknown dispatch mode '%s' (expected serial|race)", text.c_str()));
+}
+
 StatusOr<MqoSolveReport> TrySolveMqo(const MqoProblem& problem,
                                      const OptimizerOptions& options) {
   QQO_TRACE_SPAN("solve.mqo");
@@ -372,7 +762,7 @@ StatusOr<MqoSolveReport> TrySolveMqo(const MqoProblem& problem,
   report.qubits = encoding.qubo.NumVariables();
   report.quadratic_terms = encoding.qubo.NumQuadraticTerms();
   QOPT_ASSIGN_OR_RETURN(DispatchOutcome outcome,
-                        DispatchWithFallback(encoding.qubo, options));
+                        DispatchQubo(encoding.qubo, options));
   report.backend_used = outcome.backend_used;
   report.degraded = outcome.degraded;
   report.degradation_reason = std::move(outcome.degradation_reason);
@@ -406,7 +796,7 @@ StatusOr<JoinOrderSolveReport> TrySolveJoinOrder(
   report.qubits = qubo_encoding.qubo.NumVariables();
   report.quadratic_terms = qubo_encoding.qubo.NumQuadraticTerms();
   QOPT_ASSIGN_OR_RETURN(DispatchOutcome outcome,
-                        DispatchWithFallback(qubo_encoding.qubo, options));
+                        DispatchQubo(qubo_encoding.qubo, options));
   report.backend_used = outcome.backend_used;
   report.degraded = outcome.degraded;
   report.degradation_reason = std::move(outcome.degradation_reason);

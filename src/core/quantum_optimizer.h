@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/deadline.h"
 #include "common/retry.h"
@@ -34,6 +35,26 @@ enum class Backend {
 /// "annealer").
 std::string BackendName(Backend backend);
 
+/// How the facade schedules backends for one solve.
+enum class DispatchMode {
+  /// PR 2/3 semantics: run the requested backend (with retries), then
+  /// degrade to a classical fallback when it fails recoverably.
+  kSerial,
+  /// Portfolio racing: launch the requested backend plus cheap classical
+  /// and quantum lanes concurrently on the default ThreadPool, stream
+  /// incumbents through a shared best-so-far cell and return the winner.
+  /// Winner selection is deterministic (energy, then a fixed backend
+  /// priority order, then a seeded tie-break key) regardless of thread
+  /// count or lane timing.
+  kRace,
+};
+
+/// Readable dispatch-mode name ("serial", "race").
+std::string DispatchModeName(DispatchMode mode);
+
+/// Parses "serial" / "race"; anything else is kInvalidArgument.
+StatusOr<DispatchMode> ParseDispatchMode(const std::string& text);
+
 /// Wall-clock / retry budget for one facade solve.
 struct SolveBudget {
   /// Overall deadline (with optional CancelToken) for the solve,
@@ -49,23 +70,52 @@ struct SolveBudget {
   RetryPolicy retry;
 };
 
+/// Per-lane attribution for a raced solve (DispatchMode::kRace). One
+/// entry per launched lane, always ordered by backend priority rank so
+/// the vector is deterministic even though lane *timings* are not.
+struct RaceLaneStats {
+  Backend backend = Backend::kSimulatedAnnealing;
+  /// "ok", "cancelled", "deadline", or an error code name ("unavailable",
+  /// "internal", ...) when the lane failed.
+  std::string outcome;
+  double elapsed_ms = 0.0;    ///< Wall-clock of this lane (not stable).
+  /// Best energy this lane reported to the incumbent cell; meaningful
+  /// only when incumbent == true.
+  double incumbent_energy = 0.0;
+  bool incumbent = false;     ///< Lane published at least one incumbent.
+  bool won = false;           ///< Lane produced the returned result.
+};
+
 /// Per-solve accounting, filled on every successful report.
 struct SolveStats {
-  int attempts = 1;         ///< Backend attempts consumed (>= 1).
+  /// Backend attempts consumed (>= 1). Counts every real backend run:
+  /// retried attempts, the salvage SA read after a quantum-stage timeout
+  /// and the classical fallback solve all increment this.
+  int attempts = 1;
   double elapsed_ms = 0.0;  ///< Wall-clock of the dispatch (all attempts).
-  /// The deadline expired somewhere along the way but a valid (degraded)
-  /// result was still produced. Invariant: timed_out implies either
-  /// degraded == true on the report or a kDeadlineExceeded error instead
-  /// of a report.
+  /// The solve's own deadline expired along the way and the returned
+  /// result is budget-truncated (e.g. the salvage read itself ran out of
+  /// time). A quantum-stage timeout whose salvage completed comfortably
+  /// inside the reserved slack is reported as degraded, NOT timed_out.
+  /// Invariant: timed_out implies either degraded == true on the report
+  /// or a kDeadlineExceeded error instead of a report.
   bool timed_out = false;
   /// Reserved: a cancelled solve never produces a report (kCancelled is
   /// returned instead), so this stays false on success paths.
   bool cancelled = false;
+  /// Raced dispatch only: one entry per launched lane, in backend
+  /// priority order. Empty for serial dispatch.
+  std::vector<RaceLaneStats> lanes;
 };
 
 /// Options shared by the facade entry points.
 struct OptimizerOptions {
   Backend backend = Backend::kSimulatedAnnealing;
+  /// Serial quantum-then-fallback dispatch (default) or portfolio racing
+  /// across backends (see DispatchMode). Race mode keeps the *report*
+  /// byte-identical across thread counts; per-lane timing lives in
+  /// SolveStats::lanes and is not stable.
+  DispatchMode dispatch = DispatchMode::kSerial;
   /// Deadline / retry / backoff budget for the whole solve.
   SolveBudget budget;
   VariationalOptions variational;      ///< For kQaoa / kVqe.

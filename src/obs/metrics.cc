@@ -11,7 +11,7 @@ namespace {
 /// Name prefixes whose metrics measure the execution schedule itself
 /// (queue depths, chunk counts). They vary with QQO_THREADS by design and
 /// are excluded from the stable (byte-identical) snapshot.
-constexpr const char* kSchedulingPrefixes[] = {"threadpool."};
+constexpr const char* kSchedulingPrefixes[] = {"race.", "threadpool."};
 
 /// Core stage metrics pre-registered at Enable() so a metrics table always
 /// names every acceptance-relevant stage, zero-valued when it did not run.

@@ -275,7 +275,11 @@ TEST(CancellationStressTest, QuantumDeadlineDegradesToClassicalWithinBudget) {
   ASSERT_TRUE(solved.ok()) << solved.status().ToString();
   EXPECT_TRUE(solved->degraded);
   EXPECT_EQ(solved->backend_used, Backend::kSimulatedAnnealing);
-  EXPECT_TRUE(solved->stats.timed_out);
+  // The salvage read completed inside the reserved slack, so the report
+  // is degraded but not timed out — timed_out tracks the salvage read
+  // itself, not the quantum stage that ran out of budget before it.
+  EXPECT_FALSE(solved->stats.timed_out);
+  EXPECT_EQ(solved->stats.attempts, 2);
 }
 
 TEST(CancellationStressTest, GenerousDeadlineLeavesResultUndegraded) {

@@ -24,5 +24,22 @@ double HotWhile(int sweeps) {
   return energy;
 }
 
+struct RaceToken {
+  bool done() const { return false; }
+};
+
+// A drain loop that touches a token but never asks it about cancellation
+// (or the deadline) is still uncovered.
+int DrainLanes(int outstanding, const RaceToken& token) {
+  int polls = 0;
+  // QQO_LOOP(fixture.drain)
+  while (outstanding > 0) {
+    if (token.done()) --outstanding;
+    --outstanding;
+    ++polls;
+  }
+  return polls;
+}
+
 // QQO_LOOP(fixture.dangling)
 int NotALoop() { return 42; }

@@ -36,6 +36,24 @@ double HotWhile(int sweeps, const Deadline& stage_deadline) {
   return energy;
 }
 
+struct CancelToken {
+  bool cancelled() const { return false; }
+};
+
+// A fan-out drain loop (the portfolio racer's wait-loop shape): coverage
+// comes from the shared cancellation token, not a wall-clock poll.
+int DrainLanes(int outstanding, const CancelToken& token) {
+  int polls = 0;
+  // QQO_LOOP(fixture.drain)
+  while (outstanding > 0) {
+    QQO_COUNT("fixture.drain_polls", 1);
+    if (token.cancelled()) --outstanding;
+    --outstanding;
+    ++polls;
+  }
+  return polls;
+}
+
 // An unannotated loop is not a registered site; no marker, no check.
 double ColdLoop(int n) {
   double total = 0.0;

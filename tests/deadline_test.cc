@@ -89,6 +89,31 @@ TEST(CancelTokenTest, ResetReArmsTheToken) {
   EXPECT_TRUE(deadline.Check().ok());
 }
 
+TEST(CancelTokenTest, LinkedTokenObservesTheParent) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.Cancel();
+  // The parent's cancel is visible through the child with no forwarding.
+  EXPECT_TRUE(child.cancelled());
+  const Deadline deadline = Deadline().WithToken(&child);
+  EXPECT_EQ(deadline.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, LinkedTokenCancelDoesNotPropagateUpward) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  child.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+  // Reset re-arms only the child's own flag; a fired parent still shows
+  // through afterwards.
+  child.Reset();
+  EXPECT_FALSE(child.cancelled());
+  parent.Cancel();
+  EXPECT_TRUE(child.cancelled());
+}
+
 TEST(StopwatchTest, ElapsedIsMonotonic) {
   Stopwatch watch;
   const double first = watch.ElapsedMillis();

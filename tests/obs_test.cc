@@ -106,17 +106,29 @@ TEST_F(ObsTest, EnablePreRegistersStableCatalog) {
 
 TEST_F(ObsTest, SchedulingMetricsExcludedFromStableSnapshot) {
   EXPECT_TRUE(Metrics::IsSchedulingMetric("threadpool.queue_depth"));
+  // Race-lane bookkeeping (cancelled lanes, wait polls) stops at
+  // timing-dependent points, so the whole race.* family is scheduling
+  // class, like threadpool.*.
+  EXPECT_TRUE(Metrics::IsSchedulingMetric("race.wait_polls"));
+  EXPECT_TRUE(Metrics::IsSchedulingMetric("race.cancelled_lanes"));
   EXPECT_FALSE(Metrics::IsSchedulingMetric("anneal.sweeps"));
   Metrics::Instance().Enable();
   QQO_GAUGE_MAX("threadpool.queue_depth", 3);
+  QQO_COUNT("race.wait_polls", 2);
   EXPECT_EQ(FindRow(Metrics::Instance().Snapshot(false),
                     "threadpool.queue_depth"),
+            nullptr);
+  EXPECT_EQ(FindRow(Metrics::Instance().Snapshot(false), "race.wait_polls"),
             nullptr);
   const Metrics::Row* row = FindRow(Metrics::Instance().Snapshot(true),
                                     "threadpool.queue_depth");
   ASSERT_NE(row, nullptr);
   EXPECT_TRUE(row->scheduling);
   EXPECT_EQ(row->sum, 3);
+  const Metrics::Row* race_row =
+      FindRow(Metrics::Instance().Snapshot(true), "race.wait_polls");
+  ASSERT_NE(race_row, nullptr);
+  EXPECT_TRUE(race_row->scheduling);
 }
 
 TEST_F(ObsTest, MetricsJsonRoundTrips) {

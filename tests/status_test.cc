@@ -269,6 +269,25 @@ TEST(CliFlagTest, InvalidQqoThreadsIsUsageErrorOnEverySubcommand) {
   unsetenv("QQO_THREADS");
 }
 
+TEST(CliFlagTest, InvalidQqoDispatchIsUsageErrorBeforeAnyWork) {
+  // Env knobs are validated up front: a QQO_DISPATCH typo is command-line
+  // misuse even when the workload path does not exist.
+  ::testing::internal::CaptureStderr();
+  setenv("QQO_DISPATCH", "parallel", 1);
+  EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", "w.json"}), cli::kExitUsage);
+  unsetenv("QQO_DISPATCH");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("QQO_DISPATCH"), std::string::npos) << err;
+}
+
+TEST(CliFlagTest, InvalidDispatchFlagIsUsageError) {
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", "w.json", "--dispatch=bogus"}),
+            cli::kExitUsage);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("--dispatch"), std::string::npos) << err;
+}
+
 TEST(CliFlagTest, TraceOutRequiresAFilename) {
   EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", "w.json", "--trace-out"}),
             cli::kExitUsage);
@@ -367,6 +386,23 @@ TEST_F(CliWorkloadTest, SolveRunsCleanlyOnValidInput) {
   // oracle's enumeration budget — simulated annealing handles it.
   EXPECT_EQ(cli::RunQqoCli({"qqo", "join", join_path_, "--backend=sa"}),
             cli::kExitOk);
+}
+
+TEST_F(CliWorkloadTest, RacedSolveRunsCleanlyAndReportsLanes) {
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", mqo_path_, "--backend=sa",
+                            "--dispatch=race"}),
+            cli::kExitOk);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("race lanes:"), std::string::npos) << out;
+  // QQO_DISPATCH supplies the default when the flag is absent.
+  setenv("QQO_DISPATCH", "race", 1);
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(cli::RunQqoCli({"qqo", "mqo", mqo_path_, "--backend=sa"}),
+            cli::kExitOk);
+  const std::string env_out = ::testing::internal::GetCapturedStdout();
+  unsetenv("QQO_DISPATCH");
+  EXPECT_NE(env_out.find("race lanes:"), std::string::npos) << env_out;
 }
 
 TEST_F(CliWorkloadTest, ExactBackendOverBudgetIsRuntimeError) {

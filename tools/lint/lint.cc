@@ -375,10 +375,17 @@ void CheckDeadlineCoverage(const std::string& path, const LexResult& lex,
                ") marker: no for/while/do follows within 3 lines"});
       continue;
     }
+    // Coverage comes from a wall-clock deadline ("deadline" identifiers)
+    // or from cooperative cancellation ("cancel"/"cancelled" identifiers):
+    // fan-out drain loops such as the portfolio racer's wait loop are
+    // bounded by a linked CancelToken rather than by polling the clock,
+    // and that satisfies the same wind-down contract (Deadline::Check
+    // reports the token before expiry anyway).
     bool consults_deadline = false;
     for (std::size_t i = body; i < body_end; ++i) {
       if (toks[i].kind == TokKind::kIdent &&
-          ContainsNoCase(toks[i].text, "deadline")) {
+          (ContainsNoCase(toks[i].text, "deadline") ||
+           ContainsNoCase(toks[i].text, "cancel"))) {
         consults_deadline = true;
         break;
       }
@@ -387,9 +394,10 @@ void CheckDeadlineCoverage(const std::string& path, const LexResult& lex,
       findings->push_back(
           {kDeadlineCoverageRule, path, marker.line,
            "QQO_LOOP(" + marker.site +
-               ") body never consults the deadline; call "
-               "deadline.Check() (or a CheckDeadline helper) every "
-               "iteration so the solver can wind down cooperatively"});
+               ") body never consults the deadline or a cancellation "
+               "token; call deadline.Check() (or token.cancelled(), or a "
+               "CheckDeadline helper) every iteration so the solver can "
+               "wind down cooperatively"});
     }
   }
 }

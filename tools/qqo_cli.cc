@@ -27,6 +27,7 @@
 
 #include "bilp/bilp_to_qubo.h"
 #include "circuit/qasm_exporter.h"
+#include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/json.h"
 #include "common/status.h"
@@ -56,18 +57,19 @@ int Usage() {
       "  qqo generate join <out.json> [--relations=N] [--predicates=N]"
       " [--seed=N]\n"
       "  qqo mqo <workload.json>      [--backend=exact|sa|qaoa|vqe|adiabatic|annealer]"
-      " [--seed=N] [--pegasus=M] [--no-fallback]"
+      " [--dispatch=serial|race] [--seed=N] [--pegasus=M] [--no-fallback]"
       " [--timeout-ms=N] [--retries=N]\n"
       "  qqo join <graph.json>        [--backend=...] [--thresholds=a,b,..]"
-      " [--precision=P] [--seed=N] [--pegasus=M] [--no-fallback]"
-      " [--timeout-ms=N] [--retries=N]\n"
+      " [--precision=P] [--dispatch=serial|race] [--seed=N] [--pegasus=M]"
+      " [--no-fallback] [--timeout-ms=N] [--retries=N]\n"
       "  qqo estimate mqo|join <file> [--device=mumbai|brooklyn] [--trials=N]"
       " [--thresholds=a,b,..] [--precision=P]\n"
       "  qqo qasm mqo|join <file>     [--algorithm=qaoa|vqe]"
       " [--thresholds=a,b,..] [--precision=P]\n"
       "global flags (any subcommand):\n"
       "  --trace-out=FILE  write a Chrome trace_event JSON of the run\n"
-      "  --metrics         print the metrics table after the run\n");
+      "  --metrics         print the metrics table after the run\n"
+      "environment: QQO_DISPATCH=serial|race sets the default --dispatch\n");
   return kExitUsage;
 }
 
@@ -243,6 +245,18 @@ StatusOr<OptimizerOptions> MakeOptions(const FlagMap& flags,
                                        Backend backend) {
   OptimizerOptions options;
   options.backend = backend;
+  // --dispatch beats QQO_DISPATCH beats the serial default. The env value
+  // was already validated up front in RunQqoCli, so a parse failure here
+  // can only come from the flag itself.
+  const std::string dispatch_text =
+      FlagOr(flags, "dispatch", EnvString("QQO_DISPATCH").value_or("serial"));
+  if (StatusOr<DispatchMode> mode = ParseDispatchMode(dispatch_text);
+      mode.ok()) {
+    options.dispatch = *mode;
+  } else {
+    return InvalidArgumentError(StrFormat(
+        "flag --dispatch: %s", mode.status().message().c_str()));
+  }
   QOPT_ASSIGN_OR_RETURN(options.seed, Uint64Flag(flags, "seed", 7));
   options.anneal.num_reads = 50;
   options.anneal.num_sweeps = 2000;
@@ -284,6 +298,25 @@ void PrintStats(const SolveStats& stats) {
   // remains byte-identical at any thread count.
   std::printf("attempts: %d%s\n", stats.attempts,
               stats.timed_out ? " (timed out)" : "");
+  if (!stats.lanes.empty()) {
+    // The lane *set* is deterministic (portfolio of the problem size), so
+    // its summary joins the report; per-lane outcome and timing depend on
+    // how the race interleaved and stay on stderr with the diagnostics.
+    std::printf("race lanes: %d\n", static_cast<int>(stats.lanes.size()));
+    for (const RaceLaneStats& lane : stats.lanes) {
+      if (lane.incumbent) {
+        std::fprintf(stderr,
+                     "qqo: race lane %-9s %s%s incumbent %.6g, %.1f ms\n",
+                     BackendName(lane.backend).c_str(), lane.outcome.c_str(),
+                     lane.won ? " (won)" : ",", lane.incumbent_energy,
+                     lane.elapsed_ms);
+      } else {
+        std::fprintf(stderr, "qqo: race lane %-9s %s, %.1f ms\n",
+                     BackendName(lane.backend).c_str(), lane.outcome.c_str(),
+                     lane.elapsed_ms);
+      }
+    }
+  }
   std::fprintf(stderr, "qqo: elapsed ms: %.1f\n", stats.elapsed_ms);
 }
 
@@ -374,8 +407,8 @@ int RunMqo(int argc, const char* const* argv) {
   if (argc < 3 || LooksLikeFlag(argv[2])) return Usage();
   StatusOr<FlagMap> flags =
       ParseFlags(argc, argv, 3,
-                 {"backend", "seed", "pegasus", "no-fallback", "timeout-ms",
-                  "retries"});
+                 {"backend", "dispatch", "seed", "pegasus", "no-fallback",
+                  "timeout-ms", "retries"});
   if (!flags.ok()) return Fail(kExitUsage, flags.status());
   // Validate every flag value before touching the file: a usage error is
   // diagnosed the same way whether or not the workload path exists.
@@ -414,8 +447,8 @@ int RunJoin(int argc, const char* const* argv) {
   if (argc < 3 || LooksLikeFlag(argv[2])) return Usage();
   StatusOr<FlagMap> flags =
       ParseFlags(argc, argv, 3,
-                 {"backend", "seed", "pegasus", "thresholds", "precision",
-                  "no-fallback", "timeout-ms", "retries"});
+                 {"backend", "dispatch", "seed", "pegasus", "thresholds",
+                  "precision", "no-fallback", "timeout-ms", "retries"});
   if (!flags.ok()) return Fail(kExitUsage, flags.status());
   StatusOr<Backend> backend = ParseBackend(FlagOr(*flags, "backend", "sa"));
   if (!backend.ok()) return Fail(kExitUsage, backend.status());
@@ -589,6 +622,14 @@ int RunQqoCli(const std::vector<std::string>& args) {
   }
   if (Status faults = FaultInjection::EnvSpecStatus(); !faults.ok()) {
     return Fail(kExitUsage, faults);
+  }
+  if (std::optional<std::string> dispatch_env = EnvString("QQO_DISPATCH")) {
+    if (StatusOr<DispatchMode> mode = ParseDispatchMode(*dispatch_env);
+        !mode.ok()) {
+      return Fail(kExitUsage,
+                  InvalidArgumentError(StrFormat(
+                      "QQO_DISPATCH: %s", mode.status().message().c_str())));
+    }
   }
 
   // The observability flags are global: strip them here so every
