@@ -20,6 +20,7 @@
 #include "obs/trace.h"
 #include "qubo/brute_force_solver.h"
 #include "qubo/conversions.h"
+#include "serve/server.h"
 #include "transpile/ibm_topologies.h"
 #include "transpile/transpiler.h"
 #include "variational/qaoa.h"
@@ -331,6 +332,75 @@ void BM_JoinOrderDp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JoinOrderDp)->Arg(8)->Arg(12)->Arg(16);
+
+// Serving-path benchmarks: one full line -> response round trip through
+// the qqo_serve request loop (parse, validate, canonicalize, cache probe,
+// emit). The hit/miss pair quantifies what the canonical-form solution
+// cache saves over re-solving; the shed benchmark isolates the admission
+// path (parse + deterministic kUnavailable reject) that overload
+// protection adds in front of every solve.
+constexpr const char* kServeMqoRequest =
+    "{\"id\":\"m1\",\"type\":\"mqo\",\"backend\":\"exact\","
+    "\"workload\":{\"queries\":[{\"plans\":[{\"cost\":5},{\"cost\":7}]},"
+    "{\"plans\":[{\"cost\":6},{\"cost\":9}]}],"
+    "\"savings\":[{\"plan1\":0,\"plan2\":2,\"saving\":2}]}}";
+
+void BM_ServeCacheHit(benchmark::State& state) {
+  serve::ServerOptions options;
+  serve::Server server(options);
+  const std::string request = std::string(kServeMqoRequest) + "\n";
+  {
+    std::istringstream warm(request);
+    std::ostringstream sink;
+    if (!server.Serve(warm, sink).ok()) state.SkipWithError("warmup failed");
+  }
+  for (auto _ : state) {
+    std::istringstream in(request);
+    std::ostringstream out;
+    benchmark::DoNotOptimize(server.Serve(in, out));
+    benchmark::DoNotOptimize(out);
+  }
+  if (server.Cache().Counters().hits_exact < 1) {
+    state.SkipWithError("expected exact cache hits");
+  }
+}
+BENCHMARK(BM_ServeCacheHit);
+
+void BM_ServeCacheMiss(benchmark::State& state) {
+  // cache:false forces the full solve on every line — the cost a hit
+  // avoids (the workload is the paper's tiny MQO example, so this stays
+  // a microbenchmark).
+  serve::ServerOptions options;
+  serve::Server server(options);
+  std::string request = kServeMqoRequest;
+  request.replace(request.find("\"type\""), 6, "\"cache\":false,\"type\"");
+  request += "\n";
+  for (auto _ : state) {
+    std::istringstream in(request);
+    std::ostringstream out;
+    benchmark::DoNotOptimize(server.Serve(in, out));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ServeCacheMiss);
+
+void BM_ServeAdmissionShed(benchmark::State& state) {
+  // queue_capacity 0 sheds every solve at admission, so the loop measures
+  // parse + validation + the deterministic reject, with no solver time.
+  serve::ServerOptions options;
+  options.queue_capacity = 0;
+  serve::Server server(options);
+  std::string batch;
+  for (int i = 0; i < 64; ++i) batch += std::string(kServeMqoRequest) + "\n";
+  for (auto _ : state) {
+    std::istringstream in(batch);
+    std::ostringstream out;
+    benchmark::DoNotOptimize(server.Serve(in, out));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ServeAdmissionShed);
 
 }  // namespace
 

@@ -30,6 +30,11 @@ namespace qopt {
 ///   transpile.route    — per swap-routing invocation
 ///   statevector.alloc  — before a 2^n amplitude buffer is (re)allocated
 ///   race.lane          — per portfolio-race lane (before its backend runs)
+///   serve.admit        — per qqo_serve solve admission (accept thread);
+///                        an injected Status becomes a shed response
+///   serve.request      — per admitted qqo_serve solve (worker thread);
+///                        an injected Status becomes that request's error
+///                        response and nothing else
 class FaultInjection {
  public:
   static FaultInjection& Instance();

@@ -774,6 +774,7 @@ StatusOr<MqoSolveReport> TrySolveMqo(const MqoProblem& problem,
     report.solution.cost = problem.SelectionCost(selection);
     report.solution.selection = std::move(selection);
   }
+  report.bits = std::move(outcome.result.bits);
   return report;
 }
 
@@ -808,6 +809,7 @@ StatusOr<JoinOrderSolveReport> TrySolveJoinOrder(
     report.solution.cost = CoutCost(graph, order);
     report.solution.order = std::move(order);
   }
+  report.bits = std::move(outcome.result.bits);
   return report;
 }
 

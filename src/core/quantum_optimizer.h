@@ -147,6 +147,10 @@ struct MqoSolveReport {
   bool degraded = false;  ///< Quantum backend failed; classical stood in.
   std::string degradation_reason;  ///< Why, when degraded.
   SolveStats stats;       ///< Attempt / timing accounting.
+  /// Raw QUBO assignment the report was decoded from (one byte per
+  /// variable). The serving layer's canonical-form solution cache stores
+  /// this so isomorphic repeat requests can transport the solution.
+  std::vector<std::uint8_t> bits;
 };
 
 /// Encodes `problem` as a QUBO (Sec. 5.1), solves it with the selected
@@ -172,6 +176,8 @@ struct JoinOrderSolveReport {
   bool degraded = false;
   std::string degradation_reason;
   SolveStats stats;  ///< Attempt / timing accounting.
+  /// Raw QUBO assignment the report was decoded from (see MqoSolveReport).
+  std::vector<std::uint8_t> bits;
 };
 
 /// Encodes `graph` as BILP (Sec. 6.1.2/6.1.3), then QUBO (Sec. 6.1.4),

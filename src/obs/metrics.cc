@@ -11,15 +11,17 @@ namespace {
 /// Name prefixes whose metrics measure the execution schedule itself
 /// (queue depths, chunk counts). They vary with QQO_THREADS by design and
 /// are excluded from the stable (byte-identical) snapshot.
-constexpr const char* kSchedulingPrefixes[] = {"race.", "threadpool."};
+constexpr const char* kSchedulingPrefixes[] = {"race.", "serve.wall.",
+                                               "threadpool."};
 
 /// Core stage metrics pre-registered at Enable() so a metrics table always
 /// names every acceptance-relevant stage, zero-valued when it did not run.
 /// These names are a compatibility promise (see DESIGN.md "Observability").
 constexpr const char* kStableCatalog[] = {
-    "anneal.sweeps",        "embed.attempts",   "fault.fires",
-    "solve.attempts",       "statevector.gates", "transpile.routing_seeds",
-    "variational.iterations",
+    "anneal.sweeps",        "embed.attempts",    "fault.fires",
+    "serve.cache.hit",      "serve.cache.miss",  "serve.requests",
+    "serve.shed",           "solve.attempts",    "statevector.gates",
+    "transpile.routing_seeds", "variational.iterations",
 };
 
 int BucketIndex(long long value) {

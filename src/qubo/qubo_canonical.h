@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/qubo_model.h"
+
+namespace qopt {
+
+/// Canonical-form fingerprint of a QUBO, used by the serving layer's
+/// solution cache (DESIGN.md "Serving") to recognize repeated and
+/// *isomorphic* problems: two QUBOs that differ only by a permutation of
+/// their variables hash to the same `canonical_hash`.
+///
+/// The canonical hash is computed by Weisfeiler-Leman-style color
+/// refinement on the weighted interaction graph: every variable starts
+/// with a color derived from its linear coefficient, then repeatedly
+/// absorbs an order-independent aggregate (sum + xor of mixed values) of
+/// its neighbors' colors combined with the connecting quadratic
+/// coefficients. Refinement stops when the color partition is stable.
+/// Coefficients enter via their exact IEEE-754 bit patterns (with -0.0
+/// normalized to 0.0), so the hash is invariant under relabeling but
+/// deliberately sensitive to any numeric perturbation.
+///
+/// Like every hash, equal `canonical_hash` values do not *prove*
+/// isomorphism — and the tie-broken `canonical_rank` below is not a full
+/// graph canonicalization (that would be GI-hard). Consumers that map
+/// solutions between isomorphic instances must verify the mapped
+/// assignment (the solution cache recomputes its energy and rejects the
+/// entry on mismatch).
+struct QuboSignature {
+  /// Relabeling-invariant fingerprint.
+  std::uint64_t canonical_hash = 0;
+  /// Order-sensitive fingerprint of the labeled form: equal only for
+  /// QUBOs with identical variable numbering and coefficients. Used to
+  /// tell an exact repeat from a merely isomorphic one.
+  std::uint64_t exact_hash = 0;
+  /// canonical_rank[i] is variable i's position in the canonical order
+  /// (stable sort by final refinement color, ties by original index).
+  /// For isomorphic instances whose refinement separates all variables,
+  /// ranks correspond across relabelings, which is what lets a cached
+  /// solution be transported from one labeling to another.
+  std::vector<int> canonical_rank;
+};
+
+/// Computes the signature. O((n + terms) * rounds) with rounds bounded by
+/// the number of refinement iterations needed to stabilize (at most n,
+/// capped at 64).
+QuboSignature ComputeQuboSignature(const QuboModel& qubo);
+
+/// Applies `canonical_rank` to an assignment: out[rank[i]] = bits[i].
+/// Inverse of MapBitsFromCanonical.
+std::vector<std::uint8_t> MapBitsToCanonical(
+    const QuboSignature& signature, const std::vector<std::uint8_t>& bits);
+
+/// Reads an assignment stored in canonical coordinates back into this
+/// signature's labeling: out[i] = canonical_bits[rank[i]].
+std::vector<std::uint8_t> MapBitsFromCanonical(
+    const QuboSignature& signature,
+    const std::vector<std::uint8_t>& canonical_bits);
+
+/// Order-dependent 64-bit combine built on the same splitmix64 mixer the
+/// signature uses. Exposed for callers that key caches on (signature,
+/// options) pairs — e.g. the serving layer's options hash.
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace qopt

@@ -1,0 +1,328 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/table_printer.h"
+#include "io/workload_io.h"
+
+namespace qopt::serve {
+namespace {
+
+StatusOr<Backend> ParseBackendName(const std::string& name) {
+  static const std::map<std::string, Backend> kBackends = {
+      {"exact", Backend::kExact},
+      {"sa", Backend::kSimulatedAnnealing},
+      {"qaoa", Backend::kQaoa},
+      {"vqe", Backend::kVqe},
+      {"adiabatic", Backend::kAdiabatic},
+      {"annealer", Backend::kAnnealerEmulation}};
+  auto it = kBackends.find(name);
+  if (it == kBackends.end()) {
+    return InvalidArgumentError(StrFormat(
+        "field \"backend\": unknown backend \"%s\" (known: exact, sa, qaoa, "
+        "vqe, adiabatic, annealer)",
+        name.c_str()));
+  }
+  return it->second;
+}
+
+/// Checked integral field in [min, max]; absent yields `fallback`.
+StatusOr<long long> IntField(const JsonValue& request, const char* name,
+                             long long fallback, long long min,
+                             long long max) {
+  const JsonValue* field = request.Find(name);
+  if (field == nullptr) return fallback;
+  QOPT_ASSIGN_OR_RETURN(const double value, field->GetNumber());
+  if (value != std::floor(value) || value < static_cast<double>(min) ||
+      value > static_cast<double>(max)) {
+    return OutOfRangeError(
+        StrFormat("field \"%s\": expected an integer in [%lld, %lld]", name,
+                  min, max));
+  }
+  return static_cast<long long>(value);
+}
+
+StatusOr<bool> BoolField(const JsonValue& request, const char* name,
+                         bool fallback) {
+  const JsonValue* field = request.Find(name);
+  if (field == nullptr) return fallback;
+  if (StatusOr<bool> value = field->GetBool(); value.ok()) return *value;
+  return InvalidArgumentError(
+      StrFormat("field \"%s\": expected a boolean", name));
+}
+
+StatusOr<std::string> StringField(const JsonValue& request, const char* name) {
+  const JsonValue* field = request.Find(name);
+  if (field == nullptr) {
+    return InvalidArgumentError(
+        StrFormat("missing required field \"%s\"", name));
+  }
+  if (StatusOr<std::string> value = field->GetString(); value.ok()) {
+    return *std::move(value);
+  }
+  return InvalidArgumentError(
+      StrFormat("field \"%s\": expected a string", name));
+}
+
+/// Every request type accepts only its own fields: a typo like
+/// "timout_ms" must be a hard error, not a silently applied default
+/// (mirrors the CLI's per-subcommand flag allowlists).
+Status CheckAllowedFields(const JsonValue& request,
+                          const std::set<std::string>& allowed) {
+  for (const auto& [key, value] : request.Members()) {
+    (void)value;
+    if (allowed.find(key) == allowed.end()) {
+      std::string known;
+      for (const std::string& name : allowed) {
+        known += known.empty() ? "" : ", ";
+        known += name;
+      }
+      return InvalidArgumentError(
+          StrFormat("unknown field \"%s\" for this request type (known: %s)",
+                    key.c_str(), known.c_str()));
+    }
+  }
+  return OkStatus();
+}
+
+Status ParseSolveFields(const JsonValue& json, DispatchMode default_dispatch,
+                        ServeRequest* request) {
+  if (const JsonValue* dispatch = json.Find("dispatch"); dispatch != nullptr) {
+    QOPT_ASSIGN_OR_RETURN(const std::string text, dispatch->GetString());
+    QOPT_ASSIGN_OR_RETURN(request->dispatch, ParseDispatchMode(text));
+  } else {
+    request->dispatch = default_dispatch;
+  }
+  if (const JsonValue* backend = json.Find("backend"); backend != nullptr) {
+    QOPT_ASSIGN_OR_RETURN(const std::string text, backend->GetString());
+    QOPT_ASSIGN_OR_RETURN(request->backend, ParseBackendName(text));
+  }
+  QOPT_ASSIGN_OR_RETURN(
+      const long long seed,
+      IntField(json, "seed", 7, 0, 1LL << 53));
+  request->seed = static_cast<std::uint64_t>(seed);
+  QOPT_ASSIGN_OR_RETURN(request->timeout_ms,
+                        IntField(json, "timeout_ms", -1, 0,
+                                 24LL * 60 * 60 * 1000));
+  QOPT_ASSIGN_OR_RETURN(const long long retries,
+                        IntField(json, "retries", 1, 1, 100));
+  request->retries = static_cast<int>(retries);
+  QOPT_ASSIGN_OR_RETURN(const long long pegasus,
+                        IntField(json, "pegasus", 4, 2, 16));
+  request->pegasus_m = static_cast<int>(pegasus);
+  QOPT_ASSIGN_OR_RETURN(const bool no_fallback,
+                        BoolField(json, "no_fallback", false));
+  request->classical_fallback = !no_fallback;
+  QOPT_ASSIGN_OR_RETURN(request->use_cache, BoolField(json, "cache", true));
+  return OkStatus();
+}
+
+Status ParseJoinEncoderFields(const JsonValue& json, ServeRequest* request) {
+  request->join_encoder.thresholds = {10.0, 100.0};
+  if (const JsonValue* thresholds = json.Find("thresholds");
+      thresholds != nullptr) {
+    if (!thresholds->IsArray() || thresholds->Size() == 0) {
+      return InvalidArgumentError(
+          "field \"thresholds\": expected a non-empty array of numbers");
+    }
+    request->join_encoder.thresholds.clear();
+    request->join_encoder.thresholds.reserve(thresholds->Size());
+    for (std::size_t i = 0; i < thresholds->Size(); ++i) {
+      QOPT_ASSIGN_OR_RETURN(const double value,
+                            thresholds->At(i).GetNumber());
+      request->join_encoder.thresholds.push_back(value);
+    }
+  }
+  QOPT_ASSIGN_OR_RETURN(const long long precision,
+                        IntField(json, "precision", 0, 0, 16));
+  request->join_encoder.precision_decimals = static_cast<int>(precision);
+  request->join_encoder.safe_slack_bounds = true;
+  return OkStatus();
+}
+
+const JsonValue* RequireWorkload(const JsonValue& json, Status* error) {
+  const JsonValue* workload = json.Find("workload");
+  if (workload == nullptr || !workload->IsObject()) {
+    *error = InvalidArgumentError(
+        "missing required field \"workload\" (object)");
+    return nullptr;
+  }
+  return workload;
+}
+
+}  // namespace
+
+StatusOr<ServeRequest> ParseServeRequest(const std::string& line,
+                                         DispatchMode default_dispatch) {
+  QOPT_ASSIGN_OR_RETURN(const JsonValue json,
+                        JsonValue::ParseOrStatus(line));
+  if (!json.IsObject()) {
+    return InvalidArgumentError("request must be a JSON object");
+  }
+  ServeRequest request;
+  QOPT_ASSIGN_OR_RETURN(request.id, StringField(json, "id"));
+  if (request.id.empty() || request.id.size() > kMaxRequestIdBytes) {
+    return InvalidArgumentError(StrFormat(
+        "field \"id\": expected a non-empty string of at most %d bytes",
+        static_cast<int>(kMaxRequestIdBytes)));
+  }
+  QOPT_ASSIGN_OR_RETURN(const std::string type, StringField(json, "type"));
+
+  static const std::set<std::string> kSolveCommon = {
+      "id",      "type",       "workload",    "backend", "dispatch",
+      "seed",    "timeout_ms", "retries",     "pegasus", "no_fallback",
+      "cache"};
+  if (type == "mqo") {
+    request.type = RequestType::kMqo;
+    QOPT_RETURN_IF_ERROR(CheckAllowedFields(json, kSolveCommon));
+    QOPT_RETURN_IF_ERROR(
+        ParseSolveFields(json, default_dispatch, &request));
+    Status workload_error = OkStatus();
+    const JsonValue* workload = RequireWorkload(json, &workload_error);
+    if (workload == nullptr) return workload_error;
+    QOPT_ASSIGN_OR_RETURN(request.mqo, MqoProblemFromJson(*workload));
+    return request;
+  }
+  if (type == "join") {
+    request.type = RequestType::kJoin;
+    std::set<std::string> allowed = kSolveCommon;
+    allowed.insert("thresholds");
+    allowed.insert("precision");
+    QOPT_RETURN_IF_ERROR(CheckAllowedFields(json, allowed));
+    QOPT_RETURN_IF_ERROR(
+        ParseSolveFields(json, default_dispatch, &request));
+    QOPT_RETURN_IF_ERROR(ParseJoinEncoderFields(json, &request));
+    Status workload_error = OkStatus();
+    const JsonValue* workload = RequireWorkload(json, &workload_error);
+    if (workload == nullptr) return workload_error;
+    QOPT_ASSIGN_OR_RETURN(request.join_graph, QueryGraphFromJson(*workload));
+    return request;
+  }
+  if (type == "stats") {
+    request.type = RequestType::kStats;
+    QOPT_RETURN_IF_ERROR(CheckAllowedFields(json, {"id", "type"}));
+    return request;
+  }
+  if (type == "cancel") {
+    request.type = RequestType::kCancel;
+    QOPT_RETURN_IF_ERROR(
+        CheckAllowedFields(json, {"id", "type", "target"}));
+    QOPT_ASSIGN_OR_RETURN(request.cancel_target, StringField(json, "target"));
+    if (request.cancel_target.empty() ||
+        request.cancel_target.size() > kMaxRequestIdBytes) {
+      return InvalidArgumentError(
+          "field \"target\": expected a non-empty request id");
+    }
+    return request;
+  }
+  if (type == "ping") {
+    request.type = RequestType::kPing;
+    QOPT_RETURN_IF_ERROR(CheckAllowedFields(json, {"id", "type"}));
+    return request;
+  }
+  return InvalidArgumentError(StrFormat(
+      "field \"type\": unknown request type \"%s\" (known: mqo, join, "
+      "stats, cancel, ping)",
+      type.c_str()));
+}
+
+std::string BestEffortRequestId(const std::string& line) {
+  const std::optional<JsonValue> json = JsonValue::Parse(line);
+  if (!json.has_value() || !json->IsObject()) return "";
+  const JsonValue* id = json->Find("id");
+  if (id == nullptr || !id->IsString()) return "";
+  const std::string& text = id->AsString();
+  if (text.empty() || text.size() > kMaxRequestIdBytes) return "";
+  return text;
+}
+
+std::string MakeOkResponse(const std::string& id, bool cached,
+                           const JsonValue& result) {
+  JsonValue response = JsonValue::Object();
+  response.Set("id", JsonValue::String(id));
+  response.Set("ok", JsonValue::Bool(true));
+  response.Set("cached", JsonValue::Bool(cached));
+  response.Set("result", result);
+  return response.Dump();
+}
+
+std::string MakeErrorResponse(const std::string& id, const Status& status) {
+  JsonValue response = JsonValue::Object();
+  response.Set("id", id.empty() ? JsonValue::Null() : JsonValue::String(id));
+  response.Set("ok", JsonValue::Bool(false));
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::String(std::string(
+                        StatusCodeName(status.code()))));
+  error.Set("message", JsonValue::String(status.message()));
+  response.Set("error", error);
+  return response.Dump();
+}
+
+namespace {
+
+/// Shared deterministic solve fields: no wall-clock values (elapsed_ms and
+/// per-lane timings stay in the metrics / stderr diagnostics), so the
+/// payload is byte-identical across thread counts.
+void FillCommonReportFields(const std::string& kind, Backend backend_used,
+                            bool degraded,
+                            const std::string& degradation_reason,
+                            int qubits, int quadratic_terms,
+                            const SolveStats& stats, bool valid,
+                            double energy, JsonValue* result) {
+  result->Set("kind", JsonValue::String(kind));
+  result->Set("backend", JsonValue::String(BackendName(backend_used)));
+  result->Set("degraded", JsonValue::Bool(degraded));
+  if (degraded) {
+    result->Set("degradation_reason", JsonValue::String(degradation_reason));
+  }
+  result->Set("qubits", JsonValue::Number(qubits));
+  result->Set("quadratic_terms", JsonValue::Number(quadratic_terms));
+  result->Set("attempts", JsonValue::Number(stats.attempts));
+  result->Set("timed_out", JsonValue::Bool(stats.timed_out));
+  if (!stats.lanes.empty()) {
+    result->Set("race_lanes",
+                JsonValue::Number(static_cast<int>(stats.lanes.size())));
+  }
+  result->Set("valid", JsonValue::Bool(valid));
+  result->Set("energy", JsonValue::Number(energy));
+}
+
+}  // namespace
+
+JsonValue MqoReportToJson(const MqoSolveReport& report) {
+  JsonValue result = JsonValue::Object();
+  FillCommonReportFields("mqo", report.backend_used, report.degraded,
+                         report.degradation_reason, report.qubits,
+                         report.quadratic_terms, report.stats, report.valid,
+                         report.qubo_energy, &result);
+  if (report.valid) {
+    result.Set("cost", JsonValue::Number(report.solution.cost));
+    JsonValue selection = JsonValue::Array();
+    for (int plan : report.solution.selection) {
+      selection.Append(JsonValue::Number(plan));
+    }
+    result.Set("selection", selection);
+  }
+  return result;
+}
+
+JsonValue JoinReportToJson(const JoinOrderSolveReport& report) {
+  JsonValue result = JsonValue::Object();
+  FillCommonReportFields("join", report.backend_used, report.degraded,
+                         report.degradation_reason, report.qubits,
+                         report.quadratic_terms, report.stats, report.valid,
+                         report.qubo_energy, &result);
+  if (report.valid) {
+    result.Set("cost", JsonValue::Number(report.solution.cost));
+    JsonValue order = JsonValue::Array();
+    for (int relation : report.solution.order) {
+      order.Append(JsonValue::Number(relation));
+    }
+    result.Set("order", order);
+  }
+  return result;
+}
+
+}  // namespace qopt::serve

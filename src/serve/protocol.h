@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/quantum_optimizer.h"
+#include "joinorder/join_order_bilp_encoder.h"
+#include "joinorder/query_graph.h"
+#include "mqo/mqo_problem.h"
+
+namespace qopt::serve {
+
+/// Line-delimited JSON protocol of qqo_serve (DESIGN.md "Serving"). Every
+/// input line is one request object; every request produces exactly one
+/// response line, emitted in request order. Requests carrying untrusted
+/// content (all of them) are validated field by field — a malformed
+/// request yields a structured error response, never a crash and never a
+/// torn response stream.
+///
+/// Request:
+///   {"id": "r1", "type": "mqo",  "workload": {...}, "backend": "sa",
+///    "dispatch": "serial", "seed": 7, "timeout_ms": 500, "retries": 2,
+///    "no_fallback": false, "pegasus": 4, "cache": true}
+///   {"id": "r2", "type": "join", "workload": {...},
+///    "thresholds": [10, 100], "precision": 0, ...}
+///   {"id": "r3", "type": "stats"}
+///   {"id": "r4", "type": "cancel", "target": "r9"}
+///   {"id": "r5", "type": "ping"}
+///
+/// Response:
+///   {"id": "r1", "ok": true, "cached": false, "result": {...}}
+///   {"id": "r9", "ok": false,
+///    "error": {"code": "UNAVAILABLE", "message": "..."}}
+enum class RequestType { kMqo, kJoin, kStats, kCancel, kPing };
+
+/// A validated solve/admin request.
+struct ServeRequest {
+  std::string id;
+  RequestType type = RequestType::kPing;
+
+  // Solve requests (kMqo / kJoin).
+  std::optional<MqoProblem> mqo;
+  std::optional<QueryGraph> join_graph;
+  JoinOrderEncoderOptions join_encoder;  ///< thresholds / precision.
+  Backend backend = Backend::kSimulatedAnnealing;
+  DispatchMode dispatch = DispatchMode::kSerial;
+  std::uint64_t seed = 7;
+  /// Negative: unbounded. Zero is a legal instantly-exhausted budget.
+  long long timeout_ms = -1;
+  int retries = 1;
+  int pegasus_m = 4;
+  bool classical_fallback = true;
+  bool use_cache = true;
+
+  // kCancel.
+  std::string cancel_target;
+};
+
+/// Upper bound on request ids; longer ids are rejected (they would bloat
+/// every response and the in-flight registry).
+inline constexpr std::size_t kMaxRequestIdBytes = 256;
+
+/// Parses and validates one request line (already length-checked by the
+/// server). `default_dispatch` supplies the daemon-wide dispatch mode
+/// (QQO_DISPATCH / flag) that a request may override per call.
+StatusOr<ServeRequest> ParseServeRequest(const std::string& line,
+                                         DispatchMode default_dispatch);
+
+/// Builds the compact single-line success response. `result` is the
+/// request-type-specific payload object.
+std::string MakeOkResponse(const std::string& id, bool cached,
+                           const JsonValue& result);
+
+/// Builds the compact single-line error response. The code string is the
+/// upper-snake StatusCodeName ("UNAVAILABLE", "INVALID_ARGUMENT", ...).
+/// `id` may be empty when the request never parsed far enough to have one
+/// (serialized as null).
+std::string MakeErrorResponse(const std::string& id, const Status& status);
+
+/// Best-effort id recovery for error responses: when a request fails
+/// validation after its "id" field already parsed (wrong workload shape,
+/// bad field type, ...), the error response should still name the
+/// request. Empty when the line is not an object with a legal string id.
+std::string BestEffortRequestId(const std::string& line);
+
+/// Result payload of a solved MQO request. Deterministic: holds no
+/// wall-clock fields, so response streams are byte-identical across
+/// QQO_THREADS (see the replay harness).
+JsonValue MqoReportToJson(const MqoSolveReport& report);
+
+/// Result payload of a solved join-order request.
+JsonValue JoinReportToJson(const JoinOrderSolveReport& report);
+
+}  // namespace qopt::serve

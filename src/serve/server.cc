@@ -1,0 +1,564 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "bilp/bilp_to_qubo.h"
+#include "common/fault_injection.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "joinorder/join_order.h"
+#include "mqo/mqo_qubo_encoder.h"
+#include "obs/metrics.h"
+#include "qubo/qubo_canonical.h"
+
+namespace qopt::serve {
+namespace {
+
+/// Pending cancels for request ids the server has not seen yet. Bounded so
+/// a client spamming cancels for fictional ids cannot grow server memory.
+constexpr std::size_t kMaxPendingCancels = 1024;
+
+/// Domain-separation tags for the cache options hash.
+constexpr std::uint64_t kMqoKeyTag = 0x5E57'E001ULL;
+constexpr std::uint64_t kJoinKeyTag = 0x5E57'E002ULL;
+
+/// Everything that changes the *answer* of a solve enters the cache key;
+/// timeout_ms deliberately does not (a completed result is equally valid
+/// under any budget — budget-truncated results are never inserted).
+std::uint64_t OptionsHash(std::uint64_t kind_tag, const ServeRequest& r) {
+  std::uint64_t h = HashCombine(kind_tag, static_cast<std::uint64_t>(r.backend));
+  h = HashCombine(h, static_cast<std::uint64_t>(r.dispatch));
+  h = HashCombine(h, r.seed);
+  h = HashCombine(h, static_cast<std::uint64_t>(r.retries));
+  h = HashCombine(h, static_cast<std::uint64_t>(r.pegasus_m));
+  return HashCombine(h, r.classical_fallback ? 1 : 0);
+}
+
+/// Mirrors the qqo_cli solver defaults so a request answered by the
+/// daemon matches the same request run through the CLI.
+OptimizerOptions MakeOptimizerOptions(const ServeRequest& request,
+                                      const Deadline& deadline) {
+  OptimizerOptions options;
+  options.backend = request.backend;
+  options.dispatch = request.dispatch;
+  options.seed = request.seed;
+  options.pegasus_m = request.pegasus_m;
+  options.classical_fallback = request.classical_fallback;
+  options.anneal.num_reads = 50;
+  options.anneal.num_sweeps = 2000;
+  options.variational.max_iterations = 250;
+  options.variational.shots = 4096;
+  options.embedded.anneal.num_reads = 100;
+  options.embedded.anneal.num_sweeps = 4000;
+  options.budget.deadline = deadline;
+  options.budget.retry.max_attempts = request.retries;
+  options.budget.retry.initial_backoff_ms = 10.0;
+  options.budget.retry.seed = request.seed;
+  return options;
+}
+
+Deadline RequestDeadline(const ServeRequest& request,
+                         const CancelToken* token) {
+  const Deadline base = request.timeout_ms < 0
+                            ? Deadline::Infinite()
+                            : Deadline::AfterMillis(
+                                  static_cast<double>(request.timeout_ms));
+  return base.WithToken(token);
+}
+
+/// Relative-tolerance energy check for transported solutions. Isomorphic
+/// relabelings re-associate the FP sums, so exact equality is too strict;
+/// anything beyond 1e-9 relative means the canonical hash collided on
+/// non-isomorphic problems and the entry must be rejected.
+bool EnergiesMatch(double a, double b) {
+  const double tolerance = 1e-9 * std::max(1.0, std::max(std::abs(a),
+                                                         std::abs(b)));
+  return std::abs(a - b) <= tolerance;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options), cache_(options.cache_capacity) {}
+
+void Server::RequestShutdown() {
+  shutdown_token_.Cancel();
+  // Shutdown implies drain starts now for anything still blocked on the
+  // per-request tokens once the accept loop unwinds; firing the drain
+  // token here would skip the graceful window, so only the shutdown flag
+  // is set.
+}
+
+ServerCounters Server::Counters() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return counters_;
+}
+
+Status Server::Serve(std::istream& in, std::ostream& out) {
+  // Per-session reset: sequence numbers, reorder buffer and cancellation
+  // bookkeeping start fresh; the cache and lifetime counters persist.
+  {
+    std::lock_guard<std::mutex> lock(emit_mutex_);
+    out_ = &out;
+    next_emit_ = 0;
+    pending_.clear();
+  }
+  next_seq_ = 0;
+  drain_token_.Reset();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    live_.clear();
+    precancelled_.clear();
+  }
+
+  std::string line;
+  // QQO_LOOP(serve.accept)
+  while (std::getline(in, line)) {
+    QQO_COUNT("serve.lines", 1);
+    if (shutdown_token_.cancelled()) break;
+    HandleLine(line);
+  }
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(emit_mutex_);
+    out_ = nullptr;
+  }
+  return OkStatus();
+}
+
+void Server::HandleLine(const std::string& line) {
+  if (line.empty()) return;  // Blank lines are keep-alive noise: no reply.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.lines;
+  }
+  const std::uint64_t seq = next_seq_++;
+  if (line.size() > options_.max_line_bytes) {
+    // Reject before parsing: the bound exists precisely so that a huge
+    // line costs O(max_line_bytes), not O(line).
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.parse_errors;
+    Emit(seq, MakeErrorResponse(
+                  "", ResourceExhaustedError(StrFormat(
+                          "request line of %zu bytes exceeds the "
+                          "max_line_bytes limit of %zu",
+                          line.size(), options_.max_line_bytes))));
+    return;
+  }
+  StatusOr<ServeRequest> parsed =
+      ParseServeRequest(line, options_.default_dispatch);
+  if (!parsed.ok()) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.parse_errors;
+    Emit(seq, MakeErrorResponse(BestEffortRequestId(line), parsed.status()));
+    return;
+  }
+  ServeRequest request = *std::move(parsed);
+  switch (request.type) {
+    case RequestType::kPing: {
+      JsonValue result = JsonValue::Object();
+      result.Set("pong", JsonValue::Bool(true));
+      Emit(seq, MakeOkResponse(request.id, false, result));
+      return;
+    }
+    case RequestType::kStats:
+      HandleStats(seq, request);
+      return;
+    case RequestType::kCancel:
+      HandleCancel(seq, request);
+      return;
+    case RequestType::kMqo:
+    case RequestType::kJoin:
+      AdmitSolve(seq, std::move(request));
+      return;
+  }
+}
+
+void Server::HandleCancel(std::uint64_t seq, const ServeRequest& request) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto it = live_.find(request.cancel_target);
+  if (it != live_.end()) {
+    it->second->token.Cancel();
+  } else {
+    if (precancelled_.size() >= kMaxPendingCancels &&
+        precancelled_.count(request.cancel_target) == 0) {
+      Emit(seq, MakeErrorResponse(
+                    request.id,
+                    ResourceExhaustedError(
+                        "too many pending cancels for unseen request ids")));
+      return;
+    }
+    // The target has not been admitted yet: remember the cancel and fire
+    // the request's token the moment it arrives. This "pre-cancel" is the
+    // deterministic flavor the replay corpus uses — it does not race
+    // against solver progress.
+    precancelled_.insert(request.cancel_target);
+  }
+  // Uniform acknowledgement: whether the target was live or pre-cancelled
+  // is timing-dependent, so the ack deliberately does not say.
+  JsonValue result = JsonValue::Object();
+  result.Set("cancelled", JsonValue::Bool(true));
+  result.Set("target", JsonValue::String(request.cancel_target));
+  Emit(seq, MakeOkResponse(request.id, false, result));
+}
+
+void Server::HandleStats(std::uint64_t seq, const ServeRequest& request) {
+  // Barrier: a stats snapshot taken while solves are in flight would
+  // depend on scheduling. Waiting for idle makes the payload a pure
+  // function of the request history, which the replay harness compares
+  // byte-for-byte across thread counts.
+  AwaitIdle();
+  JsonValue result = JsonValue::Object();
+  const JsonValue metrics = obs::Metrics::Instance().ToJson(false);
+  if (const JsonValue* rows = metrics.Find("metrics"); rows != nullptr) {
+    result.Set("metrics", *rows);
+  }
+  const CacheCounters cache_counters = cache_.Counters();
+  JsonValue cache = JsonValue::Object();
+  cache.Set("capacity",
+            JsonValue::Number(static_cast<double>(cache_.Capacity())));
+  cache.Set("size", JsonValue::Number(static_cast<double>(cache_.Size())));
+  cache.Set("hits_exact",
+            JsonValue::Number(static_cast<double>(cache_counters.hits_exact)));
+  cache.Set("hits_isomorphic",
+            JsonValue::Number(
+                static_cast<double>(cache_counters.hits_isomorphic)));
+  cache.Set("misses",
+            JsonValue::Number(static_cast<double>(cache_counters.misses)));
+  cache.Set("insertions",
+            JsonValue::Number(static_cast<double>(cache_counters.insertions)));
+  cache.Set("evictions",
+            JsonValue::Number(static_cast<double>(cache_counters.evictions)));
+  cache.Set("rejections",
+            JsonValue::Number(static_cast<double>(cache_counters.rejections)));
+  result.Set("cache", cache);
+  ServerCounters counters = Counters();
+  JsonValue server = JsonValue::Object();
+  server.Set("admitted",
+             JsonValue::Number(static_cast<double>(counters.admitted)));
+  server.Set("completed",
+             JsonValue::Number(static_cast<double>(counters.completed)));
+  server.Set("shed", JsonValue::Number(static_cast<double>(counters.shed)));
+  server.Set("parse_errors",
+             JsonValue::Number(static_cast<double>(counters.parse_errors)));
+  server.Set("cancelled",
+             JsonValue::Number(static_cast<double>(counters.cancelled)));
+  server.Set("queue_capacity",
+             JsonValue::Number(static_cast<double>(options_.queue_capacity)));
+  result.Set("server", server);
+  Emit(seq, MakeOkResponse(request.id, false, result));
+}
+
+void Server::AdmitSolve(std::uint64_t seq, ServeRequest request) {
+  // Deterministic admission fault site: CI arms it via QQO_FAULTS to
+  // prove a shed request gets a structured reject while the loop lives.
+  if (Status fault = CheckFaultPoint("serve.admit"); !fault.ok()) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.shed;
+    QQO_COUNT("serve.shed", 1);
+    Emit(seq, MakeErrorResponse(request.id, fault));
+    return;
+  }
+  auto state = std::make_shared<RequestState>(&drain_token_);
+  state->seq = seq;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (in_flight_ >= options_.queue_capacity) {
+      ++counters_.shed;
+      QQO_COUNT("serve.shed", 1);
+      Emit(seq,
+           MakeErrorResponse(
+               request.id,
+               UnavailableError(StrFormat(
+                   "admission queue full (%zu solves in flight, capacity "
+                   "%zu); retry after a response drains",
+                   in_flight_, options_.queue_capacity))));
+      return;
+    }
+    ++in_flight_;
+    ++counters_.admitted;
+    QQO_COUNT("serve.requests", 1);
+    if (precancelled_.erase(request.id) > 0) state->token.Cancel();
+    state->request = std::move(request);
+    live_[state->request.id] = state;
+  }
+  ThreadPool::Default().Submit([this, state] {
+    std::string response;
+    try {
+      response = SolveToResponse(*state);
+    } catch (const std::exception& e) {
+      // Worker isolation: a throwing solve is a bug, but it must cost one
+      // error response, not the daemon.
+      response = MakeErrorResponse(
+          state->request.id,
+          InternalError(StrFormat("solve threw: %s", e.what())));
+    } catch (...) {
+      response = MakeErrorResponse(
+          state->request.id,
+          InternalError("solve threw a non-exception object"));
+    }
+    Emit(state->seq, std::move(response));
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      --in_flight_;
+      ++counters_.completed;
+      auto it = live_.find(state->request.id);
+      if (it != live_.end() && it->second == state) live_.erase(it);
+    }
+    idle_cv_.notify_all();
+  });
+}
+
+std::string Server::SolveToResponse(RequestState& state) {
+  const ServeRequest& request = state.request;
+  const Deadline deadline = RequestDeadline(request, &state.token);
+  if (options_.test_request_hook) options_.test_request_hook(deadline);
+  // Per-request fault site: an injected failure surfaces as this
+  // request's error response and nothing else.
+  if (Status fault = CheckFaultPoint("serve.request"); !fault.ok()) {
+    return MakeErrorResponse(request.id, fault);
+  }
+  if (request.type == RequestType::kMqo) {
+    return SolveMqoRequest(state, deadline);
+  }
+  return SolveJoinRequest(state, deadline);
+}
+
+std::string Server::SolveMqoRequest(RequestState& state,
+                                    const Deadline& deadline) {
+  const ServeRequest& request = state.request;
+  const MqoProblem& problem = *request.mqo;
+  const bool use_cache = request.use_cache && cache_.Capacity() > 0;
+  QuboSignature signature;
+  CacheKey key{0, 0};
+  bool holds_flight = false;
+  if (use_cache) {
+    // The encoding is cheap relative to a solve; computing it up front
+    // lets a cache hit skip the solver entirely.
+    StatusOr<MqoQuboEncoding> encoding = TryEncodeMqoAsQubo(problem);
+    if (!encoding.ok()) {
+      return MakeErrorResponse(request.id, encoding.status());
+    }
+    signature = ComputeQuboSignature(encoding->qubo);
+    key = {signature.canonical_hash, OptionsHash(kMqoKeyTag, request)};
+    holds_flight = AcquireFlight(key, state.token);
+    CacheEntry entry;
+    const CacheHitKind kind =
+        cache_.Lookup(key.first, key.second, signature.exact_hash, &entry);
+    if (kind == CacheHitKind::kExact) {
+      QQO_COUNT("serve.cache.hit", 1);
+      if (holds_flight) ReleaseFlight(key);
+      StatusOr<JsonValue> payload = JsonValue::ParseOrStatus(entry.payload);
+      QOPT_CHECK_MSG(payload.ok(), "cached payload failed to re-parse");
+      return MakeOkResponse(request.id, true, *payload);
+    }
+    if (kind == CacheHitKind::kIsomorphic) {
+      // Same canonical form under a different labeling: transport the
+      // cached bits through this instance's canonical ranks, then verify
+      // — the WL hash is strong evidence, not proof, of isomorphism.
+      const std::vector<std::uint8_t> bits =
+          MapBitsFromCanonical(signature, entry.canonical_bits);
+      const double energy = encoding->qubo.Energy(bits);
+      std::vector<int> selection;
+      if (bits.size() == entry.canonical_bits.size() &&
+          EnergiesMatch(energy, entry.energy) &&
+          problem.DecodeBits(bits, &selection)) {
+        QQO_COUNT("serve.cache.hit", 1);
+        if (holds_flight) ReleaseFlight(key);
+        StatusOr<JsonValue> payload =
+            JsonValue::ParseOrStatus(entry.payload);
+        QOPT_CHECK_MSG(payload.ok(), "cached payload failed to re-parse");
+        payload->Set("energy", JsonValue::Number(energy));
+        payload->Set("cost",
+                     JsonValue::Number(problem.SelectionCost(selection)));
+        JsonValue selection_json = JsonValue::Array();
+        for (int plan : selection) {
+          selection_json.Append(JsonValue::Number(plan));
+        }
+        payload->Set("selection", selection_json);
+        return MakeOkResponse(request.id, true, *payload);
+      }
+      cache_.RecordRejection(key.first, key.second);
+    }
+    QQO_COUNT("serve.cache.miss", 1);
+  }
+  StatusOr<MqoSolveReport> report =
+      TrySolveMqo(problem, MakeOptimizerOptions(request, deadline));
+  std::string response;
+  if (!report.ok()) {
+    if (report.status().code() == StatusCode::kCancelled) {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.cancelled;
+    }
+    response = MakeErrorResponse(request.id, report.status());
+  } else {
+    const JsonValue payload = MqoReportToJson(*report);
+    if (use_cache && report->valid && !report->stats.timed_out) {
+      CacheEntry entry;
+      entry.exact_hash = signature.exact_hash;
+      entry.canonical_bits = MapBitsToCanonical(signature, report->bits);
+      entry.energy = report->qubo_energy;
+      entry.payload = payload.Dump();
+      cache_.Insert(key.first, key.second, std::move(entry));
+    }
+    response = MakeOkResponse(request.id, false, payload);
+  }
+  if (holds_flight) ReleaseFlight(key);
+  return response;
+}
+
+std::string Server::SolveJoinRequest(RequestState& state,
+                                     const Deadline& deadline) {
+  const ServeRequest& request = state.request;
+  const QueryGraph& graph = *request.join_graph;
+  const bool use_cache = request.use_cache && cache_.Capacity() > 0;
+  QuboSignature signature;
+  CacheKey key{0, 0};
+  bool holds_flight = false;
+  std::optional<JoinOrderEncoding> encoding;
+  std::optional<QuboModel> qubo;
+  if (use_cache) {
+    StatusOr<JoinOrderEncoding> encoded =
+        TryEncodeJoinOrderAsBilp(graph, request.join_encoder);
+    if (!encoded.ok()) {
+      return MakeErrorResponse(request.id, encoded.status());
+    }
+    encoding = *std::move(encoded);
+    qubo = EncodeBilpAsQubo(encoding->bilp).qubo;
+    signature = ComputeQuboSignature(*qubo);
+    key = {signature.canonical_hash, OptionsHash(kJoinKeyTag, request)};
+    holds_flight = AcquireFlight(key, state.token);
+    CacheEntry entry;
+    const CacheHitKind kind =
+        cache_.Lookup(key.first, key.second, signature.exact_hash, &entry);
+    if (kind == CacheHitKind::kExact) {
+      QQO_COUNT("serve.cache.hit", 1);
+      if (holds_flight) ReleaseFlight(key);
+      StatusOr<JsonValue> payload = JsonValue::ParseOrStatus(entry.payload);
+      QOPT_CHECK_MSG(payload.ok(), "cached payload failed to re-parse");
+      return MakeOkResponse(request.id, true, *payload);
+    }
+    if (kind == CacheHitKind::kIsomorphic) {
+      const std::vector<std::uint8_t> bits =
+          MapBitsFromCanonical(signature, entry.canonical_bits);
+      const double energy = qubo->Energy(bits);
+      std::vector<int> order;
+      if (bits.size() == entry.canonical_bits.size() &&
+          EnergiesMatch(energy, entry.energy) &&
+          DecodeJoinOrder(*encoding, bits, &order)) {
+        QQO_COUNT("serve.cache.hit", 1);
+        if (holds_flight) ReleaseFlight(key);
+        StatusOr<JsonValue> payload =
+            JsonValue::ParseOrStatus(entry.payload);
+        QOPT_CHECK_MSG(payload.ok(), "cached payload failed to re-parse");
+        payload->Set("energy", JsonValue::Number(energy));
+        payload->Set("cost", JsonValue::Number(CoutCost(graph, order)));
+        JsonValue order_json = JsonValue::Array();
+        for (int relation : order) {
+          order_json.Append(JsonValue::Number(relation));
+        }
+        payload->Set("order", order_json);
+        return MakeOkResponse(request.id, true, *payload);
+      }
+      cache_.RecordRejection(key.first, key.second);
+    }
+    QQO_COUNT("serve.cache.miss", 1);
+  }
+  StatusOr<JoinOrderSolveReport> report = TrySolveJoinOrder(
+      graph, request.join_encoder, MakeOptimizerOptions(request, deadline));
+  std::string response;
+  if (!report.ok()) {
+    if (report.status().code() == StatusCode::kCancelled) {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.cancelled;
+    }
+    response = MakeErrorResponse(request.id, report.status());
+  } else {
+    const JsonValue payload = JoinReportToJson(*report);
+    if (use_cache && report->valid && !report->stats.timed_out) {
+      CacheEntry entry;
+      entry.exact_hash = signature.exact_hash;
+      entry.canonical_bits = MapBitsToCanonical(signature, report->bits);
+      entry.energy = report->qubo_energy;
+      entry.payload = payload.Dump();
+      cache_.Insert(key.first, key.second, std::move(entry));
+    }
+    response = MakeOkResponse(request.id, false, payload);
+  }
+  if (holds_flight) ReleaseFlight(key);
+  return response;
+}
+
+bool Server::AcquireFlight(const CacheKey& key, const CancelToken& token) {
+  std::unique_lock<std::mutex> lock(flights_mutex_);
+  // QQO_LOOP(serve.flight)
+  while (flights_.count(key) > 0) {
+    QQO_COUNT("serve.wall.flight_waits", 1);
+    if (token.cancelled()) return false;
+    flights_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+  flights_.insert(key);
+  return true;
+}
+
+void Server::ReleaseFlight(const CacheKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    flights_.erase(key);
+  }
+  flights_cv_.notify_all();
+}
+
+void Server::Emit(std::uint64_t seq, std::string line) {
+  std::lock_guard<std::mutex> lock(emit_mutex_);
+  pending_[seq] = std::move(line);
+  // Reorder buffer: write the contiguous run starting at next_emit_, hold
+  // anything that arrived ahead of an earlier outstanding response.
+  bool wrote = false;
+  auto it = pending_.find(next_emit_);
+  while (it != pending_.end()) {
+    QQO_COUNT("serve.responses", 1);
+    if (out_ != nullptr) *out_ << it->second << '\n';
+    pending_.erase(it);
+    ++next_emit_;
+    wrote = true;
+    it = pending_.find(next_emit_);
+  }
+  if (wrote && out_ != nullptr) out_->flush();
+}
+
+void Server::AwaitIdle() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  // QQO_LOOP(serve.wait)
+  while (in_flight_ > 0) {
+    QQO_COUNT("serve.wall.idle_waits", 1);
+    if (shutdown_token_.cancelled() && drain_token_.cancelled()) break;
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+void Server::Drain() {
+  const Deadline drain_deadline =
+      options_.drain_budget_ms < 0
+          ? Deadline::Infinite()
+          : Deadline::AfterMillis(
+                static_cast<double>(options_.drain_budget_ms));
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  // QQO_LOOP(serve.drain)
+  while (in_flight_ > 0) {
+    QQO_COUNT("serve.wall.drain_waits", 1);
+    if (drain_deadline.Expired() && !drain_token_.cancelled()) {
+      // Budget exhausted: cancel everything still in flight through the
+      // linked tokens; solvers observe it at their next iteration
+      // boundary and wind down with kCancelled error responses.
+      drain_token_.Cancel();
+    }
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace qopt::serve

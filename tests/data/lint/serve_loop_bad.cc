@@ -1,0 +1,59 @@
+// Fixture: server-loop shapes that violate the qqo_serve contracts — an
+// accept loop that cannot be shut down (deadline coverage), a drain loop
+// with no observability, and an accept loop that allocates per request
+// line (hot-loop alloc).
+#include <string>
+#include <vector>
+
+struct CancelToken {
+  bool cancelled() const { return false; }
+};
+
+struct Deadline {
+  bool Expired() const { return false; }
+};
+
+struct LineSource {
+  bool Next() { return false; }
+};
+
+#define QQO_COUNT(name, delta)
+
+void HandleRequest();
+
+// An accept loop that never consults the shutdown token: SIGTERM could
+// only stop it via EOF. qqo-deadline-coverage fires.
+int UnstoppableAcceptLoop(LineSource& in) {
+  int handled = 0;
+  // QQO_LOOP(fixture.serve_accept)
+  while (in.Next()) {
+    QQO_COUNT("fixture.serve_lines", 1);
+    HandleRequest();
+    ++handled;
+  }
+  return handled;
+}
+
+// A drain loop that emits nothing: a hung drain would be invisible in the
+// metrics table. qqo-obs-coverage fires (deadline stays quiet).
+void SilentDrainLoop(int in_flight, const Deadline& drain_deadline) {
+  // QQO_LOOP(fixture.serve_drain)
+  while (in_flight > 0) {
+    if (drain_deadline.Expired()) break;
+    --in_flight;
+  }
+}
+
+// An accept loop that copies every request line into growing storage:
+// unbounded per-request allocation. qqo-hot-loop-alloc fires.
+int HoardingAcceptLoop(LineSource& in, const CancelToken& shutdown_token) {
+  std::vector<std::string> lines;  // never reserved
+  // QQO_LOOP(fixture.serve_hoard)
+  while (in.Next()) {
+    QQO_COUNT("fixture.serve_lines", 1);
+    if (shutdown_token.cancelled()) break;
+    std::string copy = "line";
+    lines.push_back(copy);
+  }
+  return static_cast<int>(lines.size());
+}

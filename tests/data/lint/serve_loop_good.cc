@@ -1,0 +1,59 @@
+// Fixture: the three server-loop shapes of qqo_serve (accept loop,
+// singleflight wait, graceful drain), each registered with QQO_LOOP and
+// covered by a shutdown token / drain deadline plus an obs counter — the
+// contract src/serve/server.cc must keep.
+struct CancelToken {
+  bool cancelled() const { return false; }
+};
+
+struct Deadline {
+  bool Expired() const { return false; }
+};
+
+struct LineSource {
+  bool Next() { return false; }
+};
+
+#define QQO_COUNT(name, delta)
+
+void HandleRequest();
+void WaitABit();
+
+// The accept loop: one request per line until EOF, bailing out between
+// lines once shutdown is requested.
+int AcceptLoop(LineSource& in, const CancelToken& shutdown_token) {
+  int handled = 0;
+  // QQO_LOOP(fixture.serve_accept)
+  while (in.Next()) {
+    QQO_COUNT("fixture.serve_lines", 1);
+    if (shutdown_token.cancelled()) break;
+    HandleRequest();
+    ++handled;
+  }
+  return handled;
+}
+
+// The singleflight wait: duplicates of an in-flight cache key park here;
+// a cancelled request gives up instead of waiting forever.
+bool FlightWait(bool key_in_flight, const CancelToken& token) {
+  // QQO_LOOP(fixture.serve_flight)
+  while (key_in_flight) {
+    QQO_COUNT("fixture.serve_flight_waits", 1);
+    if (token.cancelled()) return false;
+    WaitABit();
+    key_in_flight = false;
+  }
+  return true;
+}
+
+// The drain loop: in-flight solves get the budget to finish, then the
+// drain deadline fires the linked cancel tokens.
+void DrainLoop(int in_flight, const Deadline& drain_deadline,
+               CancelToken& drain_token) {
+  // QQO_LOOP(fixture.serve_drain)
+  while (in_flight > 0) {
+    QQO_COUNT("fixture.serve_drain_waits", 1);
+    if (drain_deadline.Expired() && !drain_token.cancelled()) break;
+    --in_flight;
+  }
+}

@@ -166,6 +166,22 @@ TEST(ObsCoverageRuleTest, DanglingMarkerIsReportedByDeadlineRuleOnly) {
   EXPECT_EQ(findings.size(), 0u);
 }
 
+TEST(ServeLoopFixtureTest, BadServerLoopsFireTheExpectedRules) {
+  // Server-loop shapes (accept / drain / singleflight wait): the bad twin
+  // holds one uncoverable accept loop, one silent drain loop and one
+  // per-line-allocating accept loop.
+  const std::vector<Finding> findings = LintFixture("serve_loop_bad.cc");
+  EXPECT_EQ(CountRule(findings, kDeadlineCoverageRule), 1);
+  EXPECT_EQ(CountRule(findings, kObsCoverageRule), 1);
+  // std::string construction + unreserved push_back.
+  EXPECT_EQ(CountRule(findings, kHotLoopAllocRule), 2);
+}
+
+TEST(ServeLoopFixtureTest, QuietOnGoodServerLoops) {
+  const std::vector<Finding> findings = LintFixture("serve_loop_good.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
 TEST(HotLoopAllocRuleTest, FiresOnBadFixture) {
   const std::vector<Finding> findings = LintFixture("hot_loop_alloc_bad.cc");
   // new, unreserved push_back, std::string construction, to_string,

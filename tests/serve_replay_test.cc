@@ -1,0 +1,107 @@
+// Deterministic replay harness for qqo_serve: streams the request corpus
+// in tests/data/serve/ through fresh Server instances at QQO_THREADS-
+// equivalent pool sizes 1 / 2 / 8 and byte-compares the full response
+// streams. The corpus mixes valid solves, a duplicate (exact cache hit),
+// an isomorphic relabeling (canonical-form hit), malformed / oversized /
+// invalid-workload requests, a pre-cancel pair, a zero-budget timeout and
+// a trailing stats barrier — so equality pins in-order emission, single-
+// flight coalescing, the stats barrier and the stable metrics snapshot
+// all at once.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+namespace qopt::serve {
+namespace {
+
+std::string LoadCorpus() {
+  const std::string path = std::string(QQO_TEST_DATA_DIR) +
+                           "/serve/corpus.jsonl";
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << "missing corpus: " << path;
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return contents.str();
+}
+
+/// One full serve session over the corpus on a pool of `threads`. Metrics
+/// are reset per run: the stats response embeds the stable snapshot, which
+/// must be a pure function of the request history, not of prior runs.
+std::string RunCorpus(const std::string& corpus, int threads) {
+  obs::Metrics::Instance().Reset();
+  obs::Metrics::Instance().Enable();
+  ThreadPool pool(threads);
+  ScopedDefaultPool guard(&pool);
+  ServerOptions options;
+  options.max_line_bytes = 4096;  // The corpus carries a >4KiB line.
+  Server server(options);
+  std::istringstream in(corpus);
+  std::ostringstream out;
+  const Status status = server.Serve(in, out);
+  obs::Metrics::Instance().Disable();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out.str();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(ServeReplayTest, ResponseStreamByteIdenticalAcrossPoolSizes) {
+  const std::string corpus = LoadCorpus();
+  ASSERT_FALSE(corpus.empty());
+  const std::string serial = RunCorpus(corpus, 1);
+  const std::string two = RunCorpus(corpus, 2);
+  const std::string eight = RunCorpus(corpus, 8);
+  EXPECT_EQ(serial, two) << "2-thread replay diverged from serial";
+  EXPECT_EQ(serial, eight) << "8-thread replay diverged from serial";
+}
+
+TEST(ServeReplayTest, CorpusExercisesTheAdvertisedPaths) {
+  const std::string corpus = LoadCorpus();
+  const std::string output = RunCorpus(corpus, 2);
+  const std::vector<std::string> responses = SplitLines(output);
+  const std::vector<std::string> requests = SplitLines(corpus);
+  // Exactly one response line per request line, in request order.
+  ASSERT_EQ(responses.size(), requests.size());
+
+  int cached = 0, errors = 0;
+  for (const std::string& line : responses) {
+    if (line.find("\"cached\":true") != std::string::npos) ++cached;
+    if (line.find("\"ok\":false") != std::string::npos) ++errors;
+  }
+  // m2 replays m1 byte-for-byte (exact) and m3 hits through the canonical
+  // form (isomorphic).
+  EXPECT_EQ(cached, 2);
+  // x1 (malformed), b2 (bad seed type), b3 (unknown type), b4 (unknown
+  // field), m9 (pre-cancelled), b5 (invalid workload), t1 (zero budget,
+  // no fallback), big1 (oversized).
+  EXPECT_EQ(errors, 8);
+
+  // The exact and isomorphic hits agree on the optimum they replay.
+  EXPECT_NE(output.find("\"cost\":9"), std::string::npos);
+  // Structured error codes, not crashes: the oversized line names the
+  // limit and the pre-cancelled solve reports CANCELLED.
+  EXPECT_NE(output.find("RESOURCE_EXHAUSTED"), std::string::npos);
+  EXPECT_NE(output.find("CANCELLED"), std::string::npos);
+  EXPECT_NE(output.find("INVALID_ARGUMENT"), std::string::npos);
+  // The trailing stats barrier reports both cache hit kinds.
+  const std::string& stats = responses.back();
+  EXPECT_NE(stats.find("\"hits_exact\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"hits_isomorphic\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"rejections\":0"), std::string::npos) << stats;
+}
+
+}  // namespace
+}  // namespace qopt::serve

@@ -1,0 +1,5 @@
+#include "serve/serve_cli.h"
+
+int main(int argc, char** argv) {
+  return qopt::serve::RunQqoServe(argc, argv);
+}
