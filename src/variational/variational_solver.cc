@@ -1,6 +1,7 @@
 #include "variational/variational_solver.h"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <unordered_map>
 
@@ -120,7 +121,15 @@ StatusOr<VariationalResult> TrySolveQuboWithQaoa(
     return Objective([&, state](const std::vector<double>& theta) {
       const auto [gammas, betas] = split(theta);
       state->Reset();
-      state->ApplyCircuit(BuildQaoaCircuit(ising, gammas, betas));
+      // An evaluation cut short by the deadline must not feed a half-built
+      // state into the optimizer; +inf makes the point uncompetitive and
+      // the outer loop's own deadline check terminates the sweep.
+      if (!state
+               ->ApplyCircuit(BuildQaoaCircuit(ising, gammas, betas),
+                              options.deadline)
+               .ok()) {
+        return std::numeric_limits<double>::infinity();
+      }
       return state->EnergyExpectation(energies);
     });
   };
@@ -201,8 +210,15 @@ StatusOr<VariationalResult> TrySolveQuboWithVqe(
   Statevector state(n);
   Objective objective = [&](const std::vector<double>& theta) {
     state.Reset();
-    state.ApplyCircuit(BuildRealAmplitudes(n, options.vqe_reps, theta,
-                                           options.vqe_entanglement));
+    // Same contract as the QAOA objective: a deadline-truncated evaluation
+    // returns +inf instead of the energy of a half-applied ansatz.
+    if (!state
+             .ApplyCircuit(BuildRealAmplitudes(n, options.vqe_reps, theta,
+                                               options.vqe_entanglement),
+                           options.deadline)
+             .ok()) {
+      return std::numeric_limits<double>::infinity();
+    }
     return state.EnergyExpectation(energies);
   };
 

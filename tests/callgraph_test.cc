@@ -1,0 +1,220 @@
+// Unit tests for the cross-TU program index behind qqo-deadline-plumbing,
+// qqo-lock-discipline, and qqo-pool-reentrancy (tools/lint/callgraph.h):
+// the declaration index, the budget-type fixed point, call capture with
+// lambda deferral, and charge harvesting. The rule-level behavior over the
+// fixture corpus is covered by lint_test.cc.
+#include "lint/callgraph.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/lint.h"
+
+namespace qopt::lint {
+namespace {
+
+TEST(DeclarationIndexTest, SignaturesOrderedByFileThenLine) {
+  ProgramIndex index;
+  index.AddFile("b.cc",
+                "int Solve(int n);\n"
+                "int Solve(int n, const Deadline& d) { return n; }\n");
+  index.AddFile("a.cc", "int Solve(const Problem& problem);\n");
+  index.Finalize();
+
+  const std::vector<const SignatureInfo*> sigs = index.SignaturesOf("Solve");
+  ASSERT_EQ(sigs.size(), 3u);
+  EXPECT_EQ(sigs[0]->file, "a.cc");
+  EXPECT_EQ(sigs[1]->file, "b.cc");
+  EXPECT_EQ(sigs[1]->line, 1);
+  EXPECT_EQ(sigs[2]->line, 2);
+  EXPECT_FALSE(sigs[1]->is_definition);
+  EXPECT_TRUE(sigs[2]->is_definition);
+
+  ASSERT_EQ(sigs[0]->params.size(), 1u);
+  EXPECT_EQ(sigs[0]->params[0].name, "problem");
+  // The trailing name stays in type_idents (see ParamInfo's contract).
+  const std::vector<std::string> want_type = {"const", "Problem", "problem"};
+  EXPECT_EQ(sigs[0]->params[0].type_idents, want_type);
+
+  ASSERT_EQ(sigs[2]->params.size(), 2u);
+  EXPECT_EQ(sigs[2]->params[1].name, "d");
+  const std::vector<std::string> want_deadline = {"const", "Deadline", "d"};
+  EXPECT_EQ(sigs[2]->params[1].type_idents, want_deadline);
+
+  EXPECT_TRUE(index.SignaturesOf("NoSuchFunction").empty());
+}
+
+TEST(DeclarationIndexTest, BudgetTypeFixedPointClosesOverMembers) {
+  ProgramIndex index;
+  index.AddFile("t.cc",
+                "struct Deadline { int reason; };\n"
+                "struct SolveOptions { Deadline deadline; int sweeps; };\n"
+                "struct Outer { SolveOptions options; };\n"
+                "struct Plain { int a; double b; };\n");
+  index.Finalize();
+
+  // Base set, present even without a harvested definition.
+  EXPECT_TRUE(index.IsBudgetType("Deadline"));
+  EXPECT_TRUE(index.IsBudgetType("CancelToken"));
+  EXPECT_TRUE(index.IsBudgetType("SolveBudget"));
+  // Structs reach the set transitively through budget-typed members.
+  EXPECT_TRUE(index.IsBudgetType("SolveOptions"));
+  EXPECT_TRUE(index.IsBudgetType("Outer"));
+  EXPECT_FALSE(index.IsBudgetType("Plain"));
+  EXPECT_FALSE(index.IsBudgetType("int"));
+}
+
+TEST(DeclarationIndexTest, HasBudgetOverloadSeesAnySignature) {
+  ProgramIndex index;
+  index.AddFile("decls.cc",
+                "int Simulate(int n);\n"
+                "int Plain(int n);\n");
+  index.AddFile("impl.cc",
+                "int Simulate(int n, const Deadline& deadline) { return n; }\n");
+  index.Finalize();
+
+  EXPECT_TRUE(index.HasBudgetOverload("Simulate"));
+  EXPECT_FALSE(index.HasBudgetOverload("Plain"));
+  EXPECT_FALSE(index.HasBudgetOverload("Unknown"));
+}
+
+TEST(CallGraphTest, CallsFlattenArgumentChainsAndMarkDeferral) {
+  ProgramIndex index;
+  index.AddFile("t.cc",
+                "void Run(int n) {\n"
+                "  Solve(n, options.anneal);\n"
+                "  auto task = [n] { Stage(n); };\n"
+                "  task();\n"
+                "}\n");
+  index.Finalize();
+
+  const std::vector<DefinitionInfo>& defs = index.DefinitionsIn("t.cc");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].signature.name, "Run");
+  ASSERT_EQ(defs[0].calls.size(), 3u);
+
+  EXPECT_EQ(defs[0].calls[0].callee, "Solve");
+  const std::vector<std::string> want_args = {"n", "options", "anneal"};
+  EXPECT_EQ(defs[0].calls[0].arg_idents, want_args);
+  EXPECT_FALSE(defs[0].calls[0].deferred);
+
+  // Stage(n) sits inside the lambda body: it runs later, not here.
+  EXPECT_EQ(defs[0].calls[1].callee, "Stage");
+  EXPECT_TRUE(defs[0].calls[1].deferred);
+
+  // Invoking the lambda itself is an executed call.
+  EXPECT_EQ(defs[0].calls[2].callee, "task");
+  EXPECT_FALSE(defs[0].calls[2].deferred);
+}
+
+TEST(CallGraphTest, ChargesRecordMemberWritesAndSkipLambdas) {
+  ProgramIndex index;
+  index.AddFile("t.cc",
+                "void Run(const SolveOptions& options, const Problem& p) {\n"
+                "  SolveOptions stage = Narrow(p);\n"
+                "  stage.deadline = options.deadline;\n"
+                "  int reps = options.sweeps;\n"
+                "  auto fn = [&options] { return options.sweeps; };\n"
+                "}\n");
+  index.Finalize();
+
+  const std::vector<DefinitionInfo>& defs = index.DefinitionsIn("t.cc");
+  ASSERT_EQ(defs.size(), 1u);
+  // The lambda assignment must NOT charge `fn` — three charges only.
+  ASSERT_EQ(defs[0].charges.size(), 3u);
+
+  EXPECT_EQ(defs[0].charges[0].target, "stage");
+  EXPECT_FALSE(defs[0].charges[0].member);
+  const std::vector<std::string> want_init = {"Narrow", "p"};
+  EXPECT_EQ(defs[0].charges[0].rhs_idents, want_init);
+
+  EXPECT_EQ(defs[0].charges[1].target, "stage");
+  EXPECT_TRUE(defs[0].charges[1].member);
+  const std::vector<std::string> want_member = {"options", "deadline"};
+  EXPECT_EQ(defs[0].charges[1].rhs_idents, want_member);
+
+  EXPECT_EQ(defs[0].charges[2].target, "reps");
+  EXPECT_FALSE(defs[0].charges[2].member);
+}
+
+TEST(CallGraphTest, ConstructorStyleDeclarationCharges) {
+  ProgramIndex index;
+  index.AddFile("t.cc",
+                "void Race(const Deadline& parent) {\n"
+                "  CancelToken race_token(parent);\n"
+                "  Dispatch(race_token);\n"
+                "}\n");
+  index.Finalize();
+
+  const std::vector<DefinitionInfo>& defs = index.DefinitionsIn("t.cc");
+  ASSERT_EQ(defs.size(), 1u);
+  ASSERT_EQ(defs[0].charges.size(), 1u);
+  EXPECT_EQ(defs[0].charges[0].target, "race_token");
+  const std::vector<std::string> want_rhs = {"parent"};
+  EXPECT_EQ(defs[0].charges[0].rhs_idents, want_rhs);
+}
+
+TEST(CallGraphTest, LockAcquisitionsExcludeLambdaBodies) {
+  ProgramIndex index;
+  index.AddFile("t.cc",
+                "void Touch() {\n"
+                "  std::lock_guard<std::mutex> lock(state_mutex_);\n"
+                "  pool_->Submit([&] {\n"
+                "    std::lock_guard<std::mutex> task_lock(task_mutex_);\n"
+                "  });\n"
+                "}\n");
+  index.Finalize();
+
+  const std::vector<DefinitionInfo>& defs = index.DefinitionsIn("t.cc");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].acquires.count("state_mutex_"), 1u);
+  // The task's lock is taken when the pool runs the lambda, not here.
+  EXPECT_EQ(defs[0].acquires.count("task_mutex_"), 0u);
+  EXPECT_FALSE(defs[0].blocks_directly);
+}
+
+TEST(CallGraphTest, DirectBlockingIsAnExecutedOnlyFact) {
+  ProgramIndex index;
+  index.AddFile("t.cc",
+                "void Flush() { pool_->WaitFor(pending_); }\n"
+                "void Defer() { pool_->Submit([&] { pool_->WaitFor(0); }); }\n");
+  index.Finalize();
+
+  const std::vector<DefinitionInfo>& defs = index.DefinitionsIn("t.cc");
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].signature.name, "Flush");
+  EXPECT_TRUE(defs[0].blocks_directly);
+  // Defer's own stack never parks; the WaitFor belongs to the lambda (and
+  // is qqo-pool-reentrancy's business, not a direct-blocking fact).
+  EXPECT_EQ(defs[1].signature.name, "Defer");
+  EXPECT_FALSE(defs[1].blocks_directly);
+}
+
+TEST(ProgramIndexTest, FindingsForReportsPerFileAndStaysEmptyWhenClean) {
+  ProgramIndex index;
+  index.AddFile("api.h",
+                "int Simulate(int n);\n"
+                "int Simulate(int n, const Deadline& deadline);\n");
+  index.AddFile("drop.cc",
+                "int Run(int n, const Deadline& deadline) {\n"
+                "  return Simulate(n);\n"
+                "}\n");
+  index.AddFile("clean.cc",
+                "int Run2(int n, const Deadline& deadline) {\n"
+                "  return Simulate(n, deadline);\n"
+                "}\n");
+  index.Finalize();
+
+  const std::vector<Finding>& drop = index.FindingsFor("drop.cc");
+  ASSERT_EQ(drop.size(), 1u);
+  EXPECT_EQ(drop[0].rule, kDeadlinePlumbingRule);
+  EXPECT_EQ(drop[0].line, 2);
+  EXPECT_NE(drop[0].message.find("'Run' receives a budget"),
+            std::string::npos);
+  EXPECT_TRUE(index.FindingsFor("clean.cc").empty());
+  EXPECT_TRUE(index.FindingsFor("api.h").empty());
+}
+
+}  // namespace
+}  // namespace qopt::lint

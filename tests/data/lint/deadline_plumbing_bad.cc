@@ -1,0 +1,26 @@
+// Bad twin for qqo-deadline-plumbing: budget-receiving functions call
+// callees that have a deadline-accepting overload without forwarding any
+// budget. Self-contained: the index is built from this file alone.
+struct Deadline {
+  int reason;
+};
+struct SolveOptions {
+  Deadline deadline;
+  int sweeps;
+};
+
+int Simulate(int n);
+int Simulate(int n, const Deadline& deadline);
+
+// Drops the budget on a direct call.
+int RunStage(int n, const SolveOptions& options) {
+  const int reps = 2;
+  return Simulate(n + reps);
+}
+
+// Drops the budget on a deferred call: the objective lambda runs later but
+// still has options in scope, so the deadline-free overload is a bug.
+int RunObjective(int n, const SolveOptions& options) {
+  auto objective = [n](int scale) { return Simulate(n * scale); };
+  return objective(3);
+}

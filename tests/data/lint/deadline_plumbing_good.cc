@@ -1,0 +1,39 @@
+// Good twin for qqo-deadline-plumbing: every budget-receiving function
+// forwards the budget, directly or through a charged options struct.
+struct Deadline {
+  int reason;
+};
+struct SolveOptions {
+  Deadline deadline;
+  int sweeps;
+};
+struct Problem {
+  int size;
+};
+
+int Simulate(int n);
+int Simulate(int n, const Deadline& deadline);
+int SolveStage(const SolveOptions& stage_options);
+SolveOptions Narrow(const Problem& problem);
+int Plain(int n);
+
+// Forwards the member directly.
+int ForwardsDirectly(int n, const SolveOptions& options) {
+  return Simulate(n, options.deadline);
+}
+
+// Forwards through a struct member: the member write charges `stage`, so
+// passing `stage` counts as forwarding even though its name is neutral.
+int ForwardsThroughMember(const SolveOptions& options, const Problem& problem) {
+  SolveOptions stage = Narrow(problem);
+  stage.deadline = options.deadline;
+  return SolveStage(stage);
+}
+
+// No budget parameter: nothing to plumb.
+int NoBudgetParam(int n) { return Simulate(n); }
+
+// Callee has no budget-accepting overload: nothing to forward to.
+int CalleeHasNoOverload(const SolveOptions& options) {
+  return Plain(options.sweeps);
+}

@@ -1,0 +1,56 @@
+// Bad twin for qqo-lock-discipline: blocking while holding a mutex,
+// inconsistent lock ordering, recursive acquisition, and transitive
+// blocking through the call graph.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex state_mutex_;
+std::mutex emit_mutex_;
+std::mutex mu_a_;
+std::mutex mu_b_;
+std::mutex cv_mutex_;
+std::condition_variable cv_;
+ThreadPool* pool_;
+int pending_;
+
+// Direct pool-blocking call while holding a lock.
+void FlushUnderLock() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  pool_->WaitFor(pending_);
+}
+
+// Lock-order cycle: mu_a_ -> mu_b_ here ...
+void FirstOrder() {
+  std::lock_guard<std::mutex> a(mu_a_);
+  std::lock_guard<std::mutex> b(mu_b_);
+  pending_ = 1;
+}
+
+// ... and mu_b_ -> mu_a_ here.
+void SecondOrder() {
+  std::lock_guard<std::mutex> b(mu_b_);
+  std::lock_guard<std::mutex> a(mu_a_);
+  pending_ = 2;
+}
+
+// std::mutex self-deadlocks on recursive acquisition.
+void Recursive() {
+  std::lock_guard<std::mutex> outer(state_mutex_);
+  std::lock_guard<std::mutex> inner(state_mutex_);
+}
+
+// Transitive: Drain blocks on the pool, and Locked calls it under a lock.
+void Drain() { pool_->WaitFor(pending_); }
+
+void Locked() {
+  std::lock_guard<std::mutex> lock(emit_mutex_);
+  Drain();
+}
+
+// A condition-variable wait releases only its own guard; state_mutex_
+// stays held for the whole sleep.
+void WaitWithSecondLockHeld() {
+  std::lock_guard<std::mutex> guard(state_mutex_);
+  std::unique_lock<std::mutex> lk(cv_mutex_);
+  cv_.wait(lk);
+}

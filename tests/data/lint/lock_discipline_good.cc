@@ -1,0 +1,64 @@
+// Good twin for qqo-lock-discipline: consistent ordering, sanctioned
+// condition-variable waits, blocking moved outside critical sections, and
+// deferred (lambda) work that is not "under" the builder's lock.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex state_mutex_;
+std::mutex emit_mutex_;
+std::condition_variable cv_;
+ThreadPool* pool_;
+int pending_;
+bool done_;
+
+void Process(int item);
+
+// Same acquisition order everywhere: state_mutex_ before emit_mutex_.
+void EmitFromState() {
+  std::lock_guard<std::mutex> state(state_mutex_);
+  std::lock_guard<std::mutex> emit(emit_mutex_);
+  pending_ = 0;
+}
+
+void EmitFromStateAgain() {
+  std::lock_guard<std::mutex> state(state_mutex_);
+  pending_ += 1;
+  std::lock_guard<std::mutex> emit(emit_mutex_);
+  pending_ += 2;
+}
+
+// scoped_lock acquires both atomically: one site, no ordering edge.
+void EmitBoth() {
+  std::scoped_lock lock(state_mutex_, emit_mutex_);
+  pending_ = 3;
+}
+
+// A wait that hands its own (only) guard to the condition variable is the
+// sanctioned blocking-under-lock shape.
+void AwaitDone() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  cv_.wait(lock, [] { return done_; });
+}
+
+// Blocking happens after the critical section ends.
+void FlushOutsideLock() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    pending_ += 1;
+  }
+  pool_->WaitFor(pending_);
+}
+
+// Early unlock ends the held region before the blocking call.
+void FlushAfterUnlock() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  pending_ += 1;
+  lock.unlock();
+  pool_->WaitFor(pending_);
+}
+
+// The submitted lambda runs later on the pool, not under this lock.
+void SubmitUnderLock() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  pool_->Submit([] { Process(1); });
+}

@@ -1,0 +1,39 @@
+// Bad twin for qqo-pool-reentrancy: lambdas handed to the pool that
+// themselves fan out, park on condition variables, or block on futures.
+#include <condition_variable>
+#include <future>
+#include <mutex>
+
+ThreadPool* pool_;
+std::mutex mu_;
+std::condition_variable done_cv_;
+std::future<int> result_future_;
+
+void Touch(std::size_t i);
+
+// Nested fan-out: a worker waits for workers.
+void NestedFanOut() {
+  pool_->ParallelFor(64, [&](std::size_t outer) {
+    pool_->ParallelFor(8, [&](std::size_t inner) { Touch(outer * 8 + inner); });
+  });
+}
+
+// Parking a worker on a condition variable starves the pool.
+void WaitInsideTask() {
+  pool_->Submit([&] {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk);
+  });
+}
+
+// Submit-and-get from inside a fan-out occupies the slot the task needs.
+void BlockingSubmitInsideFanOut() {
+  pool_->ParallelFor(16, [&](std::size_t i) {
+    pool_->Submit([i] { Touch(i); }).get();
+  });
+}
+
+// Blocking on an unrelated future from a pool thread.
+void FutureGetInsideTask() {
+  pool_->Submit([&] { Touch(result_future_.get()); });
+}

@@ -1,0 +1,31 @@
+// Good twin for qqo-pool-reentrancy: single-level fan-out, fire-and-forget
+// submissions, blocking only from the caller's thread, and nesting that is
+// intentionally routed through a named helper (the pool runs it inline).
+#include <future>
+
+ThreadPool* pool_;
+
+void Touch(std::size_t i);
+void InnerStage(std::size_t outer);
+
+// Plain single-level fan-out.
+void FanOut() {
+  pool_->ParallelFor(64, [&](std::size_t i) { Touch(i); });
+}
+
+// Fire-and-forget: the task blocks nobody.
+void FireAndForget() {
+  pool_->Submit([] { Touch(0); });
+}
+
+// Blocking on the future from the submitting thread is fine.
+int BlockOnCallerThread() {
+  std::future<int> result_future = pool_->Submit([] { return 7; });
+  return result_future.get();
+}
+
+// Nesting through a named helper is the deliberate inline-serial path; the
+// rule only polices lambdas that nest directly.
+void Outer() {
+  pool_->ParallelFor(8, [&](std::size_t outer) { InnerStage(outer); });
+}

@@ -1,0 +1,12 @@
+// Fixture: one NOLINT comment naming two rules suppresses both findings on
+// the target line.
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status Reseed(int seed);
+
+void Scramble() {
+  // NOLINTNEXTLINE(qqo-status-discard, qqo-determinism): fixture exercises multi-rule suppression
+  Reseed(rand());
+}

@@ -1,0 +1,9 @@
+// Fixture: the suppression mechanism itself is policed — unknown rule
+// names and attempts to suppress the policing rule are findings.
+int Value() {
+  return 42;  // NOLINT(qqo-made-up-rule): rule does not exist
+}
+
+int Other() {
+  return 7;  // NOLINT(qqo-nolint): trying to silence the policeman
+}

@@ -264,6 +264,66 @@ TEST(HeaderHygieneRuleTest, IgnoresSourceFiles) {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-TU rules (tools/lint/callgraph): deadline plumbing, lock
+// discipline, pool reentrancy. The index itself is unit-tested in
+// callgraph_test.cc; these pin the end-to-end rule behavior.
+// ---------------------------------------------------------------------------
+
+TEST(DeadlinePlumbingRuleTest, FiresOnBadFixture) {
+  const std::vector<Finding> findings =
+      LintFixture("deadline_plumbing_bad.cc");
+  // One direct drop plus one inside a deferred (lambda) call.
+  EXPECT_EQ(CountRule(findings, kDeadlinePlumbingRule), 2);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(DeadlinePlumbingRuleTest, QuietOnGoodFixture) {
+  // Direct member forwarding, forwarding through a charged struct, no
+  // budget parameter, and a callee without a budget overload.
+  const std::vector<Finding> findings =
+      LintFixture("deadline_plumbing_good.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(LockDisciplineRuleTest, FiresOnBadFixture) {
+  const std::vector<Finding> findings = LintFixture("lock_discipline_bad.cc");
+  // Direct blocking under a lock, a two-mutex ordering cycle (one finding
+  // per edge), recursive acquisition, a transitive block through Drain,
+  // and a CV wait parked with a second lock held.
+  EXPECT_EQ(CountRule(findings, kLockDisciplineRule), 6);
+  EXPECT_EQ(findings.size(), 6u);
+  int cycle = 0;
+  for (const Finding& finding : findings) {
+    if (finding.message.find("lock-order cycle") != std::string::npos) {
+      ++cycle;
+    }
+  }
+  EXPECT_EQ(cycle, 2);
+}
+
+TEST(LockDisciplineRuleTest, QuietOnGoodFixture) {
+  // Consistent ordering, scoped_lock, sanctioned CV wait, early unlock,
+  // and blocking moved outside the critical section.
+  const std::vector<Finding> findings = LintFixture("lock_discipline_good.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(PoolReentrancyRuleTest, FiresOnBadFixture) {
+  const std::vector<Finding> findings = LintFixture("pool_reentrancy_bad.cc");
+  // Nested ParallelFor, a CV wait in a task, Submit(...).get() inside a
+  // fan-out, and a future .get() in a task.
+  EXPECT_EQ(CountRule(findings, kPoolReentrancyRule), 4);
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(PoolReentrancyRuleTest, QuietOnGoodFixture) {
+  // Single-level fan-out, fire-and-forget tasks, blocking from the
+  // caller's thread, and nesting routed through a named helper.
+  const std::vector<Finding> findings = LintFixture("pool_reentrancy_good.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+// ---------------------------------------------------------------------------
 // Suppression
 // ---------------------------------------------------------------------------
 
@@ -291,6 +351,25 @@ TEST(SuppressionTest, WrongRuleNameDoesNotSuppress) {
       "std::random_device d;  // NOLINT(qqo-ordered-output): also wrong\n",
       Policy{}, SymbolTable{}, options);
   EXPECT_EQ(CountRule(findings, kDeterminismRule), 1);
+}
+
+TEST(SuppressionTest, OneCommentSuppressesMultipleRules) {
+  // One justified suppression comment naming two rules silences both
+  // findings on its target line.
+  const std::vector<Finding> findings =
+      LintFixture("suppression_multirule.cc");
+  EXPECT_EQ(findings.size(), 0u) << findings[0].message;
+}
+
+TEST(SuppressionTest, UnknownRulesAndSelfSuppressionArePoliced) {
+  const std::vector<Finding> findings =
+      LintFixture("suppression_policing.cc");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(CountRule(findings, kNolintRule), 2);
+  EXPECT_NE(findings[0].message.find("unknown rule 'qqo-made-up-rule'"),
+            std::string::npos);
+  EXPECT_NE(findings[1].message.find("cannot itself be suppressed"),
+            std::string::npos);
 }
 
 TEST(SuppressionTest, RuleFilterRunsOnlySelectedRules) {
@@ -353,6 +432,45 @@ TEST(CliTest, RuleFlagRestrictsDirectoryScan) {
           {"--rule=qqo-header-hygiene", FixturePath("header_hygiene_bad.h")},
           &output),
       1);
+}
+
+TEST(CliTest, JsonFormatEmitsStructuredFindings) {
+  std::string output;
+  EXPECT_EQ(RunCli({"--format=json", FixturePath("suppression_policing.cc")},
+                   &output),
+            1);
+  EXPECT_NE(output.find("{\"findings\":["), std::string::npos);
+  EXPECT_NE(output.find("\"rule\":\"qqo-nolint\""), std::string::npos);
+  EXPECT_NE(output.find("\"count\":2}"), std::string::npos);
+  // Paths and messages pass through the JSON escaper; no raw quotes leak.
+  EXPECT_NE(output.find("\"line\":4"), std::string::npos);
+}
+
+TEST(CliTest, JsonFormatOnCleanInputHasZeroCount) {
+  std::string output;
+  EXPECT_EQ(RunCli({"--format=json", FixturePath("determinism_good.cc")},
+                   &output),
+            0);
+  EXPECT_NE(output.find("{\"findings\":[],\"count\":0}"), std::string::npos);
+}
+
+TEST(CliTest, GithubFormatEmitsWorkflowAnnotations) {
+  std::string output;
+  EXPECT_EQ(
+      RunCli({"--format=github", FixturePath("suppression_policing.cc")},
+             &output),
+      1);
+  EXPECT_NE(output.find("::error file="), std::string::npos);
+  EXPECT_NE(output.find(",title=qqo_lint [qqo-nolint]::"), std::string::npos);
+  EXPECT_NE(output.find("2 finding(s)"), std::string::npos);
+}
+
+TEST(CliTest, UnknownFormatExitsTwo) {
+  std::string output;
+  EXPECT_EQ(RunCli({"--format=xml", FixturePath("determinism_good.cc")},
+                   &output),
+            2);
+  EXPECT_NE(output.find("unknown format"), std::string::npos);
 }
 
 // The repo itself must stay lint-clean: the same invocation as the `lint`

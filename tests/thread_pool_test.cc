@@ -67,6 +67,10 @@ TEST(ThreadPoolTest, NestedParallelForRunsSeriallyAndCompletes) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> grid(64);
   pool.ParallelFor(8, [&](std::size_t outer) {
+    // This test exercises exactly the guarded behavior: a nested
+    // ParallelFor detects it is on the pool (t_inside_parallel_for) and
+    // runs inline-serial instead of deadlocking.
+    // NOLINTNEXTLINE(qqo-pool-reentrancy): intentional nested section
     pool.ParallelFor(8, [&](std::size_t inner) {
       grid[outer * 8 + inner].fetch_add(1);
     });

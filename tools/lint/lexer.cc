@@ -134,6 +134,45 @@ Directive ScanDirective(Cursor* cur, std::vector<Comment>* comments) {
 
 }  // namespace
 
+std::size_t SkipAngles(const std::vector<Tok>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (t == "<" || t == "<<") depth += t == "<<" ? 2 : 1;
+    if (t == ">" || t == ">>") {
+      depth -= t == ">>" ? 2 : 1;
+      if (depth <= 0) return i + 1;
+    }
+    if (t == ";") return i;
+  }
+  return i;
+}
+
+std::size_t SkipParens(const std::vector<Tok>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")") {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return i;
+}
+
+std::size_t SkipBraces(const std::vector<Tok>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "{") ++depth;
+    if (toks[i].text == "}") {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return i;
+}
+
 LexResult Lex(const std::string& source) {
   LexResult result;
   Cursor cur{source};

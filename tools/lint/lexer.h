@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,7 @@ enum class TokKind {
   kNumber,  ///< Numeric literal (verbatim text, including suffixes).
   kString,  ///< String literal, quotes included; raw strings collapsed.
   kChar,    ///< Character literal, quotes included.
-  kPunct,   ///< One operator/punctuator per token ("::" stays split: ":" ":").
+  kPunct,   ///< One punctuator per token; "::", "->", "<<", ">>" merge.
 };
 
 struct Tok {
@@ -58,6 +59,20 @@ enum class ScopeKind {
   kType,       ///< class/struct/union/enum ... {
   kBlock,      ///< Function body, lambda, control-flow block, initializer.
 };
+
+/// Skips a balanced template-argument list; `i` points at the "<". Returns
+/// the index just past the matching ">". The lexer emits ">>" as a single
+/// token, which closes two levels. A ";" inside an unbalanced "<" means it
+/// was a comparison, not a template list; the walk bails out there.
+std::size_t SkipAngles(const std::vector<Tok>& toks, std::size_t i);
+
+/// Skips a balanced parenthesized group; `i` points at the "(". Returns
+/// the index just past the matching ")".
+std::size_t SkipParens(const std::vector<Tok>& toks, std::size_t i);
+
+/// Skips a balanced braced group; `i` points at the "{". Returns the index
+/// just past the matching "}".
+std::size_t SkipBraces(const std::vector<Tok>& toks, std::size_t i);
 
 /// For each token index, the innermost enclosing scope chain. Used by the
 /// header-hygiene rule to tell namespace-scope `using namespace` apart

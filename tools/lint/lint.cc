@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
 
+#include "lint/callgraph.h"
 #include "lint/lexer.h"
 
 namespace qopt::lint {
@@ -32,54 +34,6 @@ bool ContainsNoCase(const std::string& haystack, const std::string& needle) {
 
 bool IsHeaderPath(const std::string& path) {
   return EndsWith(path, ".h") || EndsWith(path, ".hpp");
-}
-
-/// Skips a balanced template-argument list; `i` points at the "<". Returns
-/// the index just past the matching ">". The lexer emits ">>" as a single
-/// token, which closes two levels.
-std::size_t SkipAngles(const std::vector<Tok>& toks, std::size_t i) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    const std::string& t = toks[i].text;
-    if (toks[i].kind != TokKind::kPunct) continue;
-    if (t == "<" || t == "<<") depth += t == "<<" ? 2 : 1;
-    if (t == ">" || t == ">>") {
-      depth -= t == ">>" ? 2 : 1;
-      if (depth <= 0) return i + 1;
-    }
-    // A ";" inside an unbalanced "<" means it was a comparison, not a
-    // template list; bail out.
-    if (t == ";") return i;
-  }
-  return i;
-}
-
-/// Skips a balanced parenthesized group; `i` points at the "(". Returns
-/// the index just past the matching ")".
-std::size_t SkipParens(const std::vector<Tok>& toks, std::size_t i) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    if (toks[i].kind != TokKind::kPunct) continue;
-    if (toks[i].text == "(") ++depth;
-    if (toks[i].text == ")") {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return i;
-}
-
-/// Skips a balanced braced group; `i` points at the "{". Returns the index
-/// just past the matching "}".
-std::size_t SkipBraces(const std::vector<Tok>& toks, std::size_t i) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    if (toks[i].kind != TokKind::kPunct) continue;
-    if (toks[i].text == "{") ++depth;
-    if (toks[i].text == "}") {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return i;
 }
 
 // ---------------------------------------------------------------------------
@@ -114,18 +68,34 @@ Suppressions CollectSuppressions(const std::string& path,
     const std::size_t close = text.find(')', cursor);
     if (close == std::string::npos) continue;
     std::string rule_list = text.substr(cursor + 1, close - cursor - 1);
-    bool names_qqo_rule = false;
+    std::vector<std::string> named_rules;
     std::istringstream rules(rule_list);
     std::string rule;
+    const std::vector<std::string> known = AllRules();
     while (std::getline(rules, rule, ',')) {
       const std::size_t first = rule.find_first_not_of(" \t");
       if (first == std::string::npos) continue;
       rule = rule.substr(first, rule.find_last_not_of(" \t") - first + 1);
       if (rule.rfind("qqo-", 0) != 0) continue;
-      names_qqo_rule = true;
+      named_rules.push_back(rule);
+      if (rule == kNolintRule) {
+        result.unjustified.push_back(
+            {kNolintRule, path, comment.line,
+             "NOLINT(qqo-nolint) is ineffective: qqo-nolint polices the "
+             "suppression mechanism and cannot itself be suppressed"});
+        continue;
+      }
+      if (std::find(known.begin(), known.end(), rule) == known.end()) {
+        result.unjustified.push_back(
+            {kNolintRule, path, comment.line,
+             "NOLINT names unknown rule '" + rule +
+                 "'; it suppresses nothing (see qqo_lint --help for the "
+                 "rule list)"});
+        continue;
+      }
       result.by_line[target_line].insert(rule);
     }
-    if (!names_qqo_rule) continue;
+    if (named_rules.empty()) continue;
     // Justification: a ':' after the ')' followed by at least one word.
     std::size_t after = close + 1;
     while (after < text.size() &&
@@ -142,10 +112,15 @@ Suppressions CollectSuppressions(const std::string& path,
       }
     }
     if (!justified) {
+      std::string listed;
+      for (const std::string& named : named_rules) {
+        if (!listed.empty()) listed += ", ";
+        listed += named;
+      }
       result.unjustified.push_back(
           {kNolintRule, path, comment.line,
-           "NOLINT naming a qqo rule needs a justification: "
-           "// NOLINT(qqo-rule): reason"});
+           "NOLINT(" + listed + ") needs a justification: "
+           "// NOLINT(qqo-rule[, qqo-rule...]): reason"});
     }
   }
   return result;
@@ -678,12 +653,52 @@ bool IsLintableFile(const fs::path& path) {
   return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
 }
 
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// GitHub workflow-command data escaping: %, CR and LF are percent-encoded
+/// so multi-line messages survive the annotation protocol.
+std::string EscapeGithub(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<std::string> AllRules() {
-  return {kDeterminismRule,    kOrderedOutputRule, kDeadlineCoverageRule,
-          kObsCoverageRule,    kHotLoopAllocRule,  kStatusDiscardRule,
-          kHeaderHygieneRule};
+  return {kDeterminismRule,      kOrderedOutputRule,  kDeadlineCoverageRule,
+          kObsCoverageRule,      kHotLoopAllocRule,   kStatusDiscardRule,
+          kHeaderHygieneRule,    kDeadlinePlumbingRule,
+          kLockDisciplineRule,   kPoolReentrancyRule};
 }
 
 bool Options::IsRuleEnabled(const std::string& rule) const {
@@ -730,11 +745,17 @@ std::vector<Finding> LintContent(const std::string& path,
                                  const std::string& content,
                                  const Policy& policy,
                                  const SymbolTable& symbols,
-                                 const Options& options) {
+                                 const Options& options,
+                                 const ProgramIndex* program) {
   const LexResult lex = Lex(content);
   const Suppressions suppressions = CollectSuppressions(path, lex.comments);
 
   std::vector<Finding> raw;
+  if (program != nullptr) {
+    for (const Finding& finding : program->FindingsFor(path)) {
+      if (options.IsRuleEnabled(finding.rule)) raw.push_back(finding);
+    }
+  }
   if (options.IsRuleEnabled(kDeterminismRule)) {
     CheckDeterminism(path, lex, &raw);
   }
@@ -808,9 +829,10 @@ bool LintPaths(const std::vector<std::string>& paths, const Options& options,
     return false;
   };
 
-  // Pass 1: harvest Status/StatusOr function names from every file so the
-  // status-discard rule sees cross-file declarations.
+  // Pass 1: harvest Status/StatusOr function names and the cross-TU
+  // program index (declarations, call graph, lock sites) from every file.
   SymbolTable symbols;
+  ProgramIndex program;
   std::vector<std::pair<fs::path, std::string>> contents;
   for (const fs::path& file : files) {
     if (excluded(file)) continue;
@@ -820,15 +842,17 @@ bool LintPaths(const std::vector<std::string>& paths, const Options& options,
       return false;
     }
     symbols.HarvestFrom(content);
+    program.AddFile(file.generic_string(), content);
     contents.emplace_back(file, std::move(content));
   }
+  program.Finalize();
 
   // Pass 2: lint.
   PolicyResolver policies(options.policy_filename);
   for (const auto& [file, content] : contents) {
     const Policy policy = policies.ForFile(file);
-    std::vector<Finding> file_findings =
-        LintContent(file.generic_string(), content, policy, symbols, options);
+    std::vector<Finding> file_findings = LintContent(
+        file.generic_string(), content, policy, symbols, options, &program);
     findings->insert(findings->end(),
                      std::make_move_iterator(file_findings.begin()),
                      std::make_move_iterator(file_findings.end()));
@@ -841,6 +865,7 @@ int RunLintMain(const std::vector<std::string>& args, std::ostream& out,
   Options options;
   std::vector<std::string> paths;
   bool list_symbols = false;
+  std::string format = "text";
   for (const std::string& arg : args) {
     auto value_of = [&](const std::string& prefix) {
       return arg.substr(prefix.size());
@@ -851,11 +876,20 @@ int RunLintMain(const std::vector<std::string>& args, std::ostream& out,
              "  --exclude=SUBSTR  skip paths containing SUBSTR (repeatable)\n"
              "  --policy=NAME     per-directory policy filename "
              "(default .qqo-lint-policy)\n"
+             "  --format=FMT      text (default), json, or github "
+             "(workflow annotations)\n"
              "  --list-symbols    print harvested Status symbols and exit\n"
              "exit codes: 0 clean, 1 findings, 2 usage error\n";
       return 0;
     }
-    if (arg.rfind("--rule=", 0) == 0) {
+    if (arg.rfind("--format=", 0) == 0) {
+      format = value_of("--format=");
+      if (format != "text" && format != "json" && format != "github") {
+        err << "qqo_lint: unknown format '" << format
+            << "' (expected text, json, or github)\n";
+        return 2;
+      }
+    } else if (arg.rfind("--rule=", 0) == 0) {
       const std::string rule = value_of("--rule=");
       const std::vector<std::string> known = AllRules();
       if (std::find(known.begin(), known.end(), rule) == known.end()) {
@@ -899,11 +933,30 @@ int RunLintMain(const std::vector<std::string>& args, std::ostream& out,
     err << "qqo_lint: " << error << "\n";
     return 2;
   }
-  for (const Finding& finding : findings) {
-    out << finding.file << ":" << finding.line << ": [" << finding.rule
-        << "] " << finding.message << "\n";
+  if (format == "json") {
+    out << "{\"findings\":[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      if (i > 0) out << ",";
+      out << "{\"file\":\"" << EscapeJson(f.file) << "\",\"line\":" << f.line
+          << ",\"rule\":\"" << EscapeJson(f.rule) << "\",\"message\":\""
+          << EscapeJson(f.message) << "\"}";
+    }
+    out << "],\"count\":" << findings.size() << "}\n";
+  } else if (format == "github") {
+    for (const Finding& f : findings) {
+      out << "::error file=" << f.file << ",line=" << f.line
+          << ",title=qqo_lint [" << f.rule << "]::" << EscapeGithub(f.message)
+          << "\n";
+    }
+    out << "qqo_lint: " << findings.size() << " finding(s)\n";
+  } else {
+    for (const Finding& finding : findings) {
+      out << finding.file << ":" << finding.line << ": [" << finding.rule
+          << "] " << finding.message << "\n";
+    }
+    out << "qqo_lint: " << findings.size() << " finding(s)\n";
   }
-  out << "qqo_lint: " << findings.size() << " finding(s)\n";
   return findings.empty() ? 0 : 1;
 }
 

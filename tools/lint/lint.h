@@ -7,10 +7,11 @@
 
 namespace qopt::lint {
 
-/// Rule identifiers. Suppress a finding in source with
-///   // NOLINT(qqo-<rule>): <justification>
-/// on the offending line (or NOLINTNEXTLINE on the line before). A NOLINT
-/// without a justification is itself a finding (kNolintRule).
+/// Rule identifiers. Suppress a finding in source with a NOLINT comment
+/// naming one or more rule ids, e.g. `(qqo-determinism): <justification>`
+/// after the NOLINT keyword on the offending line (or the NEXTLINE variant
+/// on the line before). A suppression without a justification, naming an
+/// unknown rule, or naming kNolintRule itself is a finding (kNolintRule).
 inline constexpr char kDeterminismRule[] = "qqo-determinism";
 inline constexpr char kOrderedOutputRule[] = "qqo-ordered-output";
 inline constexpr char kDeadlineCoverageRule[] = "qqo-deadline-coverage";
@@ -18,6 +19,9 @@ inline constexpr char kObsCoverageRule[] = "qqo-obs-coverage";
 inline constexpr char kHotLoopAllocRule[] = "qqo-hot-loop-alloc";
 inline constexpr char kStatusDiscardRule[] = "qqo-status-discard";
 inline constexpr char kHeaderHygieneRule[] = "qqo-header-hygiene";
+inline constexpr char kDeadlinePlumbingRule[] = "qqo-deadline-plumbing";
+inline constexpr char kLockDisciplineRule[] = "qqo-lock-discipline";
+inline constexpr char kPoolReentrancyRule[] = "qqo-pool-reentrancy";
 inline constexpr char kNolintRule[] = "qqo-nolint";
 
 /// All checkable rules, in report order (kNolintRule is always active —
@@ -74,14 +78,22 @@ class SymbolTable {
   std::set<std::string> void_overloads_;
 };
 
+/// Cross-TU program index (declaration index + approximate call graph)
+/// behind qqo-deadline-plumbing / qqo-lock-discipline / qqo-pool-reentrancy.
+/// Defined in lint/callgraph.h.
+class ProgramIndex;
+
 /// Lints one file's contents. `path` is used for reporting, for the
 /// determinism-rule exemption of src/common/random.*, and for deciding
-/// whether the header-hygiene rule applies (.h files only).
+/// whether the header-hygiene rule applies (.h files only). When `program`
+/// is non-null it must be Finalize()d; its per-file findings for `path`
+/// join the token-rule findings before rule gating and NOLINT suppression.
 std::vector<Finding> LintContent(const std::string& path,
                                  const std::string& content,
                                  const Policy& policy,
                                  const SymbolTable& symbols,
-                                 const Options& options);
+                                 const Options& options,
+                                 const ProgramIndex* program = nullptr);
 
 /// Expands files/directories (recursing into *.h/*.hpp/*.cc/*.cpp),
 /// harvests Status symbols from every file, reads per-directory policies,
