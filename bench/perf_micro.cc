@@ -318,6 +318,33 @@ void BM_RaceDispatchRace(benchmark::State& state) {
 }
 BENCHMARK(BM_RaceDispatchRace)->UseRealTime()->Unit(benchmark::kMillisecond);
 
+// Hybrid decomposition over a QUBO past every backend cap: the full
+// partition -> clamped block solves -> stitch -> tabu refinement loop at
+// its cheap per-block anneal settings, on the 10x10 MQO batch shape (100
+// qubits, ~1.4k savings). Tracks the decomposition machinery end to end
+// the way the race benchmarks track the racing machinery.
+void BM_DecomposeSolve(benchmark::State& state) {
+  MqoGeneratorOptions gen;
+  gen.num_queries = 10;
+  gen.plans_per_query = 10;
+  gen.seed = 4;
+  const MqoProblem problem = GenerateMqoProblem(gen);
+  OptimizerOptions options;
+  options.backend = Backend::kSimulatedAnnealing;
+  options.decompose = static_cast<int>(state.range(0));
+  options.seed = 17;
+  options.anneal.num_reads = 2;
+  options.anneal.num_sweeps = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrySolveMqo(problem, options));
+  }
+}
+BENCHMARK(BM_DecomposeSolve)
+    ->Arg(16)
+    ->Arg(26)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_JoinOrderDp(benchmark::State& state) {
   QueryGeneratorOptions gen;
   gen.num_relations = static_cast<int>(state.range(0));

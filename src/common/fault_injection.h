@@ -35,6 +35,10 @@ namespace qopt {
 ///   serve.request      — per admitted qqo_serve solve (worker thread);
 ///                        an injected Status becomes that request's error
 ///                        response and nothing else
+///   decompose.subproblem — per decomposition subproblem solve (before it
+///                        dispatches); an injected Status makes that block
+///                        keep its incumbent bits for the round instead of
+///                        failing the whole solve
 class FaultInjection {
  public:
   static FaultInjection& Instance();

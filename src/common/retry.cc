@@ -32,6 +32,12 @@ double BackoffMillis(const RetryPolicy& policy, int attempt) {
   return capped * jitter;
 }
 
+std::uint64_t AttemptSeed(std::uint64_t seed, std::int64_t attempt) {
+  if (attempt <= 1) return seed;
+  return Mix64(seed +
+               0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(attempt));
+}
+
 bool IsRetryableStatus(StatusCode code) {
   return code == StatusCode::kUnavailable;
 }

@@ -17,6 +17,7 @@
 #include "common/fault_injection.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
+#include "decompose/decomposer.h"
 #include "mqo/mqo_qubo_encoder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -59,20 +60,6 @@ struct BackendResult {
   bool timed_out = false;
 };
 
-/// Deterministic per-attempt seed stream (splitmix64 finalizer). Attempt 1
-/// keeps the caller's seed so retry-free runs reproduce historical output
-/// bit-for-bit; every retry jumps to an unrelated stream so re-seeded
-/// embedding/annealing attempts explore fresh state instead of repeating
-/// the failure.
-std::uint64_t AttemptSeed(std::uint64_t seed, int attempt) {
-  if (attempt <= 1) return seed;
-  std::uint64_t z =
-      seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(attempt);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-
 /// The stage deadline applies only when the sub-options did not already
 /// carry their own (explicitly configured) deadline or token.
 Deadline ComposeStageDeadline(const Deadline& local, const Deadline& stage) {
@@ -97,7 +84,8 @@ StatusOr<BackendResult> TrySolveQuboWithBackend(
       // The 2^n enumeration is not interruptible, but the qubit cap keeps
       // it sub-second; refuse to even start once the budget is gone.
       QOPT_RETURN_IF_ERROR(stage_deadline.Check());
-      BruteForceResult exact = SolveQuboBruteForce(qubo);
+      QOPT_ASSIGN_OR_RETURN(BruteForceResult exact,
+                            TrySolveQuboBruteForce(qubo));
       result.bits = std::move(exact.best_bits);
       result.energy = exact.best_energy;
       return result;
@@ -706,9 +694,122 @@ StatusOr<DispatchOutcome> DispatchRace(const QuboModel& qubo,
   return outcome;
 }
 
+// ---------------------------------------------------------------------------
+// Hybrid decomposition (OptimizerOptions::decompose > 0).
+// ---------------------------------------------------------------------------
+
+/// Serial-cap routing for one decomposition block: the requested backend
+/// handles the block when it fits that backend's qubit budget, SA (which
+/// takes any size) stands in otherwise. Deterministic in the block size.
+Backend SubproblemBackend(int num_variables, const OptimizerOptions& options) {
+  int cap = 0;
+  switch (options.backend) {
+    case Backend::kExact:
+      cap = kMaxBruteForceQubits;
+      break;
+    case Backend::kSimulatedAnnealing:
+      return Backend::kSimulatedAnnealing;
+    case Backend::kQaoa:
+    case Backend::kVqe:
+      cap = kMaxStatevectorQubits;
+      break;
+    case Backend::kAdiabatic:
+      cap = kMaxAdiabaticQubits;
+      break;
+    case Backend::kAnnealerEmulation:
+      // The fabric size bounds what can possibly embed; actual embedding
+      // failures fall back per block inside the subproblem dispatch.
+      cap = MakePegasus(options.pegasus_m).NumVertices();
+      break;
+  }
+  return num_variables <= cap ? options.backend
+                              : Backend::kSimulatedAnnealing;
+}
+
+/// Solves one clamped block through the serial dispatch pipeline
+/// (named helper: runs inside the decomposer's ParallelFor workers, where
+/// any nested ParallelFor the backends issue executes inline serially).
+/// Retries are disabled per block — a transient failure just keeps the
+/// incumbent for this block, it must not sleep a pool worker through a
+/// backoff — and the per-block SA budget is clamped so a 400-block round
+/// costs what one facade SA solve costs, not 400 of them.
+StatusOr<SubproblemResult> SolveDecomposeSubproblem(
+    const QuboModel& subproblem, std::uint64_t seed, const Deadline& deadline,
+    const OptimizerOptions& base) {
+  QOPT_RETURN_IF_ERROR(CheckFaultPoint("decompose.subproblem"));
+  OptimizerOptions options = base;
+  options.decompose = 0;
+  options.dispatch = DispatchMode::kSerial;
+  options.backend = SubproblemBackend(subproblem.NumVariables(), base);
+  options.seed = seed;
+  options.budget.deadline = deadline;
+  options.budget.retry = RetryPolicy{};
+  // Every backend re-derives its stream from the block's AttemptSeed-
+  // derived seed; a caller-pinned kernel seed would correlate all blocks.
+  options.anneal.seed = 0;
+  options.variational.seed = 0;
+  options.adiabatic.seed = 0;
+  options.embedded.embed.seed = 0;
+  options.embedded.anneal.seed = 0;
+  options.anneal.num_reads = std::min(std::max(1, base.anneal.num_reads), 8);
+  options.anneal.num_sweeps =
+      std::min(std::max(1, base.anneal.num_sweeps), 1000);
+  QOPT_ASSIGN_OR_RETURN(DispatchOutcome outcome,
+                        DispatchWithFallback(subproblem, options));
+  SubproblemResult result;
+  result.bits = std::move(outcome.result.bits);
+  return result;
+}
+
+/// Decomposed dispatch: run the qbsolv-style round loop with the serial
+/// pipeline as the block solver, then surface the incumbent as a regular
+/// dispatch outcome. backend_used reports the *requested* backend — the
+/// blocks routed through it wherever they fit its budget — and a
+/// deadline-truncated loop degrades (timed_out => degraded-or-error).
+StatusOr<DispatchOutcome> DispatchDecomposed(const QuboModel& qubo,
+                                             const OptimizerOptions& options) {
+  QQO_TRACE_SPAN("solve.decompose");
+  Stopwatch watch;
+  DecomposeOptions decompose;
+  decompose.max_subproblem_size = options.decompose;
+  decompose.seed = options.seed;
+  decompose.deadline = options.budget.deadline;
+  const SubproblemSolver solver =
+      [&options](const QuboModel& subproblem, std::uint64_t seed,
+                 const Deadline& deadline) {
+        return SolveDecomposeSubproblem(subproblem, seed, deadline, options);
+      };
+  QOPT_ASSIGN_OR_RETURN(DecomposeResult solved,
+                        SolveQuboDecomposed(qubo, decompose, solver));
+  DispatchOutcome outcome;
+  outcome.result.bits = std::move(solved.bits);
+  outcome.result.energy = solved.energy;
+  outcome.result.timed_out = solved.timed_out;
+  outcome.backend_used = options.backend;
+  outcome.stats.attempts = std::max(1, solved.subproblems);
+  outcome.stats.timed_out = solved.timed_out;
+  outcome.stats.decompose_rounds = solved.rounds;
+  outcome.stats.decompose_subproblems = solved.subproblems;
+  outcome.stats.decompose_round_energies = std::move(solved.round_energies);
+  if (solved.timed_out) {
+    outcome.degraded = true;
+    outcome.degradation_reason =
+        "decomposition stopped at the deadline with its best incumbent";
+  }
+  outcome.stats.elapsed_ms = watch.ElapsedMillis();
+  return outcome;
+}
+
 /// Routes one QUBO solve to the configured dispatch strategy.
 StatusOr<DispatchOutcome> DispatchQubo(const QuboModel& qubo,
                                        const OptimizerOptions& options) {
+  if (options.decompose != 0 && options.decompose < 2) {
+    return InvalidArgumentError(StrFormat(
+        "decompose must be 0 (off) or >= 2, got %d", options.decompose));
+  }
+  if (options.decompose > 0 && qubo.NumVariables() > options.decompose) {
+    return DispatchDecomposed(qubo, options);
+  }
   if (options.dispatch == DispatchMode::kRace) {
     return DispatchRace(qubo, options);
   }

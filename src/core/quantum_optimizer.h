@@ -106,6 +106,14 @@ struct SolveStats {
   /// Raced dispatch only: one entry per launched lane, in backend
   /// priority order. Empty for serial dispatch.
   std::vector<RaceLaneStats> lanes;
+  /// Decomposed dispatch only (OptimizerOptions::decompose > 0 on a
+  /// problem larger than one block): rounds completed, subproblem solves
+  /// dispatched, and the incumbent energy after each round. All three are
+  /// deterministic (no wall-clock content) whenever the deadline did not
+  /// truncate the solve. Zero / empty otherwise.
+  int decompose_rounds = 0;
+  int decompose_subproblems = 0;
+  std::vector<double> decompose_round_energies;
 };
 
 /// Options shared by the facade entry points.
@@ -126,6 +134,17 @@ struct OptimizerOptions {
   /// fabrics keep demos fast).
   int pegasus_m = 4;
   std::uint64_t seed = 0;
+  /// Hybrid decomposition (qbsolv-style, see DESIGN.md "Decomposition"):
+  /// when > 0 and the encoded QUBO has more variables than this, the
+  /// facade partitions it into blocks of at most `decompose` variables,
+  /// solves each block through the serial backend pipeline (the requested
+  /// backend where the block fits its qubit budget, SA otherwise) and
+  /// stitches with a tabu refinement loop. 0 disables decomposition; a
+  /// problem that already fits in one block dispatches normally. Values
+  /// below 2 (other than 0) are kInvalidArgument. Per-block seeds derive
+  /// from `seed` via the AttemptSeed sequence, so decomposed solves stay
+  /// byte-identical across QQO_THREADS (absent deadline truncation).
+  int decompose = 0;
   /// Graceful degradation: when a *quantum* backend fails recoverably
   /// (no minor embedding, circuit exceeds the simulable qubit budget,
   /// ...), retry with a classical backend (exact for small problems,

@@ -123,4 +123,33 @@ QueryGraph GenerateStarQuery(int num_relations, double cardinality,
   return graph;
 }
 
+QueryGraph GenerateCycleQuery(int num_relations, double cardinality,
+                              double selectivity, std::uint64_t seed) {
+  (void)seed;
+  QueryGraph graph(
+      std::vector<double>(static_cast<std::size_t>(num_relations), cardinality));
+  for (int i = 0; i + 1 < num_relations; ++i) {
+    graph.AddPredicate(i, i + 1, selectivity);
+  }
+  // The closing predicate needs three distinct relations to not duplicate
+  // the chain edge.
+  if (num_relations >= 3) {
+    graph.AddPredicate(num_relations - 1, 0, selectivity);
+  }
+  return graph;
+}
+
+QueryGraph GenerateCliqueQuery(int num_relations, double cardinality,
+                               double selectivity, std::uint64_t seed) {
+  (void)seed;
+  QueryGraph graph(
+      std::vector<double>(static_cast<std::size_t>(num_relations), cardinality));
+  for (int i = 0; i < num_relations; ++i) {
+    for (int j = i + 1; j < num_relations; ++j) {
+      graph.AddPredicate(i, j, selectivity);
+    }
+  }
+  return graph;
+}
+
 }  // namespace qopt

@@ -72,4 +72,14 @@ QueryGraph GenerateChainQuery(int num_relations, double cardinality,
 QueryGraph GenerateStarQuery(int num_relations, double cardinality,
                              double selectivity, std::uint64_t seed = 0);
 
+/// Cycle query R0 - R1 - ... - Rn-1 - R0 (a chain for n < 3; the closing
+/// predicate would otherwise duplicate the chain edge).
+QueryGraph GenerateCycleQuery(int num_relations, double cardinality,
+                              double selectivity, std::uint64_t seed = 0);
+
+/// Clique query: every pair of relations carries a predicate. The densest
+/// large-instance stressor for the decomposition sweeps.
+QueryGraph GenerateCliqueQuery(int num_relations, double cardinality,
+                               double selectivity, std::uint64_t seed = 0);
+
 }  // namespace qopt

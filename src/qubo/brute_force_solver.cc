@@ -1,16 +1,24 @@
 #include "qubo/brute_force_solver.h"
 
+#include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "common/check.h"
+#include "common/table_printer.h"
 
 namespace qopt {
 
-BruteForceResult SolveQuboBruteForce(const QuboModel& qubo,
-                                     int max_variables) {
+StatusOr<BruteForceResult> TrySolveQuboBruteForce(const QuboModel& qubo,
+                                                  int max_variables) {
   const int n = qubo.NumVariables();
-  QOPT_CHECK_MSG(n <= max_variables,
-                 "problem too large for exhaustive enumeration");
+  const int cap = std::min(max_variables, kBruteForceHardCap);
+  if (n > cap) {
+    return InvalidArgumentError(StrFormat(
+        "brute force would enumerate 2^%d assignments; the limit is %d "
+        "variables",
+        n, cap));
+  }
   BruteForceResult result;
   std::vector<std::uint8_t> bits(static_cast<std::size_t>(n), 0);
   result.best_bits = bits;
@@ -36,6 +44,14 @@ BruteForceResult SolveQuboBruteForce(const QuboModel& qubo,
     }
   }
   return result;
+}
+
+BruteForceResult SolveQuboBruteForce(const QuboModel& qubo,
+                                     int max_variables) {
+  StatusOr<BruteForceResult> result = TrySolveQuboBruteForce(qubo,
+                                                             max_variables);
+  QOPT_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return *std::move(result);
 }
 
 }  // namespace qopt

@@ -39,11 +39,55 @@ constexpr std::uint64_t kLinearTag = 0x51B0'AC5E'11EA'0001ULL;
 constexpr std::uint64_t kEdgeTag = 0x51B0'AC5E'11EA'0002ULL;
 constexpr std::uint64_t kOffsetTag = 0x51B0'AC5E'11EA'0003ULL;
 
+// Domain-separation tag for the per-component invariants mixed into the
+// initial colors (see ComponentInvariants).
+constexpr std::uint64_t kComponentTag = 0x51B0'AC5E'11EA'0004ULL;
+
 /// Number of distinct values in `colors` (the refinement progress meter).
 std::size_t CountDistinct(std::vector<std::uint64_t> colors) {
   std::sort(colors.begin(), colors.end());
   return static_cast<std::size_t>(
       std::unique(colors.begin(), colors.end()) - colors.begin());
+}
+
+/// Per-vertex hash of the (vertex count, edge count) of the connected
+/// component the vertex lies in. Color refinement alone cannot tell some
+/// disconnected graphs apart — every vertex of a 6-cycle and of two
+/// disjoint triangles sees the same degree-2 neighborhood at every
+/// refinement depth, so uniform-coefficient C6 and 2xC3 QUBOs would
+/// collide. Component size/edge-count are permutation-invariant and split
+/// exactly that family, and decomposition workloads (clamped blocks,
+/// disconnected remainders) hit it in practice.
+std::vector<std::uint64_t> ComponentInvariants(const CsrAdjacency& adj,
+                                               std::size_t n) {
+  std::vector<int> component(n, -1);
+  std::vector<std::size_t> stack;
+  std::vector<std::size_t> members;
+  std::vector<std::uint64_t> invariant(n, 0);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (component[root] >= 0) continue;
+    const int id = static_cast<int>(root);
+    stack.assign(1, root);
+    members.assign(1, root);
+    component[root] = id;
+    std::uint64_t degree_sum = 0;  // 2 * edge count once the walk is done
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      degree_sum += adj.offsets[v + 1] - adj.offsets[v];
+      for (std::size_t k = adj.offsets[v]; k < adj.offsets[v + 1]; ++k) {
+        const std::size_t w = static_cast<std::size_t>(adj.neighbors[k]);
+        if (component[w] >= 0) continue;
+        component[w] = id;
+        stack.push_back(w);
+        members.push_back(w);
+      }
+    }
+    const std::uint64_t mark =
+        Mix2(kComponentTag, Mix2(members.size(), degree_sum / 2));
+    for (const std::size_t v : members) invariant[v] = mark;
+  }
+  return invariant;
 }
 
 }  // namespace
@@ -59,10 +103,15 @@ QuboSignature ComputeQuboSignature(const QuboModel& qubo) {
 
   const CsrAdjacency adj = qubo.BuildCsrAdjacency();
 
-  // Initial colors: linear coefficient only.
+  // Initial colors: linear coefficient plus the connected-component
+  // invariant (WL refinement alone cannot separate some disconnected
+  // regular graphs; see ComponentInvariants).
+  const std::vector<std::uint64_t> component_marks = ComponentInvariants(adj, n);
   std::vector<std::uint64_t> colors(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    colors[i] = Mix2(kLinearTag, HashDouble(qubo.Linear(static_cast<int>(i))));
+    colors[i] =
+        Mix2(Mix2(kLinearTag, HashDouble(qubo.Linear(static_cast<int>(i)))),
+             component_marks[i]);
   }
 
   // Color refinement. Each round folds an order-independent digest of the

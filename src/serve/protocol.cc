@@ -109,6 +109,14 @@ Status ParseSolveFields(const JsonValue& json, DispatchMode default_dispatch,
   QOPT_ASSIGN_OR_RETURN(const long long retries,
                         IntField(json, "retries", 1, 1, 100));
   request->retries = static_cast<int>(retries);
+  QOPT_ASSIGN_OR_RETURN(const long long decompose,
+                        IntField(json, "decompose", 0, 0, 1000000));
+  if (decompose == 1) {
+    return InvalidArgumentError(
+        "field \"decompose\": expected 0 (disabled) or a subproblem size "
+        ">= 2");
+  }
+  request->decompose = static_cast<int>(decompose);
   QOPT_ASSIGN_OR_RETURN(const long long pegasus,
                         IntField(json, "pegasus", 4, 2, 16));
   request->pegasus_m = static_cast<int>(pegasus);
@@ -173,7 +181,7 @@ StatusOr<ServeRequest> ParseServeRequest(const std::string& line,
   static const std::set<std::string> kSolveCommon = {
       "id",      "type",       "workload",    "backend", "dispatch",
       "seed",    "timeout_ms", "retries",     "pegasus", "no_fallback",
-      "cache"};
+      "cache",   "decompose"};
   if (type == "mqo") {
     request.type = RequestType::kMqo;
     QOPT_RETURN_IF_ERROR(CheckAllowedFields(json, kSolveCommon));
@@ -284,6 +292,11 @@ void FillCommonReportFields(const std::string& kind, Backend backend_used,
   if (!stats.lanes.empty()) {
     result->Set("race_lanes",
                 JsonValue::Number(static_cast<int>(stats.lanes.size())));
+  }
+  if (stats.decompose_rounds > 0) {
+    result->Set("decompose_rounds", JsonValue::Number(stats.decompose_rounds));
+    result->Set("decompose_subproblems",
+                JsonValue::Number(stats.decompose_subproblems));
   }
   result->Set("valid", JsonValue::Bool(valid));
   result->Set("energy", JsonValue::Number(energy));

@@ -23,8 +23,8 @@ namespace qopt::serve {
 ///
 /// Request:
 ///   {"id": "r1", "type": "mqo",  "workload": {...}, "backend": "sa",
-///    "dispatch": "serial", "seed": 7, "timeout_ms": 500, "retries": 2,
-///    "no_fallback": false, "pegasus": 4, "cache": true}
+///    "dispatch": "serial", "decompose": 0, "seed": 7, "timeout_ms": 500,
+///    "retries": 2, "no_fallback": false, "pegasus": 4, "cache": true}
 ///   {"id": "r2", "type": "join", "workload": {...},
 ///    "thresholds": [10, 100], "precision": 0, ...}
 ///   {"id": "r3", "type": "stats"}
@@ -48,6 +48,9 @@ struct ServeRequest {
   JoinOrderEncoderOptions join_encoder;  ///< thresholds / precision.
   Backend backend = Backend::kSimulatedAnnealing;
   DispatchMode dispatch = DispatchMode::kSerial;
+  /// 0 disables decomposition; N >= 2 decomposes problems larger than N
+  /// variables (OptimizerOptions::decompose).
+  int decompose = 0;
   std::uint64_t seed = 7;
   /// Negative: unbounded. Zero is a legal instantly-exhausted budget.
   long long timeout_ms = -1;

@@ -35,6 +35,7 @@ std::uint64_t OptionsHash(std::uint64_t kind_tag, const ServeRequest& r) {
   h = HashCombine(h, r.seed);
   h = HashCombine(h, static_cast<std::uint64_t>(r.retries));
   h = HashCombine(h, static_cast<std::uint64_t>(r.pegasus_m));
+  h = HashCombine(h, static_cast<std::uint64_t>(r.decompose));
   return HashCombine(h, r.classical_fallback ? 1 : 0);
 }
 
@@ -45,6 +46,7 @@ OptimizerOptions MakeOptimizerOptions(const ServeRequest& request,
   OptimizerOptions options;
   options.backend = request.backend;
   options.dispatch = request.dispatch;
+  options.decompose = request.decompose;
   options.seed = request.seed;
   options.pegasus_m = request.pegasus_m;
   options.classical_fallback = request.classical_fallback;

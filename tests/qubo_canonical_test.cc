@@ -182,5 +182,97 @@ TEST(QuboCanonicalTest, HashCombineOrderAndDistinctness) {
   EXPECT_EQ(HashCombine(7, 9), HashCombine(7, 9));
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate-input sweep: empty, single-variable and disconnected QUBOs.
+// ---------------------------------------------------------------------------
+
+/// Uniform-weight cycle over the given variables: every vertex has degree
+/// 2, identical linear terms and identical couplings — the worst case for
+/// pure WL refinement, which sees only degrees and weights.
+QuboModel MakeUniformCycles(const std::vector<int>& cycle_lengths) {
+  int n = 0;
+  for (int len : cycle_lengths) n += len;
+  QuboModel qubo(n);
+  int base = 0;
+  for (int len : cycle_lengths) {
+    for (int i = 0; i < len; ++i) {
+      qubo.AddLinear(base + i, -1.0);
+      qubo.AddQuadratic(base + i, base + (i + 1) % len, 2.0);
+    }
+    base += len;
+  }
+  return qubo;
+}
+
+TEST(QuboCanonicalTest, EmptyAndSingleVariableQubosHaveStableSignatures) {
+  const QuboModel empty(0);
+  const QuboSignature empty_sig = ComputeQuboSignature(empty);
+  EXPECT_TRUE(empty_sig.canonical_rank.empty());
+  EXPECT_EQ(empty_sig.canonical_hash,
+            ComputeQuboSignature(QuboModel(0)).canonical_hash);
+
+  QuboModel one(1);
+  one.AddLinear(0, 2.5);
+  const QuboSignature one_sig = ComputeQuboSignature(one);
+  ASSERT_EQ(one_sig.canonical_rank.size(), 1u);
+  EXPECT_EQ(one_sig.canonical_rank[0], 0);
+  EXPECT_NE(one_sig.canonical_hash, empty_sig.canonical_hash);
+
+  QuboModel other(1);
+  other.AddLinear(0, -2.5);
+  EXPECT_NE(ComputeQuboSignature(other).canonical_hash,
+            one_sig.canonical_hash);
+}
+
+TEST(QuboCanonicalTest, DisconnectedRegularGraphsDoNotCollide) {
+  // The known WL soft spot the serve cache tripped over: C6 and C3+C3
+  // are both 2-regular with uniform weights, so refinement alone never
+  // separates them. The component-invariant seeding must keep their
+  // canonical hashes apart (a collision would transport a C6 solution
+  // onto a C3+C3 instance).
+  const QuboModel c6 = MakeUniformCycles({6});
+  const QuboModel c3c3 = MakeUniformCycles({3, 3});
+  EXPECT_NE(ComputeQuboSignature(c6).canonical_hash,
+            ComputeQuboSignature(c3c3).canonical_hash);
+
+  // Same family, larger split: C12 vs 2xC6 vs 3xC4.
+  const std::uint64_t c12 =
+      ComputeQuboSignature(MakeUniformCycles({12})).canonical_hash;
+  const std::uint64_t c6c6 =
+      ComputeQuboSignature(MakeUniformCycles({6, 6})).canonical_hash;
+  const std::uint64_t c4x3 =
+      ComputeQuboSignature(MakeUniformCycles({4, 4, 4})).canonical_hash;
+  EXPECT_NE(c12, c6c6);
+  EXPECT_NE(c12, c4x3);
+  EXPECT_NE(c6c6, c4x3);
+}
+
+TEST(QuboCanonicalTest, DisconnectedGraphsStayRelabelingInvariant) {
+  // The component fix must not break the core invariance: shuffling a
+  // disconnected QUBO's labels (mixing the components) keeps the hash.
+  const QuboModel a = MakeUniformCycles({3, 5, 4});
+  const QuboSignature sig_a = ComputeQuboSignature(a);
+  for (std::uint64_t seed = 51; seed <= 54; ++seed) {
+    const std::vector<int> perm = RandomPermutation(12, seed);
+    const QuboModel b = Relabel(a, perm);
+    EXPECT_EQ(ComputeQuboSignature(b).canonical_hash, sig_a.canonical_hash)
+        << "seed " << seed;
+  }
+}
+
+TEST(QuboCanonicalTest, IsolatedVariablesCountAsComponents) {
+  // Two isolated variables vs one coupled pair with the same linear
+  // terms: different component structure, different hash.
+  QuboModel isolated(2);
+  isolated.AddLinear(0, 1.0);
+  isolated.AddLinear(1, 1.0);
+  QuboModel coupled(2);
+  coupled.AddLinear(0, 1.0);
+  coupled.AddLinear(1, 1.0);
+  coupled.AddQuadratic(0, 1, 0.5);
+  EXPECT_NE(ComputeQuboSignature(isolated).canonical_hash,
+            ComputeQuboSignature(coupled).canonical_hash);
+}
+
 }  // namespace
 }  // namespace qopt

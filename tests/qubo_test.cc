@@ -192,5 +192,28 @@ TEST(BruteForceTest, ZeroVariablesHandled) {
   EXPECT_DOUBLE_EQ(result.best_energy, 3.0);
 }
 
+TEST(BruteForceTest, HardCapRejectsOversizedProblems) {
+  // 2^31 assignments would walk for hours; past kBruteForceHardCap the
+  // Try variant must refuse with kInvalidArgument instead of hanging —
+  // even when the caller passes a larger explicit limit.
+  const QuboModel oversized(kBruteForceHardCap + 1);
+  const auto refused = TrySolveQuboBruteForce(oversized);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+
+  const auto still_refused =
+      TrySolveQuboBruteForce(oversized, /*max_variables=*/1000);
+  ASSERT_FALSE(still_refused.ok());
+  EXPECT_EQ(still_refused.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BruteForceTest, CallerCapBelowTheHardCapStillApplies) {
+  const QuboModel qubo(12);
+  const auto refused = TrySolveQuboBruteForce(qubo, /*max_variables=*/10);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(TrySolveQuboBruteForce(qubo, /*max_variables=*/12).ok());
+}
+
 }  // namespace
 }  // namespace qopt

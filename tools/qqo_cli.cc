@@ -55,13 +55,13 @@ int Usage() {
       "usage:\n"
       "  qqo generate mqo <out.json>  [--queries=N] [--ppq=N] [--seed=N]\n"
       "  qqo generate join <out.json> [--relations=N] [--predicates=N]"
-      " [--seed=N]\n"
+      " [--seed=N] [--topology=random|chain|star|cycle|clique]\n"
       "  qqo mqo <workload.json>      [--backend=exact|sa|qaoa|vqe|adiabatic|annealer]"
-      " [--dispatch=serial|race] [--seed=N] [--pegasus=M] [--no-fallback]"
-      " [--timeout-ms=N] [--retries=N]\n"
-      "  qqo join <graph.json>        [--backend=...] [--thresholds=a,b,..]"
-      " [--precision=P] [--dispatch=serial|race] [--seed=N] [--pegasus=M]"
+      " [--dispatch=serial|race] [--decompose=N] [--seed=N] [--pegasus=M]"
       " [--no-fallback] [--timeout-ms=N] [--retries=N]\n"
+      "  qqo join <graph.json>        [--backend=...] [--thresholds=a,b,..]"
+      " [--precision=P] [--dispatch=serial|race] [--decompose=N] [--seed=N]"
+      " [--pegasus=M] [--no-fallback] [--timeout-ms=N] [--retries=N]\n"
       "  qqo estimate mqo|join <file> [--device=mumbai|brooklyn] [--trials=N]"
       " [--thresholds=a,b,..] [--precision=P]\n"
       "  qqo qasm mqo|join <file>     [--algorithm=qaoa|vqe]"
@@ -69,7 +69,9 @@ int Usage() {
       "global flags (any subcommand):\n"
       "  --trace-out=FILE  write a Chrome trace_event JSON of the run\n"
       "  --metrics         print the metrics table after the run\n"
-      "environment: QQO_DISPATCH=serial|race sets the default --dispatch\n");
+      "environment: QQO_DISPATCH=serial|race sets the default --dispatch;\n"
+      "  QQO_DECOMPOSE=N sets the default --decompose (0 off, else max\n"
+      "  subproblem size >= 2 for hybrid decomposition)\n");
   return kExitUsage;
 }
 
@@ -198,6 +200,29 @@ StatusOr<std::uint64_t> Uint64Flag(const FlagMap& flags,
   return value;
 }
 
+/// Decompose block size: 0 (off) or a subproblem cap >= 2. Shared by
+/// --decompose and its QQO_DECOMPOSE environment default; `origin` names
+/// whichever of the two is being parsed so the diagnostic points at it.
+StatusOr<int> ParseDecomposeValue(const std::string& origin,
+                                  const std::string& text) {
+  long long value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::invalid_argument || ptr != end || text.empty()) {
+    return InvalidArgumentError(
+        StrFormat("%s: expected an integer, got \"%s\"", origin.c_str(),
+                  text.c_str()));
+  }
+  if (ec == std::errc::result_out_of_range || value < 0 || value == 1 ||
+      value > 1000000) {
+    return OutOfRangeError(StrFormat(
+        "%s: value %s must be 0 (off) or in [2, 1000000]", origin.c_str(),
+        text.c_str()));
+  }
+  return static_cast<int>(value);
+}
+
 StatusOr<Backend> ParseBackend(const std::string& name) {
   static const std::map<std::string, Backend> kBackends = {
       {"exact", Backend::kExact},
@@ -257,6 +282,13 @@ StatusOr<OptimizerOptions> MakeOptions(const FlagMap& flags,
     return InvalidArgumentError(StrFormat(
         "flag --dispatch: %s", mode.status().message().c_str()));
   }
+  // --decompose beats QQO_DECOMPOSE beats off, mirroring --dispatch; the
+  // env value was validated up front in RunQqoCli as well.
+  const std::string decompose_text =
+      FlagOr(flags, "decompose", EnvString("QQO_DECOMPOSE").value_or("0"));
+  QOPT_ASSIGN_OR_RETURN(
+      options.decompose,
+      ParseDecomposeValue("flag --decompose", decompose_text));
   QOPT_ASSIGN_OR_RETURN(options.seed, Uint64Flag(flags, "seed", 7));
   options.anneal.num_reads = 50;
   options.anneal.num_sweeps = 2000;
@@ -298,6 +330,17 @@ void PrintStats(const SolveStats& stats) {
   // remains byte-identical at any thread count.
   std::printf("attempts: %d%s\n", stats.attempts,
               stats.timed_out ? " (timed out)" : "");
+  if (stats.decompose_rounds > 0) {
+    // Round counts and incumbent energies are deterministic (no
+    // wall-clock content), so they join the stdout report.
+    std::printf("decompose rounds: %d (%d subproblems)\n",
+                stats.decompose_rounds, stats.decompose_subproblems);
+    std::printf("decompose energies:");
+    for (const double energy : stats.decompose_round_energies) {
+      std::printf(" %.6g", energy);
+    }
+    std::printf("\n");
+  }
   if (!stats.lanes.empty()) {
     // The lane *set* is deterministic (portfolio of the problem size), so
     // its summary joins the report; per-lane outcome and timing depend on
@@ -373,26 +416,64 @@ int RunGenerate(int argc, const char* const* argv) {
     return kExitOk;
   }
   if (what == "join") {
-    StatusOr<FlagMap> flags =
-        ParseFlags(argc, argv, 4, {"relations", "predicates", "seed"});
+    StatusOr<FlagMap> flags = ParseFlags(
+        argc, argv, 4, {"relations", "predicates", "seed", "topology"});
     if (!flags.ok()) return Fail(kExitUsage, flags.status());
-    QueryGeneratorOptions gen;
+    const std::string topology = FlagOr(*flags, "topology", "random");
+    if (topology != "random" && topology != "chain" && topology != "star" &&
+        topology != "cycle" && topology != "clique") {
+      return Fail(kExitUsage,
+                  InvalidArgumentError(StrFormat(
+                      "unknown --topology \"%s\"; expected random, chain, "
+                      "star, cycle, or clique",
+                      topology.c_str())));
+    }
     StatusOr<int> relations = IntFlag(*flags, "relations", 5, 2, 1000);
     if (!relations.ok()) return Fail(kExitUsage, relations.status());
-    gen.num_relations = *relations;
-    StatusOr<int> predicates =
-        IntFlag(*flags, "predicates", gen.num_relations - 1,
-                gen.num_relations - 1,
-                gen.num_relations * (gen.num_relations - 1) / 2);
-    if (!predicates.ok()) return Fail(kExitUsage, predicates.status());
-    gen.num_predicates = *predicates;
-    gen.cardinality_min = 10.0;
-    gen.cardinality_max = 100000.0;
-    gen.selectivity_min = 0.001;
     StatusOr<std::uint64_t> seed = Uint64Flag(*flags, "seed", 1);
     if (!seed.ok()) return Fail(kExitUsage, seed.status());
-    gen.seed = *seed;
-    const QueryGraph graph = GenerateRandomQuery(gen);
+    if (topology != "random" && flags->count("predicates") > 0) {
+      return Fail(kExitUsage,
+                  InvalidArgumentError(StrFormat(
+                      "--predicates only applies to --topology=random; "
+                      "topology \"%s\" fixes the predicate set",
+                      topology.c_str())));
+    }
+    QueryGraph graph({1.0});
+    if (topology == "random") {
+      QueryGeneratorOptions gen;
+      gen.num_relations = *relations;
+      StatusOr<int> predicates =
+          IntFlag(*flags, "predicates", gen.num_relations - 1,
+                  gen.num_relations - 1,
+                  gen.num_relations * (gen.num_relations - 1) / 2);
+      if (!predicates.ok()) return Fail(kExitUsage, predicates.status());
+      gen.num_predicates = *predicates;
+      gen.cardinality_min = 10.0;
+      gen.cardinality_max = 100000.0;
+      gen.selectivity_min = 0.001;
+      gen.seed = *seed;
+      graph = GenerateRandomQuery(gen);
+    } else {
+      // Fixed-topology stressors for the decomposition sweeps share one
+      // uniform cardinality and selectivity so the shape, not the weights,
+      // drives the QUBO structure.
+      const double cardinality = 1000.0;
+      const double selectivity = 0.1;
+      if (topology == "chain") {
+        graph = GenerateChainQuery(*relations, cardinality, selectivity,
+                                   *seed);
+      } else if (topology == "star") {
+        graph = GenerateStarQuery(*relations, cardinality, selectivity,
+                                  *seed);
+      } else if (topology == "cycle") {
+        graph = GenerateCycleQuery(*relations, cardinality, selectivity,
+                                   *seed);
+      } else {
+        graph = GenerateCliqueQuery(*relations, cardinality, selectivity,
+                                    *seed);
+      }
+    }
     if (const Status saved = SaveQueryGraph(graph, path); !saved.ok()) {
       return Fail(kExitError, saved);
     }
@@ -407,8 +488,8 @@ int RunMqo(int argc, const char* const* argv) {
   if (argc < 3 || LooksLikeFlag(argv[2])) return Usage();
   StatusOr<FlagMap> flags =
       ParseFlags(argc, argv, 3,
-                 {"backend", "dispatch", "seed", "pegasus", "no-fallback",
-                  "timeout-ms", "retries"});
+                 {"backend", "dispatch", "decompose", "seed", "pegasus",
+                  "no-fallback", "timeout-ms", "retries"});
   if (!flags.ok()) return Fail(kExitUsage, flags.status());
   // Validate every flag value before touching the file: a usage error is
   // diagnosed the same way whether or not the workload path exists.
@@ -447,8 +528,9 @@ int RunJoin(int argc, const char* const* argv) {
   if (argc < 3 || LooksLikeFlag(argv[2])) return Usage();
   StatusOr<FlagMap> flags =
       ParseFlags(argc, argv, 3,
-                 {"backend", "dispatch", "seed", "pegasus", "thresholds",
-                  "precision", "no-fallback", "timeout-ms", "retries"});
+                 {"backend", "dispatch", "decompose", "seed", "pegasus",
+                  "thresholds", "precision", "no-fallback", "timeout-ms",
+                  "retries"});
   if (!flags.ok()) return Fail(kExitUsage, flags.status());
   StatusOr<Backend> backend = ParseBackend(FlagOr(*flags, "backend", "sa"));
   if (!backend.ok()) return Fail(kExitUsage, backend.status());
@@ -629,6 +711,13 @@ int RunQqoCli(const std::vector<std::string>& args) {
       return Fail(kExitUsage,
                   InvalidArgumentError(StrFormat(
                       "QQO_DISPATCH: %s", mode.status().message().c_str())));
+    }
+  }
+  if (std::optional<std::string> decompose_env = EnvString("QQO_DECOMPOSE")) {
+    if (StatusOr<int> value =
+            ParseDecomposeValue("QQO_DECOMPOSE", *decompose_env);
+        !value.ok()) {
+      return Fail(kExitUsage, value.status());
     }
   }
 
